@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures/case studies
+(see DESIGN.md's experiment index). The experiment result table is printed
+so running ``pytest benchmarks/ --benchmark-only -s`` shows the same rows
+that EXPERIMENTS.md records; pytest-benchmark reports how long each
+scenario takes to regenerate.
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, run_experiment, rounds: int = 1, **kwargs):
+    """Run ``run_experiment(**kwargs)`` under pytest-benchmark and print its table."""
+    result_holder = {}
+
+    def target():
+        result_holder["result"] = run_experiment(**kwargs)
+        return result_holder["result"]
+
+    benchmark.pedantic(target, rounds=rounds, iterations=1)
+    result = result_holder["result"]
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,10 @@
+"""E9 — Section 5.4.1: per-client driver assembly vs monolithic delivery."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import custom_delivery
+
+
+def test_bench_e9_custom_delivery(benchmark):
+    result = run_and_report(benchmark, custom_delivery.run_experiment, payload_size=4096)
+    total = result.find_row(client="TOTAL")
+    assert total["assembled_bytes"] < total["monolithic_bytes"]

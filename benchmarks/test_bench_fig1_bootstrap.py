@@ -1,0 +1,9 @@
+"""E3 — Figure 1: bootstrap protocol and coexistence with conventional drivers."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig1_architecture
+
+
+def test_bench_e3_fig1(benchmark):
+    result = run_and_report(benchmark, fig1_architecture.run_experiment, requests_per_app=20)
+    assert all(row["requests_failed"] == 0 for row in result.rows)

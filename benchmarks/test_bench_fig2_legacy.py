@@ -1,0 +1,9 @@
+"""E4 — Figure 2: external Drivolution server for a legacy database."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig2_legacy_server
+
+
+def test_bench_e4_fig2(benchmark):
+    result = run_and_report(benchmark, fig2_legacy_server.run_experiment, client_count=3, requests_per_client=10)
+    assert all(row["client_machines_modified"] == 0 for row in result.rows)

@@ -1,0 +1,10 @@
+"""E5 — Figure 3: DBA console over heterogeneous Drivolution-compliant databases."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig3_heterogeneous
+
+
+def test_bench_e5_fig3(benchmark):
+    result = run_and_report(benchmark, fig3_heterogeneous.run_experiment, database_count=4)
+    assert all(row["connected"] for row in result.rows)
+    assert all(row["manual_driver_installs"] == 0 for row in result.rows)

@@ -1,0 +1,14 @@
+"""E6 — Figure 4: master/slave failover by pushing a pre-configured driver."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig4_failover
+
+
+def test_bench_e6_fig4(benchmark):
+    result = run_and_report(
+        benchmark, fig4_failover.run_experiment, client_count=5, requests_per_phase=10
+    )
+    drivolution = result.find_row(approach="drivolution")
+    manual = result.find_row(approach="manual reconfiguration")
+    assert drivolution["failed_requests"] < manual["failed_requests"]
+    assert drivolution["per_client_operations"] == 0

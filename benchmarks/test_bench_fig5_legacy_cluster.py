@@ -1,0 +1,12 @@
+"""E7 — Figure 5: standalone Drivolution server for a legacy Sequoia cluster."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig5_legacy_cluster
+
+
+def test_bench_e7_fig5(benchmark):
+    result = run_and_report(
+        benchmark, fig5_legacy_cluster.run_experiment, client_count=3, requests_per_phase=6
+    )
+    assert all(row["failed_requests"] == 0 for row in result.rows)
+    assert all(row["client_machines_modified"] == 0 for row in result.rows)

@@ -1,0 +1,12 @@
+"""E8 — Figure 6: replicated Drivolution servers embedded in the controllers."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig6_hybrid_ha
+
+
+def test_bench_e8_fig6(benchmark):
+    result = run_and_report(
+        benchmark, fig6_hybrid_ha.run_experiment, client_count=4, requests_per_phase=6
+    )
+    assert result.find_row(phase="install on controller1")["replicated_to_all_controllers"] is True
+    assert result.find_row(phase="controller1 failed")["failed_requests"] == 0

@@ -1,0 +1,12 @@
+"""E10 — Section 5.4.2: Drivolution as a license server."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import license_server_exp
+
+
+def test_bench_e10_license_server(benchmark):
+    result = run_and_report(
+        benchmark, license_server_exp.run_experiment, license_count=3, client_count=5
+    )
+    dynamic = result.find_row(policy="dynamic")
+    assert dynamic["reclaimed_after_crash"] > 0

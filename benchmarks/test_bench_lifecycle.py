@@ -1,0 +1,11 @@
+"""E1 — lifecycle step counts (paper Section 2 vs Section 3.2)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import lifecycle
+
+
+def test_bench_e1_lifecycle(benchmark):
+    result = run_and_report(benchmark, lifecycle.run_experiment, client_counts=[1, 10, 100, 1000])
+    row = result.find_row(clients=1000)
+    assert row["drivolution_update_ops"] == 1
+    assert row["legacy_update_ops"] == 9000

@@ -1,0 +1,12 @@
+"""E12 — bootloader overhead: connect and per-statement latency."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import overhead
+
+
+def test_bench_e12_overhead(benchmark):
+    result = run_and_report(
+        benchmark, overhead.run_experiment, statement_count=200, connect_count=20
+    )
+    connect_row = result.find_row(metric="connect latency (ms)")
+    assert connect_row["bootloader_first"] >= connect_row["bootloader_subsequent"]

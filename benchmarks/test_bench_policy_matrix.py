@@ -1,0 +1,34 @@
+"""E11 — Tables 3/4 and Section 3.3: policies, revocation, lease-time sweep."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import policy_matrix
+
+
+def test_bench_e11a_expiration_policy_matrix(benchmark):
+    result = run_and_report(
+        benchmark, policy_matrix.run_expiration_policy_matrix, clients=4, connections_per_client=3
+    )
+    immediate = result.find_row(expiration_policy="IMMEDIATE")
+    after_close = result.find_row(expiration_policy="AFTER_CLOSE")
+    assert immediate["aborted_transactions"] > 0
+    assert after_close["aborted_transactions"] == 0
+
+
+def test_bench_e11b_revocation(benchmark):
+    result = run_and_report(benchmark, policy_matrix.run_revocation_study)
+    assert result.rows[0]["outcome"] == "revoked"
+
+
+def test_bench_e11c_lease_time_sweep(benchmark):
+    result = run_and_report(
+        benchmark,
+        policy_matrix.run_lease_time_sweep,
+        lease_times_ms=[500, 2_000, 10_000, 60_000],
+        clients=5,
+        observation_window_s=60.0,
+    )
+    rows = [row for row in result.rows if row["mode"] == "lease polling"]
+    delays = [row["propagation_delay_s"] for row in rows]
+    traffic = [row["server_requests_in_window"] for row in rows]
+    assert delays == sorted(delays)
+    assert traffic == sorted(traffic, reverse=True)

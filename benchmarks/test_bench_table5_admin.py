@@ -1,0 +1,11 @@
+"""E2 — Table 5: heterogeneous DBA administration steps."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import table5_admin
+
+
+def test_bench_e2_table5(benchmark):
+    result = run_and_report(benchmark, table5_admin.run_experiment, dba_counts=[2, 5, 10], database_count=4)
+    paper_row = result.find_row(task="driver upgrade", dbas=2)
+    assert paper_row["legacy_steps"] == 6
+    assert paper_row["drivolution_steps"] == 2

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Master/slave failover via pre-configured drivers (paper Figure 4, Section 5.2).
+
+Two databases hold the same application data. The Drivolution server stores
+two pre-configured drivers — DBmaster and DBslave — that each always connect
+to their own database, whatever host the application URL names. Failing the
+whole client fleet over to the slave is a single administrative operation.
+
+Run with ``python examples/failover_master_slave.py``.
+"""
+
+from repro.core import Bootloader, BootloaderConfig, DrivolutionAdmin, DrivolutionServer, StandaloneServerBinding
+from repro.core.clock import SimulatedClock
+from repro.dbapi.driver_factory import build_pydb_driver
+from repro.dbserver import DatabaseServer, ServerConfig
+from repro.netsim import InMemoryNetwork
+from repro.sqlengine import Engine
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    network = InMemoryNetwork()
+
+    # Master and slave databases with the same schema.
+    servers = []
+    for name in ("dbmaster", "dbslave"):
+        engine = Engine(name=name, clock=clock)
+        engine.create_database("appdb")
+        engine.open_session("appdb").execute(
+            "CREATE TABLE orders (id INTEGER NOT NULL PRIMARY KEY, item VARCHAR)"
+        )
+        servers.append(DatabaseServer(engine, network, f"{name}:5432", ServerConfig(name=name)).start())
+        if name == "dbmaster":
+            master_engine = engine
+        else:
+            slave_engine = engine
+
+    # Standalone Drivolution server holding the two pre-configured drivers.
+    drivolution = DrivolutionServer(
+        StandaloneServerBinding(clock=clock),
+        network=network,
+        address="drivolution:8000",
+        clock=clock,
+    ).start()
+    admin = DrivolutionAdmin([drivolution])
+    master_driver = build_pydb_driver(
+        "dbmaster-driver", preconfigured_url="pydb://dbmaster:5432/appdb"
+    )
+    slave_driver = build_pydb_driver(
+        "dbslave-driver", preconfigured_url="pydb://dbslave:5432/appdb"
+    )
+    master_record = admin.install_driver(master_driver, database="appdb", lease_time_ms=2_000)
+
+    # Three client applications; their URL only names the Drivolution server.
+    bootloaders = [Bootloader(BootloaderConfig(), network=network, clock=clock) for _ in range(3)]
+    for index, bootloader in enumerate(bootloaders):
+        connection = bootloader.connect("drivolution://drivolution:8000/appdb")
+        cursor = connection.cursor()
+        cursor.execute(
+            "INSERT INTO orders (id, item) VALUES ($id, 'pre-failover')", {"id": index + 1}
+        )
+        connection.close()
+    print("drivers in use:", [b.driver_info()["driver_name"] for b in bootloaders])
+    print("rows on master:", master_engine.open_session("appdb").execute("SELECT COUNT(*) FROM orders").scalar())
+
+    # Maintenance time: redirect every client to the slave with ONE operation.
+    admin.push_upgrade(slave_driver, old_record=master_record, database="appdb", lease_time_ms=2_000)
+    clock.advance(3.0)
+    for bootloader in bootloaders:
+        print("client outcome:", bootloader.check_for_update())
+
+    for index, bootloader in enumerate(bootloaders):
+        connection = bootloader.connect("drivolution://drivolution:8000/appdb")
+        cursor = connection.cursor()
+        cursor.execute(
+            "INSERT INTO orders (id, item) VALUES ($id, 'post-failover')", {"id": 100 + index}
+        )
+        connection.close()
+    print("drivers in use now:", [b.driver_info()["driver_name"] for b in bootloaders])
+    print("rows on slave:", slave_engine.open_session("appdb").execute("SELECT COUNT(*) FROM orders").scalar())
+
+    for bootloader in bootloaders:
+        bootloader.shutdown()
+    drivolution.stop()
+    for server in servers:
+        server.stop()
+
+
+if __name__ == "__main__":
+    main()

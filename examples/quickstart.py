@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: store a driver in the database, bootstrap a client, upgrade it.
+
+This walks the core Drivolution flow end to end on the in-memory substrate:
+
+1. start a database server with an in-database Drivolution server,
+2. install a driver package with a single administrative operation,
+3. let a client application's bootloader download and load the driver,
+4. push a new driver version and watch the client upgrade transparently.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.core import Bootloader, BootloaderConfig, DrivolutionAdmin, DrivolutionServer, InDatabaseServerBinding
+from repro.core.clock import SimulatedClock
+from repro.dbapi.driver_factory import build_pydb_driver
+from repro.dbserver import DatabaseServer, ServerConfig
+from repro.netsim import InMemoryNetwork
+from repro.sqlengine import Engine
+
+
+def main() -> None:
+    # --- infrastructure: one database, its server, its Drivolution server -----
+    clock = SimulatedClock()
+    network = InMemoryNetwork()
+    engine = Engine(name="db1", clock=clock)
+    engine.create_database("appdb")
+    db_server = DatabaseServer(engine, network, "db1:5432", ServerConfig(name="db1")).start()
+
+    binding = InDatabaseServerBinding(engine, "appdb", clock=clock)
+    drivolution = DrivolutionServer(binding, network=network, clock=clock, server_id="drivo-db1")
+    drivolution.attach_to_database_server(db_server)
+    admin = DrivolutionAdmin([drivolution])
+
+    # --- DBA: install the driver (one INSERT on the Drivolution server) --------
+    record_v1 = admin.install_driver(
+        build_pydb_driver("pydb-1.0.0", driver_version=(1, 0, 0)),
+        database="appdb",
+        lease_time_ms=5_000,
+    )
+    print("installed drivers:", admin.installed_drivers())
+
+    # --- client application: only the generic bootloader is installed ----------
+    bootloader = Bootloader(BootloaderConfig(), network=network, clock=clock)
+    connection = bootloader.connect("pydb://db1:5432/appdb")
+    cursor = connection.cursor()
+    cursor.execute("CREATE TABLE greetings (id INTEGER PRIMARY KEY, message VARCHAR)")
+    cursor.execute("INSERT INTO greetings (id, message) VALUES (1, 'hello drivolution')")
+    cursor.execute("SELECT message FROM greetings WHERE id = 1")
+    print("query result:", cursor.fetchone())
+    print("driver in use:", bootloader.driver_info()["driver_name"])
+
+    # --- DBA: push an upgrade; the client picks it up at its next lease check --
+    admin.push_upgrade(
+        build_pydb_driver("pydb-1.1.0", driver_version=(1, 1, 0)),
+        old_record=record_v1,
+        database="appdb",
+        lease_time_ms=5_000,
+    )
+    clock.advance(6.0)  # let the lease expire
+    outcome = bootloader.check_for_update()
+    print("lease check outcome:", outcome)
+    print("driver in use now:", bootloader.driver_info()["driver_name"])
+
+    new_connection = bootloader.connect("pydb://db1:5432/appdb")
+    cursor = new_connection.cursor()
+    cursor.execute("SELECT COUNT(*) FROM greetings")
+    print("data still there through the new driver:", cursor.fetchone())
+
+    new_connection.close()
+    bootloader.shutdown()
+    db_server.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Drivolution reproduction.
+
+This package reproduces the system described in *Drivolution: Rethinking
+the Database Driver Lifecycle* (Cecchet & Candea, Middleware 2009) as a
+self-contained Python library:
+
+- :mod:`repro.core` — the Drivolution contribution: driver packages stored
+  in the database, a DHCP-like bootstrap protocol, a client-side
+  bootloader, leases and upgrade policies.
+- :mod:`repro.sqlengine` — an in-memory SQL database engine used as the
+  substrate that stores drivers in its ``information_schema``.
+- :mod:`repro.dbserver` / :mod:`repro.dbapi` — a database wire protocol,
+  server and DB-API 2.0 driver stack (the analogue of JDBC drivers).
+- :mod:`repro.cluster` — a Sequoia-like replication middleware used by the
+  paper's case studies.
+- :mod:`repro.netsim` — in-memory and TCP transports, secure channels.
+- :mod:`repro.workloads` / :mod:`repro.experiments` — client application
+  simulation, metrics, and the experiment harness that regenerates every
+  table and case study in the paper.
+"""
+
+from repro.errors import (
+    ReproError,
+    TransportError,
+    SqlError,
+    DriverError,
+    DrivolutionError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ReproError",
+    "TransportError",
+    "SqlError",
+    "DriverError",
+    "DrivolutionError",
+    "__version__",
+]

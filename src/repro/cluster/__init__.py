@@ -1,0 +1,48 @@
+"""Sequoia-like database replication middleware (paper Section 5.3).
+
+Sequoia is the open-source middleware the paper uses for its case studies:
+client applications talk to *controllers* through a failover-capable
+driver; controllers replicate writes to a set of database *backends*
+(RAIDb-1 style full replication), load-balance reads, and can disable /
+re-enable / resynchronise backends around consistent checkpoints.
+
+This package implements the pieces those case studies exercise:
+
+- :mod:`repro.cluster.wire` — the versioned controller wire protocol
+  (drivers are backward compatible with older controllers),
+- :mod:`repro.cluster.recovery_log` — the write-ahead recovery log used to
+  resynchronise backends,
+- :mod:`repro.cluster.backend` — backend management (enable / disable /
+  checkpoint / resync), with a pluggable connection factory so backends
+  can be reached through a legacy driver *or* through a Drivolution
+  bootloader (the hybrid deployment of Section 5.3.2),
+- :mod:`repro.cluster.scheduler` — write broadcast and read load
+  balancing,
+- :mod:`repro.cluster.controller` — the controller itself, optionally
+  embedding a Drivolution server replicated across the controller group,
+- :mod:`repro.cluster.driver` — the cluster client driver with
+  multi-controller URLs and automatic failover.
+"""
+
+from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION
+from repro.cluster.recovery_log import RecoveryLog, LogEntry
+from repro.cluster.backend import Backend, BackendState
+from repro.cluster.scheduler import RequestScheduler, is_write_statement
+from repro.cluster.controller import Controller, ControllerConfig, ControllerGroup
+from repro.cluster.driver import ClusterDriverRuntime, ClusterConnection, SequoiaDriver
+
+__all__ = [
+    "CLUSTER_PROTOCOL_VERSION",
+    "RecoveryLog",
+    "LogEntry",
+    "Backend",
+    "BackendState",
+    "RequestScheduler",
+    "is_write_statement",
+    "Controller",
+    "ControllerConfig",
+    "ControllerGroup",
+    "ClusterDriverRuntime",
+    "ClusterConnection",
+    "SequoiaDriver",
+]

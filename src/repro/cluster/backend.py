@@ -1,0 +1,138 @@
+"""Backend management: the controller's view of one database replica.
+
+A backend wraps the way the controller reaches one underlying database —
+by default through the conventional legacy driver, or through a
+Drivolution bootloader when the controller itself uses Drivolution for its
+database drivers (hybrid deployment, paper Section 5.3.2 / Figure 6).
+
+Backends can be *disabled* (maintenance, driver upgrade, failure) and
+later *re-enabled and resynchronised* from the recovery log: the paper's
+"nodes must be temporarily disabled and re-enabled to renew all
+connections around a consistent checkpoint".
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.recovery_log import LogEntry
+from repro.errors import DriverError
+
+
+class BackendState(enum.Enum):
+    ENABLED = "enabled"
+    DISABLED = "disabled"
+    RECOVERING = "recovering"
+    FAILED = "failed"
+
+
+class Backend:
+    """One database replica behind a controller.
+
+    ``connection_factory`` opens a fresh DB-API connection to the replica;
+    the backend holds one connection at a time and re-opens it when the
+    factory changes (e.g. after a driver upgrade) or after a failure.
+    """
+
+    def __init__(self, name: str, connection_factory: Callable[[], Any]) -> None:
+        self.name = name
+        self._connection_factory = connection_factory
+        self._connection: Optional[Any] = None
+        self.state = BackendState.ENABLED
+        #: Index of the last recovery-log entry applied to this backend.
+        self.checkpoint_index = 0
+        self._lock = threading.RLock()
+        #: Statements executed against this backend (observability).
+        self.statements_executed = 0
+
+    # -- connection management -------------------------------------------------
+
+    def _ensure_connection(self) -> Any:
+        with self._lock:
+            if self._connection is None or getattr(self._connection, "closed", False):
+                self._connection = self._connection_factory()
+            return self._connection
+
+    def replace_connection_factory(self, factory: Callable[[], Any]) -> None:
+        """Swap how this backend connects (e.g. a new database driver).
+
+        The current connection is closed so the next statement uses the new
+        factory — the per-backend "renew all connections" step of the
+        paper's database driver upgrade procedure.
+        """
+        with self._lock:
+            self.close_connection()
+            self._connection_factory = factory
+
+    def close_connection(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                except Exception:
+                    pass
+                self._connection = None
+
+    def connection_driver_info(self) -> Dict[str, Any]:
+        """Driver metadata of the live backend connection (for experiments)."""
+        with self._lock:
+            connection = self._ensure_connection()
+            return dict(connection.driver_info)
+
+    # -- statement execution ---------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None):
+        """Run one statement on the replica, returning (columns, rows, rowcount)."""
+        with self._lock:
+            connection = self._ensure_connection()
+            cursor = connection.cursor()
+            try:
+                cursor.execute(sql, params or {})
+            except DriverError:
+                # A failed statement may mean the connection (or replica) died;
+                # drop the cached connection so the next call reconnects.
+                self.close_connection()
+                raise
+            columns = [item[0] for item in (cursor.description or [])]
+            rows = cursor.fetchall()
+            rowcount = cursor.rowcount
+            cursor.close()
+            self.statements_executed += 1
+            return columns, rows, rowcount
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.state == BackendState.ENABLED
+
+    def disable(self, checkpoint_index: int) -> None:
+        """Stop sending work to this backend, recording its checkpoint."""
+        with self._lock:
+            self.state = BackendState.DISABLED
+            self.checkpoint_index = checkpoint_index
+            self.close_connection()
+
+    def mark_failed(self) -> None:
+        with self._lock:
+            self.state = BackendState.FAILED
+            self.close_connection()
+
+    def resync(self, entries: List[LogEntry]) -> int:
+        """Replay missed writes and re-enable the backend.
+
+        Returns the number of log entries replayed.
+        """
+        with self._lock:
+            self.state = BackendState.RECOVERING
+            replayed = 0
+            for entry in entries:
+                if entry.index <= self.checkpoint_index:
+                    continue
+                self.execute(entry.sql, entry.params)
+                self.checkpoint_index = entry.index
+                replayed += 1
+            self.state = BackendState.ENABLED
+            return replayed

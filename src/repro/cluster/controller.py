@@ -1,0 +1,381 @@
+"""The cluster controller (Sequoia's central component).
+
+A controller exposes one *virtual database* to clients over the cluster
+wire protocol and maps every statement onto the replicated backends via
+the request scheduler. It supports:
+
+- protocol-version checking at connection time (drivers may be older than
+  the controller, never newer),
+- disabling a backend around a consistent checkpoint and re-enabling it
+  with a resync from the recovery log,
+- hosting extensions on its listener — this is how the embedded
+  Drivolution server of the hybrid deployment (Figure 6) answers
+  bootloader requests on the controller's own address,
+- group communication with peer controllers, used to replicate Drivolution
+  driver installations so that "all client applications can be upgraded no
+  matter which server they are connected to".
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.backend import Backend
+from repro.cluster.recovery_log import RecoveryLog
+from repro.cluster.scheduler import RequestScheduler, SchedulerError
+from repro.cluster.wire import (
+    CLUSTER_PROTOCOL_VERSION,
+    ClusterMessageType,
+    make_connect_ok,
+    make_error,
+    make_group,
+    make_result,
+)
+from repro.core.constants import DEFAULT_LEASE_TIME_MS, ExpirationPolicy, RenewPolicy
+from repro.core.package import DriverPackage
+from repro.core.registry import DriverPermission
+from repro.core.server import DrivolutionServer
+from repro.errors import DriverError, ReproError, TransportError
+from repro.netsim.transport import Address, Channel, ChannelServer, Network
+
+#: Extension handlers receive (channel, first_message), as for the database server.
+ExtensionHandler = Callable[[Channel, Dict[str, Any]], None]
+
+
+@dataclass
+class ControllerConfig:
+    """Static configuration of one controller."""
+
+    controller_id: str = field(default_factory=lambda: f"controller-{uuid.uuid4().hex[:6]}")
+    virtual_database: str = "vdb"
+    protocol_version: int = CLUSTER_PROTOCOL_VERSION
+    #: Oldest driver protocol version this controller still accepts.
+    min_client_protocol_version: int = 1
+
+
+class Controller:
+    """One Sequoia-like controller."""
+
+    def __init__(
+        self,
+        config: ControllerConfig,
+        network: Network,
+        address: Address,
+        backends: Optional[List[Backend]] = None,
+    ) -> None:
+        self.config = config
+        self.network = network
+        self.address = address
+        self.recovery_log = RecoveryLog()
+        self.scheduler = RequestScheduler(backends or [], self.recovery_log)
+        self._extensions: Dict[str, ExtensionHandler] = {}
+        self._channel_server: Optional[ChannelServer] = None
+        self._peers: List[Address] = []
+        self._lock = threading.Lock()
+        self.drivolution: Optional[DrivolutionServer] = None
+        #: Statements served to clients (observability for experiments).
+        self.statements_served = 0
+        self.failed_statements = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "Controller":
+        if self._channel_server is not None:
+            return self
+        listener = self.network.listen(self.address)
+        self._channel_server = ChannelServer(
+            listener, self._handle_channel, name=self.config.controller_id
+        )
+        self._channel_server.start()
+        return self
+
+    def stop(self) -> None:
+        if self._channel_server is not None:
+            self._channel_server.stop()
+            self._channel_server = None
+
+    @property
+    def running(self) -> bool:
+        return self._channel_server is not None
+
+    # -- backends ----------------------------------------------------------------
+
+    def add_backend(self, backend: Backend) -> None:
+        self.scheduler.add_backend(backend)
+
+    def backends(self) -> List[Backend]:
+        return self.scheduler.backends()
+
+    def backend(self, name: str) -> Backend:
+        for candidate in self.scheduler.backends():
+            if candidate.name == name:
+                return candidate
+        raise DriverError(f"unknown backend {name!r}")
+
+    def disable_backend(self, name: str) -> int:
+        """Disable a backend around a consistent checkpoint; returns the
+        checkpoint index it will resync from."""
+        backend = self.backend(name)
+        checkpoint = self.recovery_log.last_index
+        backend.disable(checkpoint)
+        return checkpoint
+
+    def enable_backend(self, name: str) -> int:
+        """Re-enable a backend, replaying missed writes; returns how many
+        log entries were replayed."""
+        backend = self.backend(name)
+        entries = self.recovery_log.entries_after(backend.checkpoint_index)
+        return backend.resync(entries)
+
+    def disable_backend_cluster_wide(self, name: str) -> int:
+        """Disable ``name`` on this controller and every peer.
+
+        Each controller records its own checkpoint against its own recovery
+        log; on re-enable each controller replays the writes *it* routed
+        while the backend was disabled.
+        """
+        checkpoint = self.disable_backend(name)
+        self._broadcast_group("disable_backend", {"backend": name})
+        return checkpoint
+
+    def enable_backend_cluster_wide(self, name: str) -> int:
+        """Re-enable ``name`` everywhere; returns the local replay count."""
+        replayed = self.enable_backend(name)
+        self._broadcast_group("enable_backend", {"backend": name})
+        return replayed
+
+    # -- extensions (embedded Drivolution server) -------------------------------------
+
+    def register_extension(self, message_prefix: str, handler: ExtensionHandler) -> None:
+        self._extensions[message_prefix] = handler
+
+    def embed_drivolution(self, server: DrivolutionServer) -> None:
+        """Embed a Drivolution server: its protocol is served on this
+        controller's address (Figure 6)."""
+        self.drivolution = server
+        server.attach_to_database_server(self)
+
+    # -- group communication --------------------------------------------------------------
+
+    def set_peers(self, peers: List[Address]) -> None:
+        """Addresses of the other controllers in the group."""
+        with self._lock:
+            self._peers = [peer for peer in peers if peer != self.address]
+
+    def peers(self) -> List[Address]:
+        with self._lock:
+            return list(self._peers)
+
+    def install_driver_cluster_wide(
+        self,
+        package: DriverPackage,
+        database: Optional[str] = None,
+        lease_time_ms: int = DEFAULT_LEASE_TIME_MS,
+        renew_policy: RenewPolicy = RenewPolicy.UPGRADE,
+        expiration_policy: ExpirationPolicy = ExpirationPolicy.AFTER_COMMIT,
+        replicate: bool = True,
+    ) -> int:
+        """Install a driver in this controller's embedded Drivolution server
+        and replicate the installation to every peer controller.
+
+        Returns the local driver_id. Peers apply the same installation to
+        their own embedded servers, so clients upgrade regardless of which
+        controller they are connected to.
+        """
+        driver_id = self._install_driver_locally(
+            package, database, lease_time_ms, int(renew_policy), int(expiration_policy)
+        )
+        if replicate:
+            payload = {
+                "package": package.to_wire(),
+                "database": database,
+                "lease_time_ms": lease_time_ms,
+                "renew_policy": int(renew_policy),
+                "expiration_policy": int(expiration_policy),
+            }
+            self._broadcast_group("install_driver", payload)
+        return driver_id
+
+    def _install_driver_locally(
+        self,
+        package: DriverPackage,
+        database: Optional[str],
+        lease_time_ms: int,
+        renew_policy: int,
+        expiration_policy: int,
+    ) -> int:
+        if self.drivolution is None:
+            raise DriverError(f"controller {self.config.controller_id} has no embedded Drivolution server")
+        registry = self.drivolution.registry
+        driver_id = registry.install_driver(package)
+        registry.grant_permission(
+            DriverPermission(
+                driver_id=driver_id,
+                database=database,
+                lease_time_in_ms=lease_time_ms,
+                renew_policy=RenewPolicy.from_value(renew_policy),
+                expiration_policy=ExpirationPolicy.from_value(expiration_policy),
+            )
+        )
+        self.drivolution.notify_update(package.api_name, database)
+        return driver_id
+
+    def _broadcast_group(self, operation: str, payload: Dict[str, Any]) -> int:
+        """Send a group operation to every peer; returns how many acknowledged."""
+        acknowledged = 0
+        for peer in self.peers():
+            try:
+                channel = self.network.connect(peer, timeout=2.0)
+            except TransportError:
+                continue
+            try:
+                channel.send(make_group(operation, payload, origin=self.config.controller_id))
+                reply = channel.recv(timeout=5.0)
+                if reply.get("type") == "seq_group_ack":
+                    acknowledged += 1
+            except TransportError:
+                continue
+            finally:
+                channel.close()
+        return acknowledged
+
+    def _handle_group_message(self, channel: Channel, message: Dict[str, Any]) -> None:
+        operation = str(message.get("operation", ""))
+        payload = dict(message.get("payload") or {})
+        try:
+            if operation == "install_driver":
+                package = DriverPackage.from_wire(payload.get("package", {}))
+                self._install_driver_locally(
+                    package,
+                    payload.get("database"),
+                    int(payload.get("lease_time_ms", DEFAULT_LEASE_TIME_MS)),
+                    int(payload.get("renew_policy", int(RenewPolicy.UPGRADE))),
+                    int(payload.get("expiration_policy", int(ExpirationPolicy.AFTER_COMMIT))),
+                )
+            elif operation == "revoke_driver":
+                if self.drivolution is not None:
+                    self.drivolution.registry.revoke_permissions_for_driver(int(payload["driver_id"]))
+            elif operation == "disable_backend":
+                self.disable_backend(str(payload["backend"]))
+            elif operation == "enable_backend":
+                self.enable_backend(str(payload["backend"]))
+            else:
+                channel.send(make_error("bad_group_operation", f"unknown operation {operation!r}"))
+                return
+        except ReproError as exc:
+            channel.send(make_error("group_operation_failed", str(exc)))
+            return
+        channel.send({"type": "seq_group_ack", "controller_id": self.config.controller_id})
+
+    # -- client connections -----------------------------------------------------------------
+
+    def _handle_channel(self, channel: Channel) -> None:
+        try:
+            first = channel.recv(timeout=30.0)
+        except TransportError:
+            return
+        message_type = str(first.get("type", ""))
+        for prefix, handler in self._extensions.items():
+            if message_type.startswith(prefix):
+                handler(channel, first)
+                return
+        if message_type == ClusterMessageType.GROUP:
+            self._handle_group_message(channel, first)
+            return
+        if message_type != ClusterMessageType.CONNECT:
+            channel.send(make_error("bad_handshake", f"expected seq_connect, got {message_type!r}"))
+            return
+        self._serve_client(channel, first)
+
+    def _serve_client(self, channel: Channel, connect: Dict[str, Any]) -> None:
+        client_version = connect.get("protocol_version")
+        if not isinstance(client_version, int) or client_version < self.config.min_client_protocol_version:
+            channel.send(
+                make_error(
+                    "protocol_mismatch",
+                    f"driver protocol version {client_version!r} too old for controller "
+                    f"{self.config.controller_id} (minimum {self.config.min_client_protocol_version})",
+                )
+            )
+            return
+        if client_version > self.config.protocol_version:
+            # Drivers are backward compatible: a newer driver downgrades to
+            # the controller's version, so this still succeeds.
+            client_version = self.config.protocol_version
+        virtual_database = str(connect.get("virtual_database", ""))
+        if virtual_database != self.config.virtual_database:
+            channel.send(
+                make_error("unknown_database", f"virtual database {virtual_database!r} not hosted here")
+            )
+            return
+        session_id = uuid.uuid4().hex
+        channel.send(make_connect_ok(self.config.controller_id, client_version, session_id))
+        in_transaction = False
+        while True:
+            try:
+                message = channel.recv(timeout=None)
+            except TransportError:
+                return
+            message_type = message.get("type")
+            if message_type == ClusterMessageType.CLOSE:
+                return
+            if message_type == ClusterMessageType.PING:
+                channel.send({"type": ClusterMessageType.PONG})
+                continue
+            if message_type != ClusterMessageType.EXECUTE:
+                channel.send(make_error("bad_message", f"unexpected message {message_type!r}"))
+                continue
+            sql = str(message.get("sql", ""))
+            params = dict(message.get("params") or {})
+            keyword = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+            try:
+                columns, rows, rowcount = self.scheduler.execute(
+                    sql, params, in_transaction=in_transaction
+                )
+            except (SchedulerError, DriverError) as exc:
+                self.failed_statements += 1
+                channel.send(make_error("execution_failed", str(exc)))
+                continue
+            if keyword in ("BEGIN", "START"):
+                in_transaction = True
+            elif keyword in ("COMMIT", "ROLLBACK"):
+                in_transaction = False
+            self.statements_served += 1
+            try:
+                channel.send(make_result(columns, rows, rowcount))
+            except TransportError:
+                return
+
+
+class ControllerGroup:
+    """Convenience wrapper wiring several controllers into one group."""
+
+    def __init__(self, controllers: List[Controller]) -> None:
+        if not controllers:
+            raise DriverError("a controller group needs at least one controller")
+        self.controllers = list(controllers)
+        addresses = [controller.address for controller in controllers]
+        for controller in controllers:
+            controller.set_peers(addresses)
+
+    def start(self) -> "ControllerGroup":
+        for controller in self.controllers:
+            controller.start()
+        return self
+
+    def stop(self) -> None:
+        for controller in self.controllers:
+            controller.stop()
+
+    def addresses(self) -> List[Address]:
+        return [controller.address for controller in self.controllers]
+
+    def client_url(self, network_name: str = "default") -> str:
+        """A multi-controller Sequoia URL, e.g.
+        ``sequoia://controller1,controller2/vdb``."""
+        hosts = ",".join(self.addresses())
+        database = self.controllers[0].config.virtual_database
+        return f"sequoia://{hosts}/{database}?network={network_name}"

@@ -1,0 +1,327 @@
+"""Cluster client driver (the analogue of the Sequoia JDBC driver).
+
+"Sequoia offers a JDBC driver with failover capabilities that needs to be
+installed in client applications" (paper Section 5.3). This runtime is the
+Python equivalent:
+
+- connection URLs may list several controllers
+  (``sequoia://controller1,controller2/vdb``); the driver load-balances
+  new connections across them and fails over to the next controller when
+  one becomes unavailable,
+- the wire protocol is versioned; drivers are backward compatible with
+  older controllers (the handshake downgrades),
+- statements that fail because the current controller died are retried
+  once on another controller, as long as no transaction is in flight.
+
+Like the pydb runtime, Drivolution driver *packages* for Sequoia bind a
+name/version to this runtime (see
+:func:`repro.dbapi.driver_factory.build_sequoia_driver`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION, ClusterMessageType, make_connect, make_execute
+from repro.dbapi.api import Connection, Cursor
+from repro.dbapi.exceptions import InterfaceError, OperationalError, ProgrammingError
+from repro.dbapi.urls import ConnectionUrl, parse_url
+from repro.errors import TransportError
+from repro.netsim.registry import DEFAULT_NETWORK_NAME, get_network
+from repro.netsim.transport import Channel, Network
+
+
+class ClusterCursor(Cursor):
+    """Cursor over the controller EXECUTE/RESULT exchange."""
+
+    def __init__(self, connection: "ClusterConnection") -> None:
+        self._connection = connection
+        self._rows: List[Tuple[Any, ...]] = []
+        self._index = 0
+        self._columns: List[str] = []
+        self._rowcount = -1
+        self._closed = False
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        if not self._columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._columns]
+
+    @property
+    def rowcount(self) -> int:
+        return self._rowcount
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> "ClusterCursor":
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        result = self._connection._execute(sql, params or {})
+        self._columns = list(result.get("columns", []))
+        self._rows = [tuple(row) for row in result.get("rows", [])]
+        self._index = 0
+        self._rowcount = int(result.get("rowcount", -1))
+        return self
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        if self._index >= len(self._rows):
+            return None
+        row = self._rows[self._index]
+        self._index += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        count = size if size is not None else self.arraysize
+        rows = self._rows[self._index : self._index + count]
+        self._index += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        rows = self._rows[self._index :]
+        self._index = len(self._rows)
+        return rows
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+
+class ClusterConnection(Connection):
+    """A failover-capable connection to a controller group."""
+
+    def __init__(
+        self,
+        driver: "ClusterDriverRuntime",
+        network: Network,
+        url: ConnectionUrl,
+        user: Optional[str],
+        password: Optional[str],
+        options: Dict[str, Any],
+    ) -> None:
+        self._driver = driver
+        self._network = network
+        self._url = url
+        self._user = user
+        self._password = password
+        self._options = options
+        self._channel: Optional[Channel] = None
+        self._controller_id: Optional[str] = None
+        self._closed = False
+        self._in_transaction = False
+        self._lock = threading.Lock()
+        self.statements_executed = 0
+        self.failovers = 0
+        self._connect_to_any()
+
+    # -- connection establishment with failover -----------------------------------
+
+    def _connect_to_any(self, exclude: Optional[str] = None) -> None:
+        hosts = list(self._url.hosts)
+        start = self._driver._next_start_index(len(hosts))
+        ordered = hosts[start:] + hosts[:start]
+        if exclude is not None:
+            ordered = [host for host in ordered if host != exclude] or ordered
+        last_error: Optional[Exception] = None
+        for host in ordered:
+            try:
+                channel = self._network.connect(host, timeout=5.0)
+                channel.send(
+                    make_connect(
+                        virtual_database=self._url.database,
+                        user=self._user,
+                        password=self._password,
+                        protocol_version=self._driver.protocol_version,
+                        options={key: str(value) for key, value in self._options.items()},
+                    )
+                )
+                reply = channel.recv(timeout=10.0)
+            except TransportError as exc:
+                last_error = exc
+                continue
+            if reply.get("type") == ClusterMessageType.ERROR:
+                last_error = OperationalError(
+                    f"[{reply.get('code')}] {reply.get('message')}"
+                )
+                channel.close()
+                continue
+            if reply.get("type") != ClusterMessageType.CONNECT_OK:
+                last_error = InterfaceError(f"unexpected handshake reply {reply.get('type')!r}")
+                channel.close()
+                continue
+            self._channel = channel
+            self._controller_id = str(reply.get("controller_id", host))
+            self._current_host = host
+            return
+        raise OperationalError(f"no controller reachable among {hosts!r}: {last_error}")
+
+    # -- statement execution ---------------------------------------------------------
+
+    def _execute(self, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        with self._lock:
+            try:
+                return self._execute_once(sql, params)
+            except OperationalError:
+                # Transparent failover: only safe outside a transaction.
+                if self._in_transaction:
+                    self._closed = True
+                    raise
+                self.failovers += 1
+                self._connect_to_any(exclude=getattr(self, "_current_host", None))
+                return self._execute_once(sql, params)
+
+    def _execute_once(self, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._channel is not None
+        try:
+            self._channel.send(make_execute(sql, params))
+            reply = self._channel.recv(timeout=30.0)
+        except TransportError as exc:
+            raise OperationalError(f"controller connection lost: {exc}") from exc
+        if reply.get("type") == ClusterMessageType.ERROR:
+            code = reply.get("code")
+            message = f"[{code}] {reply.get('message')}"
+            if code in ("execution_failed",):
+                raise ProgrammingError(message)
+            raise OperationalError(message)
+        if reply.get("type") != ClusterMessageType.RESULT:
+            raise InterfaceError(f"unexpected reply {reply.get('type')!r}")
+        self.statements_executed += 1
+        return reply
+
+    # -- DB-API -------------------------------------------------------------------------
+
+    def cursor(self) -> ClusterCursor:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        return ClusterCursor(self)
+
+    def begin(self) -> None:
+        self._execute("BEGIN", {})
+        self._in_transaction = True
+
+    def commit(self) -> None:
+        if not self._in_transaction:
+            return
+        self._execute("COMMIT", {})
+        self._in_transaction = False
+
+    def rollback(self) -> None:
+        if not self._in_transaction:
+            return
+        self._execute("ROLLBACK", {})
+        self._in_transaction = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._channel is not None:
+            try:
+                self._channel.send({"type": ClusterMessageType.CLOSE})
+            except TransportError:
+                pass
+            self._channel.close()
+        self._driver._forget_connection(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    @property
+    def controller_id(self) -> Optional[str]:
+        """Which controller this connection is currently attached to."""
+        return self._controller_id
+
+    @property
+    def driver_info(self) -> Dict[str, Any]:
+        return self._driver.info()
+
+
+class ClusterDriverRuntime:
+    """Parameterised Sequoia-like driver runtime."""
+
+    api_name = "SEQUOIA"
+
+    def __init__(
+        self,
+        name: str = "sequoia-driver",
+        driver_version: Tuple[int, int, int] = (1, 0, 0),
+        protocol_version: int = CLUSTER_PROTOCOL_VERSION,
+        preconfigured_url: Optional[str] = None,
+        default_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.driver_version = tuple(driver_version)
+        self.protocol_version = protocol_version
+        self.preconfigured_url = preconfigured_url
+        self.default_options = dict(default_options or {})
+        self._connections: List[ClusterConnection] = []
+        self._round_robin = 0
+        self._lock = threading.Lock()
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "api_name": self.api_name,
+            "driver_version": tuple(self.driver_version),
+            "protocol_version": self.protocol_version,
+            "extensions": [],
+            "preconfigured_url": self.preconfigured_url,
+        }
+
+    def _next_start_index(self, host_count: int) -> int:
+        """Round-robin start index for load balancing new connections."""
+        if host_count <= 0:
+            return 0
+        with self._lock:
+            self._round_robin = (self._round_robin + 1) % host_count
+            return self._round_robin
+
+    def connect(
+        self,
+        url: str,
+        user: Optional[str] = None,
+        password: Optional[str] = None,
+        network: Optional[Network] = None,
+        **options: Any,
+    ) -> ClusterConnection:
+        merged: Dict[str, Any] = dict(self.default_options)
+        merged.update(options)
+        effective_url = self.preconfigured_url or url
+        parsed = parse_url(effective_url)
+        if network is None:
+            network_name = merged.get("network", parsed.options.get("network", DEFAULT_NETWORK_NAME))
+            network = get_network(str(network_name))
+        connection = ClusterConnection(self, network, parsed, user, password, merged)
+        with self._lock:
+            self._connections.append(connection)
+        return connection
+
+    def _forget_connection(self, connection: ClusterConnection) -> None:
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+
+    def open_connections(self) -> List[ClusterConnection]:
+        with self._lock:
+            return [conn for conn in self._connections if not conn.closed]
+
+
+#: Module-level conventional Sequoia driver (legacy installation path).
+SequoiaDriver = ClusterDriverRuntime(name="sequoia-legacy", driver_version=(1, 0, 0))
+
+
+def connect(
+    url: str,
+    user: Optional[str] = None,
+    password: Optional[str] = None,
+    network: Optional[Network] = None,
+    **options: Any,
+) -> ClusterConnection:
+    """Module-level ``connect`` for the conventional Sequoia driver."""
+    return SequoiaDriver.connect(url, user=user, password=password, network=network, **options)

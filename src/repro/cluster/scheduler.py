@@ -1,0 +1,105 @@
+"""Request scheduling: write broadcast and read load balancing."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.backend import Backend
+from repro.cluster.recovery_log import RecoveryLog
+from repro.errors import DriverError
+
+#: Statements treated as reads; everything else is broadcast as a write.
+_READ_PREFIXES = ("SELECT",)
+#: Transaction-control statements are broadcast but not logged for resync
+#: (replaying a bare COMMIT against a recovered backend is meaningless).
+_TRANSACTION_PREFIXES = ("BEGIN", "COMMIT", "ROLLBACK", "START")
+
+
+def is_write_statement(sql: str) -> bool:
+    """Whether ``sql`` modifies state and must be broadcast to all replicas."""
+    head = sql.lstrip().split(None, 1)
+    if not head:
+        return False
+    keyword = head[0].upper()
+    return not keyword.startswith(_READ_PREFIXES)
+
+
+def is_transaction_control(sql: str) -> bool:
+    head = sql.lstrip().split(None, 1)
+    if not head:
+        return False
+    return head[0].upper() in _TRANSACTION_PREFIXES
+
+
+class SchedulerError(DriverError):
+    """No backend available to execute the request."""
+
+
+class RequestScheduler:
+    """Routes statements to backends (RAIDb-1: full replication).
+
+    Reads go to one enabled backend, chosen round-robin. Writes go to every
+    enabled backend and are appended to the recovery log so that disabled
+    backends can catch up later. Statements executed inside an explicit
+    transaction are pinned to *all* backends (the simple, correct choice
+    for full replication).
+    """
+
+    def __init__(self, backends: List[Backend], recovery_log: RecoveryLog) -> None:
+        self._backends = list(backends)
+        self._recovery_log = recovery_log
+        self._round_robin = 0
+        self._lock = threading.Lock()
+
+    # -- backend set -------------------------------------------------------------
+
+    def backends(self) -> List[Backend]:
+        with self._lock:
+            return list(self._backends)
+
+    def enabled_backends(self) -> List[Backend]:
+        return [backend for backend in self.backends() if backend.enabled]
+
+    def add_backend(self, backend: Backend) -> None:
+        with self._lock:
+            self._backends.append(backend)
+
+    # -- routing -----------------------------------------------------------------------
+
+    def execute(
+        self, sql: str, params: Optional[Dict[str, Any]] = None, in_transaction: bool = False
+    ) -> Tuple[List[str], List[Any], int]:
+        """Execute one statement with replication semantics."""
+        enabled = self.enabled_backends()
+        if not enabled:
+            raise SchedulerError("no enabled backend available")
+        write = is_write_statement(sql)
+        if not write and not in_transaction:
+            backend = self._pick_read_backend(enabled)
+            return backend.execute(sql, params)
+        # Writes (and anything inside a transaction) go everywhere.
+        if write and not is_transaction_control(sql):
+            self._recovery_log.append(sql, params)
+        result: Optional[Tuple[List[str], List[Any], int]] = None
+        failures: List[str] = []
+        for backend in enabled:
+            try:
+                outcome = backend.execute(sql, params)
+            except DriverError as exc:
+                backend.mark_failed()
+                failures.append(f"{backend.name}: {exc}")
+                continue
+            if result is None:
+                result = outcome
+            backend.checkpoint_index = self._recovery_log.last_index
+        if result is None:
+            raise SchedulerError(
+                f"statement failed on every backend: {'; '.join(failures)}"
+            )
+        return result
+
+    def _pick_read_backend(self, enabled: List[Backend]) -> Backend:
+        with self._lock:
+            self._round_robin = (self._round_robin + 1) % len(enabled)
+            return enabled[self._round_robin]

@@ -1,0 +1,92 @@
+"""Cluster (controller) wire protocol.
+
+Sequoia "uses its own wire protocol between drivers and controllers.
+Compatibility checking is done at connection time to ensure that protocol
+versions will work together. Drivers are backward compatible with older
+controllers." (paper Section 5.3.1)
+
+We encode that as: a driver speaking version ``v`` can talk to any
+controller with version ``>= v`` (the controller accepts any client
+version up to its own); a driver *newer* than the controller downgrades
+itself to the controller's version during the handshake, which is what
+"backward compatible" means operationally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import DriverError
+
+#: Protocol version spoken by the current controller/driver generation.
+CLUSTER_PROTOCOL_VERSION = 2
+
+
+class ClusterWireError(DriverError):
+    """Malformed or unexpected cluster protocol message."""
+
+
+class ClusterMessageType:
+    CONNECT = "seq_connect"
+    CONNECT_OK = "seq_connect_ok"
+    EXECUTE = "seq_execute"
+    RESULT = "seq_result"
+    ERROR = "seq_error"
+    CLOSE = "seq_close"
+    PING = "seq_ping"
+    PONG = "seq_pong"
+    # Controller-to-controller group communication.
+    GROUP = "seq_group"
+
+
+def make_connect(
+    virtual_database: str,
+    user: Optional[str],
+    password: Optional[str],
+    protocol_version: int,
+    options: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    return {
+        "type": ClusterMessageType.CONNECT,
+        "virtual_database": virtual_database,
+        "user": user,
+        "password": password,
+        "protocol_version": protocol_version,
+        "options": options or {},
+    }
+
+
+def make_connect_ok(controller_id: str, protocol_version: int, session_id: str) -> Dict[str, Any]:
+    return {
+        "type": ClusterMessageType.CONNECT_OK,
+        "controller_id": controller_id,
+        "protocol_version": protocol_version,
+        "session_id": session_id,
+    }
+
+
+def make_execute(sql: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    return {"type": ClusterMessageType.EXECUTE, "sql": sql, "params": params or {}}
+
+
+def make_result(columns: List[str], rows: List[Any], rowcount: int) -> Dict[str, Any]:
+    return {
+        "type": ClusterMessageType.RESULT,
+        "columns": columns,
+        "rows": [list(row) for row in rows],
+        "rowcount": rowcount,
+    }
+
+
+def make_error(code: str, message: str) -> Dict[str, Any]:
+    return {"type": ClusterMessageType.ERROR, "code": code, "message": message}
+
+
+def make_group(operation: str, payload: Dict[str, Any], origin: str) -> Dict[str, Any]:
+    """Controller group-communication envelope."""
+    return {
+        "type": ClusterMessageType.GROUP,
+        "operation": operation,
+        "payload": payload,
+        "origin": origin,
+    }

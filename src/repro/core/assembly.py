@@ -1,0 +1,150 @@
+"""On-demand driver assembly (paper Section 5.4.1).
+
+Some drivers are split into a base package plus optional feature packages:
+internationalisation bundles (NLS), GIS extensions, Kerberos security
+libraries, license keys. Shipping every client the monolithic
+"everything" driver wastes bandwidth and loads unused code; Drivolution
+can instead assemble, per client, exactly the base + extensions that
+client requested (statically via the connection URL, or lazily when the
+bootloader traps a missing-feature error).
+
+The :class:`DriverAssembler` composes Python driver source from a base
+template and registered extension fragments, producing a
+:class:`~repro.core.package.DriverPackage` whose size reflects exactly the
+features included — which is what experiment E9 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.constants import BinaryFormat
+from repro.core.package import DriverPackage
+from repro.errors import DrivolutionError
+
+
+class AssemblyError(DrivolutionError):
+    """Unknown extension or invalid assembly request."""
+
+
+@dataclass(frozen=True)
+class ExtensionPackage:
+    """One optional driver feature.
+
+    ``source_fragment`` is Python source appended to the base driver; it
+    typically registers entries in the module-level ``FEATURES`` dict.
+    ``payload`` models the bulk of real extension packages (message
+    catalogs, projection tables, crypto libraries): it is embedded into the
+    driver source so that package sizes are realistic.
+    """
+
+    name: str
+    source_fragment: str
+    payload: bytes = b""
+    description: str = ""
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.source_fragment.encode("utf-8")) + len(self.payload)
+
+
+class DriverAssembler:
+    """Builds driver packages from a base source plus extension fragments."""
+
+    def __init__(
+        self,
+        base_name: str,
+        api_name: str,
+        base_source: str,
+        driver_version: Tuple[int, int, int] = (1, 0, 0),
+        binary_format: str = BinaryFormat.PYSRC,
+    ) -> None:
+        self.base_name = base_name
+        self.api_name = api_name
+        self.base_source = base_source
+        self.driver_version = driver_version
+        self.binary_format = binary_format
+        self._extensions: Dict[str, ExtensionPackage] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register_extension(self, extension: ExtensionPackage) -> None:
+        self._extensions[extension.name] = extension
+
+    def available_extensions(self) -> List[str]:
+        return sorted(self._extensions)
+
+    def extension(self, name: str) -> ExtensionPackage:
+        if name not in self._extensions:
+            raise AssemblyError(
+                f"unknown extension {name!r}; available: {self.available_extensions()}"
+            )
+        return self._extensions[name]
+
+    # -- assembly ------------------------------------------------------------------
+
+    def assemble(
+        self,
+        extensions: Iterable[str] = (),
+        name: Optional[str] = None,
+        platform: Optional[str] = None,
+    ) -> DriverPackage:
+        """Build a driver package containing the base plus ``extensions``."""
+        requested = list(extensions)
+        fragments: List[str] = [self.base_source]
+        payload_blobs: List[Tuple[str, bytes]] = []
+        for extension_name in requested:
+            extension = self.extension(extension_name)
+            fragments.append(f"\n# --- extension: {extension.name} ---\n")
+            fragments.append(extension.source_fragment)
+            if extension.payload:
+                payload_blobs.append((extension.name, extension.payload))
+        if requested:
+            fragments.append(
+                "\nEXTENSIONS = list(dict.fromkeys(list(EXTENSIONS) + "
+                f"{requested!r}))\n"
+            )
+        for extension_name, payload in payload_blobs:
+            # Embed the payload so the delivered package size reflects it.
+            fragments.append(
+                f"_PAYLOAD_{_identifier(extension_name)} = bytes.fromhex({payload.hex()!r})\n"
+            )
+        source = "".join(fragments)
+        package_name = name or (
+            self.base_name if not requested else f"{self.base_name}+{'+'.join(requested)}"
+        )
+        return DriverPackage.from_source(
+            name=package_name,
+            api_name=self.api_name,
+            source=source,
+            binary_format=self.binary_format,
+            platform=platform,
+            driver_version=self.driver_version,
+            metadata={"extensions": requested},
+        )
+
+    def assemble_monolithic(self, name: Optional[str] = None) -> DriverPackage:
+        """The "everything" driver every client would get without assembly."""
+        return self.assemble(
+            extensions=self.available_extensions(),
+            name=name or f"{self.base_name}-monolithic",
+        )
+
+    # -- lazy extension resolution ------------------------------------------------------
+
+    def resolve_missing_feature(self, feature: str) -> ExtensionPackage:
+        """Map a missing feature probe to the extension providing it.
+
+        Models the paper's lazy path where the bootloader traps a
+        missing-class error and asks the server for the corresponding
+        extension package.
+        """
+        for extension in self._extensions.values():
+            if extension.name == feature or feature in extension.description:
+                return extension
+        raise AssemblyError(f"no extension provides feature {feature!r}")
+
+
+def _identifier(name: str) -> str:
+    return "".join(char if char.isalnum() else "_" for char in name).upper()

@@ -1,0 +1,633 @@
+"""The Drivolution bootloader (paper Section 3.1.1).
+
+The bootloader is the only Drivolution component installed on the client
+machine. It substitutes the database driver: the application calls
+``bootloader.connect(url, ...)`` exactly as it would call a driver's
+``connect``, and the bootloader
+
+1. contacts a Drivolution server (explicitly configured, taken from the
+   connection URL, or discovered by broadcast),
+2. downloads the driver the server offers, verifies its signature if
+   configured to, decodes it and loads it dynamically,
+3. opens the actual database connection through the loaded driver, passing
+   the application's connection options through (merged under the
+   server-enforced ``driver_options``),
+4. keeps track of the lease and, when it expires — or immediately, when a
+   dedicated notification channel signals an update — renews it, upgrades
+   to a new driver version, or revokes the current driver, transitioning
+   existing connections according to the expiration policy.
+
+The bootloader is generic: it knows nothing about any particular driver
+implementation, only about the Drivolution protocol and the DB-API shape
+of the ``connect`` entry point.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core import messages
+from repro.core.constants import ExpirationPolicy, RenewPolicy
+from repro.core.loader import DriverLoader, LoadedDriver
+from repro.core.messages import (
+    DrivolutionDiscover,
+    DrivolutionErrorMessage,
+    DrivolutionOffer,
+    DrivolutionRequest,
+)
+from repro.core.package import DriverPackage, DriverSigner
+from repro.core.policies import TransitionReport, apply_expiration_policy
+from repro.dbapi.urls import parse_url
+from repro.errors import DrivolutionError, TransportError
+from repro.netsim.secure import CertificateAuthority, SecureChannel
+from repro.netsim.transport import Address, Channel, Network
+
+
+class BootloaderError(DrivolutionError):
+    """Bootloader-level failure (no driver offered, driver revoked...)."""
+
+
+class DrivolutionServerUnreachable(BootloaderError):
+    """No Drivolution server answered at all (network-level failure).
+
+    Distinct from a DRIVOLUTION_ERROR answer: the paper requires the
+    bootloader to keep its current driver when the server is merely
+    unavailable (Section 4.1.3), whereas an explicit error revokes it.
+    """
+
+
+@dataclass
+class BootloaderConfig:
+    """Static configuration of a bootloader instance.
+
+    Only the API name and client platform are mandatory concepts; everything
+    else has sensible defaults. ``drivolution_servers`` is the explicit
+    server list used in legacy dual-URL deployments (Section 5.3.1); when
+    empty, the bootloader contacts the host(s) of the connection URL.
+    """
+
+    api_name: str = "PYDB-API"
+    client_platform: str = "cpython-any"
+    api_version: Optional[Tuple[int, int]] = None
+    client_id: str = field(default_factory=lambda: f"bootloader-{uuid.uuid4().hex[:8]}")
+    client_ip: str = ""
+    drivolution_servers: List[Address] = field(default_factory=list)
+    preferred_binary_format: Optional[str] = None
+    preferred_driver_version: Optional[Tuple[int, int, int]] = None
+    requested_extensions: List[str] = field(default_factory=list)
+    use_discovery: bool = False
+    secure: bool = False
+    certificate_authority: Optional[CertificateAuthority] = None
+    expected_server_subject: Optional[str] = None
+    signer: Optional[DriverSigner] = None
+    require_signature: bool = False
+    request_timeout: float = 10.0
+
+
+class ManagedConnection:
+    """A connection handed to the application, tracked by the bootloader.
+
+    All calls pass through to the underlying driver connection; the wrapper
+    only observes transaction boundaries and close so the bootloader can
+    apply expiration policies.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, bootloader: "Bootloader", inner, driver_generation: int) -> None:
+        self._bootloader = bootloader
+        self._inner = inner
+        self.driver_generation = driver_generation
+        self._close_after_commit = False
+        self._stale = False
+        with ManagedConnection._counter_lock:
+            ManagedConnection._counter += 1
+            self.connection_id = f"conn-{ManagedConnection._counter}"
+
+    # -- passthrough DB-API surface ------------------------------------------
+
+    def cursor(self):
+        return self._inner.cursor()
+
+    def begin(self) -> None:
+        self._inner.begin()
+
+    def commit(self) -> None:
+        self._inner.commit()
+        if self._close_after_commit:
+            self.close()
+
+    def rollback(self) -> None:
+        self._inner.rollback()
+        if self._close_after_commit:
+            self.close()
+
+    def close(self) -> None:
+        if not self._inner.closed:
+            self._inner.close()
+        self._bootloader._on_connection_closed(self)
+
+    def supports(self, feature: str) -> bool:
+        return self._inner.supports(feature)
+
+    def __enter__(self) -> "ManagedConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._inner.in_transaction
+
+    @property
+    def driver_info(self) -> Dict[str, Any]:
+        return self._inner.driver_info
+
+    @property
+    def stale(self) -> bool:
+        """True when this connection uses a driver generation that has been
+        superseded (AFTER_CLOSE policy leaves such connections running)."""
+        return self._stale
+
+    @property
+    def inner(self):
+        """The underlying driver connection (for tests/experiments)."""
+        return self._inner
+
+    # -- bootloader-facing controls ------------------------------------------------
+
+    def force_close(self) -> None:
+        """IMMEDIATE policy: terminate regardless of in-flight transactions."""
+        self.close()
+
+    def close_after_commit(self) -> None:
+        """AFTER_COMMIT policy: close as soon as the current transaction ends."""
+        self._close_after_commit = True
+
+    def mark_stale(self) -> None:
+        """AFTER_CLOSE policy: keep running but flag as using an old driver."""
+        self._stale = True
+
+
+@dataclass
+class BootloaderStats:
+    """Counters for experiments and tests."""
+
+    connect_calls: int = 0
+    blocked_connects: int = 0
+    driver_downloads: int = 0
+    bytes_downloaded: int = 0
+    lease_renewals: int = 0
+    upgrades: int = 0
+    revocations: int = 0
+    update_checks: int = 0
+    discover_rounds: int = 0
+
+
+class Bootloader:
+    """Client-side Drivolution bootloader."""
+
+    def __init__(
+        self,
+        config: Optional[BootloaderConfig] = None,
+        network: Optional[Network] = None,
+        clock: Callable[[], float] = time.time,
+        loader: Optional[DriverLoader] = None,
+    ) -> None:
+        self.config = config or BootloaderConfig()
+        self.network = network
+        self.clock = clock
+        self.loader = loader or DriverLoader(
+            signer=self.config.signer, require_signature=self.config.require_signature
+        )
+        self.stats = BootloaderStats()
+        self._lock = threading.RLock()
+        self._current: Optional[LoadedDriver] = None
+        self._previous: List[LoadedDriver] = []
+        self._lease: Optional[DrivolutionOffer] = None
+        self._recheck_time: Optional[float] = None
+        self._revoked = False
+        self._revocation_reason = ""
+        self._connections: List[ManagedConnection] = []
+        self._last_transition: Optional[TransitionReport] = None
+        self._server_used: Optional[Address] = None
+        self._last_request_context: Dict[str, Any] = {}
+        self._renewal_thread: Optional[threading.Thread] = None
+        self._renewal_stop = threading.Event()
+        self._notification_thread: Optional[threading.Thread] = None
+        self._notification_channel: Optional[Channel] = None
+
+    # ------------------------------------------------------------------ connect
+
+    def connect(
+        self,
+        url: str,
+        user: Optional[str] = None,
+        password: Optional[str] = None,
+        **options: Any,
+    ) -> ManagedConnection:
+        """Intercept the driver's ``connect`` call (Section 3.1.1).
+
+        On the first call (or whenever the lease has expired) the driver is
+        (re)negotiated with the Drivolution server; afterwards the call is
+        forwarded to the loaded driver.
+        """
+        self.stats.connect_calls += 1
+        with self._lock:
+            if self._revoked:
+                self.stats.blocked_connects += 1
+                raise BootloaderError(
+                    "no suitable driver available: the previous driver was revoked "
+                    f"({self._revocation_reason or 'lease expired with no replacement'})"
+                )
+            if self._current is None:
+                self._bootstrap(url, user=user, password=password)
+            elif self.lease_expired():
+                # Lazy renewal: an application call triggered the check.
+                self.check_for_update(url=url, user=user, password=password)
+                if self._revoked:
+                    self.stats.blocked_connects += 1
+                    raise BootloaderError(
+                        "no suitable driver available: the driver lease expired and "
+                        "no replacement was offered"
+                    )
+            assert self._current is not None
+            driver = self._current
+            merged: Dict[str, Any] = {}
+            if self._lease is not None:
+                merged.update(self._lease.driver_options)
+            merged.update(options)
+            if self.network is not None and "network" not in merged:
+                merged["network"] = self.network
+            inner = driver.connect(url, user=user, password=password, **merged)
+            managed = ManagedConnection(self, inner, driver_generation=driver.generation)
+            self._connections.append(managed)
+            return managed
+
+    # -------------------------------------------------------------- driver state
+
+    @property
+    def current_driver(self) -> Optional[LoadedDriver]:
+        with self._lock:
+            return self._current
+
+    @property
+    def current_lease(self) -> Optional[DrivolutionOffer]:
+        with self._lock:
+            return self._lease
+
+    @property
+    def revoked(self) -> bool:
+        with self._lock:
+            return self._revoked
+
+    @property
+    def last_transition(self) -> Optional[TransitionReport]:
+        with self._lock:
+            return self._last_transition
+
+    def active_connections(self) -> List[ManagedConnection]:
+        with self._lock:
+            return [conn for conn in self._connections if not conn.closed]
+
+    def stale_connections(self) -> List[ManagedConnection]:
+        return [conn for conn in self.active_connections() if conn.stale]
+
+    def lease_expired(self) -> bool:
+        with self._lock:
+            if self._recheck_time is None:
+                return False
+            return self.clock() >= self._recheck_time
+
+    def driver_info(self) -> Dict[str, Any]:
+        """Metadata of the currently loaded driver (empty before bootstrap)."""
+        with self._lock:
+            return self._current.info() if self._current is not None else {}
+
+    def _on_connection_closed(self, managed: ManagedConnection) -> None:
+        with self._lock:
+            if managed in self._connections:
+                self._connections.remove(managed)
+
+    # ------------------------------------------------------------------ bootstrap
+
+    def _bootstrap(self, url: str, user: Optional[str], password: Optional[str]) -> None:
+        """First driver acquisition: REQUEST → OFFER → FILE transfer → load."""
+        self._last_request_context = {"url": url, "user": user, "password": password}
+        servers = self._candidate_servers(url)
+        offer, package, server = self._negotiate(servers, url, user, password, current_lease=None)
+        self._install_offer(offer, package, server)
+
+    def _candidate_servers(self, url: str) -> List[Address]:
+        """Where to look for a Drivolution server, in order of preference."""
+        if self.config.drivolution_servers:
+            return list(self.config.drivolution_servers)
+        parsed = parse_url(url)
+        return list(parsed.hosts)
+
+    def _negotiate(
+        self,
+        servers: List[Address],
+        url: str,
+        user: Optional[str],
+        password: Optional[str],
+        current_lease: Optional[str],
+    ) -> Tuple[DrivolutionOffer, Optional[DriverPackage], Address]:
+        """Run the bootstrap protocol against the first server that answers.
+
+        Returns the accepted offer, the downloaded package (None when the
+        offer carries no file) and the server that served it.
+        """
+        if self.network is None:
+            raise BootloaderError("bootloader has no network configured")
+        parsed = parse_url(url)
+        request = DrivolutionRequest(
+            database=parsed.database,
+            api_name=self.config.api_name,
+            client_platform=self.config.client_platform,
+            user=user,
+            password=password,
+            api_version=self.config.api_version,
+            preferred_binary_format=self.config.preferred_binary_format,
+            preferred_driver_version=self.config.preferred_driver_version,
+            client_id=self.config.client_id,
+            client_ip=self.config.client_ip,
+            current_lease_id=current_lease,
+            requested_extensions=list(self.config.requested_extensions),
+        )
+        if self.config.use_discovery:
+            servers = self._discover(request, servers)
+        last_error: Optional[Exception] = None
+        any_server_answered = False
+        for server in servers:
+            try:
+                return self._negotiate_with(server, request)
+            except TransportError as exc:
+                last_error = exc
+                continue
+            except DrivolutionError as exc:
+                any_server_answered = True
+                last_error = exc
+                continue
+        if not any_server_answered:
+            raise DrivolutionServerUnreachable(
+                f"no Drivolution server reachable (tried {servers!r}): {last_error}"
+            )
+        raise BootloaderError(
+            f"no Drivolution server could provide a driver (tried {servers!r}): {last_error}"
+        )
+
+    def _discover(self, request: DrivolutionRequest, fallback: List[Address]) -> List[Address]:
+        """Broadcast DISCOVER and order servers by whoever answered first."""
+        self.stats.discover_rounds += 1
+        discover = DrivolutionDiscover(**{**request.__dict__})
+        candidates = list(self.network.registered_addresses()) or list(fallback)
+        answered: List[Address] = []
+        for address in candidates:
+            try:
+                channel = self.network.connect(address, timeout=1.0)
+            except TransportError:
+                continue
+            try:
+                channel.send(discover.to_wire())
+                reply = channel.recv(timeout=1.0)
+            except TransportError:
+                continue
+            finally:
+                channel.close()
+            if reply.get("type") == messages.OFFER:
+                answered.append(address)
+        return answered or list(fallback)
+
+    def _open_channel(self, server: Address) -> Channel:
+        channel = self.network.connect(server, timeout=self.config.request_timeout)
+        if self.config.secure:
+            if self.config.certificate_authority is None:
+                channel.close()
+                raise BootloaderError("secure mode requires a certificate authority")
+            channel = SecureChannel.client_handshake(
+                channel,
+                self.config.certificate_authority,
+                expected_subject=self.config.expected_server_subject,
+                timeout=self.config.request_timeout,
+            )
+        return channel
+
+    def _negotiate_with(
+        self, server: Address, request: DrivolutionRequest
+    ) -> Tuple[DrivolutionOffer, Optional[DriverPackage], Address]:
+        channel = self._open_channel(server)
+        try:
+            channel.send(request.to_wire())
+            reply = channel.recv(timeout=self.config.request_timeout)
+            if reply.get("type") == messages.ERROR:
+                error = DrivolutionErrorMessage.from_wire(reply)
+                raise BootloaderError(f"DRIVOLUTION_ERROR [{error.code}]: {error.detail}")
+            offer = DrivolutionOffer.from_wire(reply)
+            package: Optional[DriverPackage] = None
+            if offer.includes_file:
+                channel.send(messages.make_file_request(offer.driver_location, offer.lease_id))
+                file_reply = channel.recv(timeout=self.config.request_timeout)
+                if file_reply.get("type") == messages.ERROR:
+                    error = DrivolutionErrorMessage.from_wire(file_reply)
+                    raise BootloaderError(f"driver download failed [{error.code}]: {error.detail}")
+                if file_reply.get("type") != messages.FILE_DATA:
+                    raise BootloaderError(
+                        f"unexpected file transfer reply {file_reply.get('type')!r}"
+                    )
+                package = DriverPackage.from_wire(file_reply.get("package", {}))
+                self.stats.driver_downloads += 1
+                self.stats.bytes_downloaded += package.size_bytes
+            return offer, package, server
+        finally:
+            channel.close()
+
+    def _install_offer(
+        self, offer: DrivolutionOffer, package: Optional[DriverPackage], server: Address
+    ) -> None:
+        """Load the offered driver (if any) and update lease bookkeeping."""
+        if package is not None:
+            loaded = self.loader.load(package, driver_id=offer.driver_id, lease_id=offer.lease_id)
+            if self._current is not None:
+                self._previous.append(self._current)
+            self._current = loaded
+        self._lease = offer
+        self._server_used = server
+        self._recheck_time = self.clock() + offer.lease_time_ms / 1000.0
+        self._revoked = False
+        self._revocation_reason = ""
+
+    # ------------------------------------------------------------------ renewal / upgrade
+
+    def check_for_update(
+        self,
+        url: Optional[str] = None,
+        user: Optional[str] = None,
+        password: Optional[str] = None,
+        force: bool = False,
+    ) -> str:
+        """Contact the server to renew the lease or fetch a new driver.
+
+        Returns one of ``"renewed"``, ``"upgraded"``, ``"revoked"`` or
+        ``"not_due"`` (lease still valid and ``force`` not set). This is the
+        client side of the paper's Table 4.
+        """
+        with self._lock:
+            if self._current is None or self._lease is None:
+                return "not_due"
+            if not force and not self.lease_expired():
+                return "not_due"
+            self.stats.update_checks += 1
+            context = dict(self._last_request_context)
+            url = url or context.get("url")
+            user = user if user is not None else context.get("user")
+            password = password if password is not None else context.get("password")
+            if url is None:
+                raise BootloaderError("no connection context available for lease renewal")
+            servers = self._candidate_servers(url)
+            if self._server_used in servers:
+                # Prefer the server that granted the current lease.
+                servers = [self._server_used] + [item for item in servers if item != self._server_used]
+            current_policy = ExpirationPolicy.from_value(self._lease.expiration_policy)
+            try:
+                offer, package, server = self._negotiate(
+                    servers, url, user, password, current_lease=self._lease.lease_id
+                )
+            except DrivolutionServerUnreachable:
+                # The server is merely unavailable: keep the current driver
+                # and retry at the next check (paper Section 4.1.3).
+                return "server_unreachable"
+            except BootloaderError as exc:
+                # Explicit DRIVOLUTION_ERROR: revoke the current driver.
+                self._revoke(current_policy, reason=str(exc))
+                return "revoked"
+
+            renew_policy = RenewPolicy.from_value(offer.renew_policy)
+            if renew_policy == RenewPolicy.REVOKE:
+                self._revoke(ExpirationPolicy.from_value(offer.expiration_policy), reason="server revoked driver")
+                return "revoked"
+            if package is None or (
+                self._current.driver_id == offer.driver_id
+                and tuple(offer.driver_version) == tuple(self._current.package.driver_version)
+            ):
+                # Same driver: pure lease renewal.
+                self._lease = offer
+                self._recheck_time = self.clock() + offer.lease_time_ms / 1000.0
+                self.stats.lease_renewals += 1
+                return "renewed"
+            # New driver: upgrade.
+            old_driver = self._current
+            old_connections = [
+                conn for conn in self._connections if not conn.closed and conn.driver_generation == old_driver.generation
+            ]
+            self._install_offer(offer, package, server)
+            transition_policy = ExpirationPolicy.from_value(offer.expiration_policy)
+            self._last_transition = apply_expiration_policy(old_connections, transition_policy)
+            self.loader.unload(old_driver)
+            self.stats.upgrades += 1
+            return "upgraded"
+
+    def _revoke(self, policy: ExpirationPolicy, reason: str) -> None:
+        """Apply the REVOKE path: no replacement driver is available."""
+        connections = [conn for conn in self._connections if not conn.closed]
+        self._last_transition = apply_expiration_policy(connections, policy)
+        if self._current is not None:
+            self.loader.unload(self._current)
+            self._previous.append(self._current)
+        self._current = None
+        self._lease = None
+        self._recheck_time = None
+        self._revoked = True
+        self._revocation_reason = reason
+        self.stats.revocations += 1
+
+    # ------------------------------------------------------------------ background renewal
+
+    def start_renewal_timer(self, poll_interval: float = 0.05) -> None:
+        """Poll the lease on a dedicated thread (Section 3.4.2 "dedicated
+        thread as a timer"). ``poll_interval`` is wall-clock seconds between
+        checks of the (possibly simulated) lease clock."""
+        if self._renewal_thread is not None:
+            return
+        self._renewal_stop.clear()
+
+        def loop() -> None:
+            while not self._renewal_stop.wait(poll_interval):
+                try:
+                    if self.lease_expired():
+                        self.check_for_update()
+                except DrivolutionError:
+                    continue
+
+        self._renewal_thread = threading.Thread(target=loop, name="drivolution-renewal", daemon=True)
+        self._renewal_thread.start()
+
+    def stop_renewal_timer(self) -> None:
+        if self._renewal_thread is None:
+            return
+        self._renewal_stop.set()
+        self._renewal_thread.join(timeout=2.0)
+        self._renewal_thread = None
+
+    # ------------------------------------------------------------------ push notifications
+
+    def subscribe_for_updates(self, server: Address, database: str = "") -> None:
+        """Open a dedicated notification channel to ``server``.
+
+        On an update-available push the bootloader immediately re-checks
+        with the server (force=True), achieving near-instant upgrades
+        instead of waiting for the lease to expire.
+        """
+        if self._notification_thread is not None:
+            return
+        channel = self._open_channel(server)
+        channel.send(messages.make_subscribe(self.config.client_id, self.config.api_name, database))
+        ack = channel.recv(timeout=self.config.request_timeout)
+        if ack.get("type") != "drivolution_subscribe_ack":
+            channel.close()
+            raise BootloaderError(f"subscription rejected: {ack!r}")
+        self._notification_channel = channel
+
+        def listen() -> None:
+            while True:
+                try:
+                    message = channel.recv(timeout=None)
+                except TransportError:
+                    return
+                if message.get("type") == messages.UPDATE_AVAILABLE:
+                    try:
+                        self.check_for_update(force=True)
+                    except DrivolutionError:
+                        continue
+
+        self._notification_thread = threading.Thread(
+            target=listen, name="drivolution-notify", daemon=True
+        )
+        self._notification_thread.start()
+
+    def unsubscribe(self) -> None:
+        if self._notification_channel is not None:
+            self._notification_channel.close()
+            self._notification_channel = None
+        self._notification_thread = None
+
+    # ------------------------------------------------------------------ shutdown
+
+    def shutdown(self) -> None:
+        """Stop background threads and close every managed connection."""
+        self.stop_renewal_timer()
+        self.unsubscribe()
+        for connection in self.active_connections():
+            connection.close()

@@ -1,0 +1,72 @@
+"""Drivolution constants: policies, transfer methods and binary formats.
+
+The integer encodings match the paper's Table 2 exactly:
+
+- ``renew_policy``: 0 = RENEW, 1 = UPGRADE, 2 = REVOKE
+- ``expiration_policy``: 0 = AFTER_CLOSE, 1 = AFTER_COMMIT, 2 = IMMEDIATE
+- ``transfer_method``: -1 = ANY, >= 0 = specific protocol id
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RenewPolicy(enum.IntEnum):
+    """Action the bootloader must take when a lease needs to be renewed."""
+
+    RENEW = 0
+    UPGRADE = 1
+    REVOKE = 2
+
+    @staticmethod
+    def from_value(value) -> "RenewPolicy":
+        if isinstance(value, RenewPolicy):
+            return value
+        if isinstance(value, str):
+            return RenewPolicy[value.upper()]
+        return RenewPolicy(int(value))
+
+
+class ExpirationPolicy(enum.IntEnum):
+    """When the renew policy must be applied to existing connections."""
+
+    AFTER_CLOSE = 0
+    AFTER_COMMIT = 1
+    IMMEDIATE = 2
+
+    @staticmethod
+    def from_value(value) -> "ExpirationPolicy":
+        if isinstance(value, ExpirationPolicy):
+            return value
+        if isinstance(value, str):
+            return ExpirationPolicy[value.upper()]
+        return ExpirationPolicy(int(value))
+
+
+class TransferMethod(enum.IntEnum):
+    """Transfer protocol used to download driver code (Table 2)."""
+
+    ANY = -1
+    PLAIN = 0
+    SECURE = 1
+
+
+class BinaryFormat:
+    """Formats of the ``binary_code`` BLOB (paper examples: JAR, ZIP).
+
+    Python driver packages are plain source (``PYSRC``) or zlib-compressed
+    source (``PYSRC-ZLIB``); the bootloader's ``decode`` step (Table 3)
+    dispatches on this value.
+    """
+
+    PYSRC = "PYSRC"
+    PYSRC_ZLIB = "PYSRC-ZLIB"
+
+    ALL = (PYSRC, PYSRC_ZLIB)
+
+
+#: Default lease time used when a permission row does not specify one.
+#: The paper suggests "an hour to a day"; experiments typically override
+#: this with much shorter leases on a simulated clock.
+DEFAULT_LEASE_TIME_MS = 3_600_000

@@ -1,0 +1,167 @@
+"""Leases: the DHCP-like validity window of a distributed driver.
+
+A lease binds one client (bootloader instance) to one driver for a limited
+time. The Drivolution server grants leases through the
+:class:`LeaseManager`, which persists them in the ``leases`` table via the
+registry (so replicated servers sharing a database also share lease
+state), and answers the questions the server logic needs: is this lease
+still valid, which clients currently hold a given driver, which leases
+have expired without renewal (the failure-detector used by the license
+server case study).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.constants import ExpirationPolicy, RenewPolicy
+from repro.core.registry import DriverRegistry
+from repro.errors import DrivolutionError
+
+
+class LeaseError(DrivolutionError):
+    """Invalid lease operation."""
+
+
+@dataclass
+class Lease:
+    """An issued lease as seen by the server."""
+
+    lease_id: str
+    client_id: str
+    driver_id: int
+    granted_at: float
+    expires_at: float
+    renew_policy: RenewPolicy
+    expiration_policy: ExpirationPolicy
+    database: Optional[str] = None
+    user: Optional[str] = None
+    released_at: Optional[float] = None
+
+    def remaining_seconds(self, now: float) -> float:
+        return max(0.0, self.expires_at - now)
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def is_active(self, now: float) -> bool:
+        return self.released_at is None and not self.is_expired(now)
+
+    @staticmethod
+    def from_row(row: Dict) -> "Lease":
+        return Lease(
+            lease_id=str(row["lease_id"]),
+            client_id=str(row["client_id"]),
+            driver_id=int(row["driver_id"]),
+            granted_at=float(row["granted_at"]),
+            expires_at=float(row["expires_at"]),
+            renew_policy=RenewPolicy.from_value(row.get("renew_policy") or 0),
+            expiration_policy=ExpirationPolicy.from_value(row.get("expiration_policy") or 0),
+            database=row.get("database"),
+            user=row.get("user"),
+            released_at=row.get("released_at"),
+        )
+
+
+class LeaseManager:
+    """Grants, renews, releases and reaps leases through the registry."""
+
+    def __init__(self, registry: DriverRegistry, clock: Callable[[], float] = time.time) -> None:
+        self._registry = registry
+        self._clock = clock
+
+    # -- grant / renew / release -------------------------------------------------
+
+    def grant(
+        self,
+        client_id: str,
+        driver_id: int,
+        lease_time_ms: int,
+        renew_policy: RenewPolicy,
+        expiration_policy: ExpirationPolicy,
+        database: Optional[str] = None,
+        user: Optional[str] = None,
+        client_ip: Optional[str] = None,
+    ) -> Lease:
+        """Grant a new lease and log it in the leases table."""
+        if lease_time_ms <= 0:
+            raise LeaseError(f"lease time must be positive, got {lease_time_ms}")
+        row = self._registry.record_lease(
+            client_id=client_id,
+            driver_id=driver_id,
+            database=database,
+            user=user,
+            client_ip=client_ip,
+            lease_time_ms=lease_time_ms,
+            renew_policy=renew_policy,
+            expiration_policy=expiration_policy,
+        )
+        return Lease(
+            lease_id=row["lease_id"],
+            client_id=client_id,
+            driver_id=driver_id,
+            granted_at=row["granted_at"],
+            expires_at=row["expires_at"],
+            renew_policy=renew_policy,
+            expiration_policy=expiration_policy,
+            database=database,
+            user=user,
+        )
+
+    def renew(
+        self,
+        previous_lease_id: Optional[str],
+        client_id: str,
+        driver_id: int,
+        lease_time_ms: int,
+        renew_policy: RenewPolicy,
+        expiration_policy: ExpirationPolicy,
+        database: Optional[str] = None,
+        user: Optional[str] = None,
+    ) -> Lease:
+        """Release the previous lease (if any) and grant a fresh one."""
+        if previous_lease_id:
+            self._registry.release_lease(previous_lease_id)
+        return self.grant(
+            client_id=client_id,
+            driver_id=driver_id,
+            lease_time_ms=lease_time_ms,
+            renew_policy=renew_policy,
+            expiration_policy=expiration_policy,
+            database=database,
+            user=user,
+        )
+
+    def release(self, lease_id: str) -> bool:
+        """Voluntary release by the client (license give-back)."""
+        return self._registry.release_lease(lease_id)
+
+    # -- queries -----------------------------------------------------------------
+
+    def get(self, lease_id: str) -> Optional[Lease]:
+        row = self._registry.get_lease(lease_id)
+        return Lease.from_row(row) if row else None
+
+    def active_leases(self, driver_id: Optional[int] = None) -> List[Lease]:
+        return [Lease.from_row(row) for row in self._registry.active_leases(driver_id)]
+
+    def active_lease_count(self, driver_id: Optional[int] = None) -> int:
+        return len(self.active_leases(driver_id))
+
+    def client_history(self, client_id: str) -> List[Lease]:
+        return [Lease.from_row(row) for row in self._registry.leases_for_client(client_id)]
+
+    def expired_unreleased(self) -> List[Lease]:
+        """Leases whose holders disappeared without renewing or releasing.
+
+        This is the failure detector of the license-server case study: a
+        client that died keeps its license only until the lease expires.
+        """
+        now = self._clock()
+        return [
+            lease
+            for lease in (Lease.from_row(row) for row in self._registry.unreleased_leases())
+            if lease.is_expired(now)
+        ]

@@ -1,0 +1,191 @@
+"""Drivolution as a license server (paper Section 5.4.2).
+
+Some databases (the paper's example is DB2's per-user licensing) require
+each client application to hold a license key, shipped as a separate
+package next to the driver. Drivolution can manage those licenses
+centrally:
+
+- **static** assignment: each known client always receives the same
+  license, so there is never contention (but capacity is wasted on idle
+  clients);
+- **dynamic** assignment: a pool of licenses is leased out on demand; a
+  license returns to the pool when the client releases it or when its
+  lease expires without renewal (the failure-detector path).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import DrivolutionError
+
+
+class LicenseError(DrivolutionError):
+    """No license available or invalid license operation."""
+
+
+class LicensePolicy(enum.Enum):
+    """How licenses are assigned to clients."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class LicenseGrant:
+    """One license currently held by a client."""
+
+    license_key: str
+    client_id: str
+    granted_at: float
+    expires_at: float
+    released_at: Optional[float] = None
+
+    def is_active(self, now: float) -> bool:
+        return self.released_at is None and now < self.expires_at
+
+
+@dataclass
+class LicenseStats:
+    grants: int = 0
+    releases: int = 0
+    reclaimed: int = 0
+    denials: int = 0
+
+
+class LicenseServer:
+    """Manages a pool of license keys with lease-based reclamation."""
+
+    def __init__(
+        self,
+        license_keys: List[str],
+        policy: LicensePolicy = LicensePolicy.DYNAMIC,
+        lease_time_ms: int = 60_000,
+        clock: Callable[[], float] = time.time,
+        static_assignments: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not license_keys:
+            raise LicenseError("license pool must not be empty")
+        self._keys = list(license_keys)
+        self.policy = policy
+        self.lease_time_ms = lease_time_ms
+        self._clock = clock
+        self._static = dict(static_assignments or {})
+        if policy == LicensePolicy.STATIC:
+            unknown = set(self._static.values()) - set(self._keys)
+            if unknown:
+                raise LicenseError(f"static assignments reference unknown keys: {sorted(unknown)}")
+        self._grants: Dict[str, LicenseGrant] = {}  # license_key -> grant
+        self._lock = threading.Lock()
+        self.stats = LicenseStats()
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(self, client_id: str) -> LicenseGrant:
+        """Grant a license to ``client_id`` or raise :class:`LicenseError`."""
+        with self._lock:
+            now = self._clock()
+            self._reclaim_expired_locked(now)
+            existing = self._grant_for_client_locked(client_id, now)
+            if existing is not None:
+                # Re-acquisition renews the lease on the same key.
+                existing.expires_at = now + self.lease_time_ms / 1000.0
+                return existing
+            if self.policy == LicensePolicy.STATIC:
+                key = self._static.get(client_id)
+                if key is None:
+                    self.stats.denials += 1
+                    raise LicenseError(f"client {client_id!r} has no statically assigned license")
+                holder = self._grants.get(key)
+                if holder is not None and holder.is_active(now) and holder.client_id != client_id:
+                    self.stats.denials += 1
+                    raise LicenseError(f"license {key!r} statically assigned but held by another client")
+            else:
+                key = self._first_free_key_locked(now)
+                if key is None:
+                    self.stats.denials += 1
+                    raise LicenseError("no license available in the pool")
+            grant = LicenseGrant(
+                license_key=key,
+                client_id=client_id,
+                granted_at=now,
+                expires_at=now + self.lease_time_ms / 1000.0,
+            )
+            self._grants[key] = grant
+            self.stats.grants += 1
+            return grant
+
+    def renew(self, client_id: str) -> LicenseGrant:
+        """Extend the lease of the client's current license."""
+        with self._lock:
+            now = self._clock()
+            grant = self._grant_for_client_locked(client_id, now)
+            if grant is None:
+                raise LicenseError(f"client {client_id!r} holds no active license")
+            grant.expires_at = now + self.lease_time_ms / 1000.0
+            return grant
+
+    def release(self, client_id: str) -> bool:
+        """Voluntary give-back when the driver is unloaded."""
+        with self._lock:
+            now = self._clock()
+            grant = self._grant_for_client_locked(client_id, now)
+            if grant is None:
+                return False
+            grant.released_at = now
+            self.stats.releases += 1
+            return True
+
+    # -- reclamation (failure detector) -----------------------------------------------
+
+    def reclaim_expired(self) -> int:
+        """Return expired, unreleased licenses to the pool."""
+        with self._lock:
+            return self._reclaim_expired_locked(self._clock())
+
+    def _reclaim_expired_locked(self, now: float) -> int:
+        reclaimed = 0
+        for key, grant in list(self._grants.items()):
+            if grant.released_at is None and now >= grant.expires_at:
+                grant.released_at = now
+                reclaimed += 1
+        self.stats.reclaimed += reclaimed
+        return reclaimed
+
+    # -- queries ----------------------------------------------------------------------
+
+    def _grant_for_client_locked(self, client_id: str, now: float) -> Optional[LicenseGrant]:
+        for grant in self._grants.values():
+            if grant.client_id == client_id and grant.is_active(now):
+                return grant
+        return None
+
+    def _first_free_key_locked(self, now: float) -> Optional[str]:
+        for key in self._keys:
+            grant = self._grants.get(key)
+            if grant is None or not grant.is_active(now):
+                return key
+        return None
+
+    def available_count(self) -> int:
+        with self._lock:
+            now = self._clock()
+            self._reclaim_expired_locked(now)
+            return sum(
+                1
+                for key in self._keys
+                if key not in self._grants or not self._grants[key].is_active(now)
+            )
+
+    def active_grants(self) -> List[LicenseGrant]:
+        with self._lock:
+            now = self._clock()
+            return [grant for grant in self._grants.values() if grant.is_active(now)]
+
+    @property
+    def capacity(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,81 @@
+"""Renew and expiration policies applied to live connections (Section 3.3).
+
+When a driver is upgraded or revoked, existing connections created with
+the old driver must be terminated before the old driver can be unloaded.
+The *expiration policy* decides how aggressively:
+
+- ``AFTER_CLOSE`` — wait for the application to close each connection
+  itself. Nothing is forced; with connection pools this can take
+  arbitrarily long (the paper explicitly warns about this).
+- ``AFTER_COMMIT`` — connections that are idle (no transaction in flight)
+  are closed immediately; connections inside a transaction are closed as
+  soon as that transaction commits or rolls back.
+- ``IMMEDIATE`` — every connection is terminated right away, aborting any
+  in-flight transaction.
+
+The functions here operate on the bootloader's
+:class:`~repro.core.bootloader.ManagedConnection` wrappers and return a
+:class:`TransitionReport` describing what happened, which the experiments
+use to measure aborted transactions and time-to-full-transition per
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.core.constants import ExpirationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.bootloader import ManagedConnection
+
+
+@dataclass
+class TransitionReport:
+    """Outcome of applying an expiration policy to a set of connections."""
+
+    policy: ExpirationPolicy
+    total_connections: int = 0
+    closed_immediately: int = 0
+    aborted_transactions: int = 0
+    deferred_to_commit: int = 0
+    deferred_to_close: int = 0
+    already_closed: int = 0
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def still_open(self) -> int:
+        return self.deferred_to_commit + self.deferred_to_close
+
+
+def apply_expiration_policy(
+    connections: List["ManagedConnection"], policy: ExpirationPolicy
+) -> TransitionReport:
+    """Transition ``connections`` off their (old) driver according to ``policy``."""
+    report = TransitionReport(policy=policy, total_connections=len(connections))
+    for managed in connections:
+        if managed.closed:
+            report.already_closed += 1
+            continue
+        if policy == ExpirationPolicy.IMMEDIATE:
+            if managed.in_transaction:
+                report.aborted_transactions += 1
+                report.details.append(f"{managed.connection_id}: aborted in-flight transaction")
+            managed.force_close()
+            report.closed_immediately += 1
+        elif policy == ExpirationPolicy.AFTER_COMMIT:
+            if managed.in_transaction:
+                managed.close_after_commit()
+                report.deferred_to_commit += 1
+                report.details.append(f"{managed.connection_id}: will close after commit")
+            else:
+                managed.force_close()
+                report.closed_immediately += 1
+        elif policy == ExpirationPolicy.AFTER_CLOSE:
+            managed.mark_stale()
+            report.deferred_to_close += 1
+            report.details.append(f"{managed.connection_id}: waiting for application close")
+        else:  # pragma: no cover - exhaustive over the enum
+            raise ValueError(f"unknown expiration policy {policy!r}")
+    return report

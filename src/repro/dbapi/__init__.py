@@ -1,0 +1,64 @@
+"""DB-API 2.0 driver stack — the Python analogue of the paper's JDBC drivers.
+
+Contents:
+
+- :mod:`repro.dbapi.exceptions` — the DB-API exception hierarchy.
+- :mod:`repro.dbapi.api` — ``Connection`` / ``Cursor`` interfaces.
+- :mod:`repro.dbapi.urls` — connection URL parsing
+  (``pydb://host:port/database?opt=v``).
+- :mod:`repro.dbapi.runtime` — the driver runtime: a concrete DB-API
+  implementation over the database wire protocol, parameterised by
+  driver/protocol version, pre-configured URLs and extension features.
+  Generated driver *packages* (the BLOBs Drivolution stores in the
+  database) are thin wrappers binding specific parameters to this runtime,
+  just as vendor JDBC jars wrap a common client library.
+- :mod:`repro.dbapi.legacy_driver` — a conventional, locally-installed
+  driver (what "Application 3" in Figure 1 uses without Drivolution).
+- :mod:`repro.dbapi.pool` — a client-side connection pool.
+- :mod:`repro.dbapi.driver_factory` — renders driver package source code
+  for every driver family used in the experiments.
+"""
+
+from repro.dbapi.exceptions import (
+    Warning,
+    Error,
+    InterfaceError,
+    DatabaseError,
+    DataError,
+    OperationalError,
+    IntegrityError,
+    InternalError,
+    ProgrammingError,
+    NotSupportedError,
+)
+from repro.dbapi.api import Connection, Cursor
+from repro.dbapi.urls import ConnectionUrl, parse_url
+from repro.dbapi.runtime import RuntimeDriver
+from repro.dbapi.legacy_driver import LegacyDriver, connect
+from repro.dbapi.pool import ConnectionPool, PooledConnection
+
+__all__ = [
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    "Connection",
+    "Cursor",
+    "ConnectionUrl",
+    "parse_url",
+    "RuntimeDriver",
+    "LegacyDriver",
+    "connect",
+    "ConnectionPool",
+    "PooledConnection",
+]
+
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "named"

@@ -1,0 +1,128 @@
+"""DB-API 2.0 Connection and Cursor interfaces.
+
+These abstract classes define the surface that applications (and the
+Drivolution bootloader, which wraps them) program against — the Python
+analogue of ``java.sql.Connection`` / ``Statement``. Concrete
+implementations live in :mod:`repro.dbapi.runtime` (database wire
+protocol) and :mod:`repro.cluster.driver` (cluster protocol).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Cursor(ABC):
+    """DB-API cursor."""
+
+    arraysize: int = 1
+
+    @property
+    @abstractmethod
+    def description(self) -> Optional[List[Tuple]]:
+        """Column descriptions of the last query (name, type, ...)."""
+
+    @property
+    @abstractmethod
+    def rowcount(self) -> int:
+        """Number of rows affected/returned by the last statement."""
+
+    @abstractmethod
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> "Cursor":
+        """Execute one statement with optional named parameters."""
+
+    @abstractmethod
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        """Fetch the next result row, or None when exhausted."""
+
+    @abstractmethod
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        """Fetch up to ``size`` rows (``arraysize`` by default)."""
+
+    @abstractmethod
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        """Fetch all remaining rows."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close the cursor."""
+
+    def executemany(self, sql: str, seq_of_params: Sequence[Dict[str, Any]]) -> "Cursor":
+        """Execute ``sql`` once per parameter set (default implementation)."""
+        for params in seq_of_params:
+            self.execute(sql, params)
+        return self
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Connection(ABC):
+    """DB-API connection with the extra introspection Drivolution needs.
+
+    Beyond PEP 249, connections expose:
+
+    - :attr:`driver_info` — name and versions of the driver that produced
+      the connection (so experiments can verify which driver generation a
+      connection is using after an upgrade),
+    - :attr:`in_transaction` — whether a transaction is in flight (the
+      ``AFTER_COMMIT`` expiration policy needs this),
+    - :meth:`supports` — feature probes for extension packages (GIS, NLS,
+      Kerberos; paper Section 5.4.1).
+    """
+
+    @abstractmethod
+    def cursor(self) -> Cursor:
+        """Create a new cursor."""
+
+    @abstractmethod
+    def begin(self) -> None:
+        """Explicitly start a transaction."""
+
+    @abstractmethod
+    def commit(self) -> None:
+        """Commit the current transaction."""
+
+    @abstractmethod
+    def rollback(self) -> None:
+        """Roll back the current transaction."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close the connection, rolling back any open transaction."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool:
+        """Whether the connection has been closed."""
+
+    @property
+    @abstractmethod
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is currently open."""
+
+    @property
+    @abstractmethod
+    def driver_info(self) -> Dict[str, Any]:
+        """Metadata about the driver behind this connection."""
+
+    def supports(self, feature: str) -> bool:
+        """Whether the driver behind this connection bundles ``feature``."""
+        return feature in self.driver_info.get("extensions", [])
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,43 @@
+"""DB-API 2.0 exception hierarchy (PEP 249)."""
+
+from repro.errors import DriverError
+
+
+class Warning(DriverError):  # noqa: A001 - name mandated by PEP 249
+    """Important warnings (PEP 249)."""
+
+
+class Error(DriverError):
+    """Base class of all DB-API errors (PEP 249)."""
+
+
+class InterfaceError(Error):
+    """Error related to the database interface rather than the database."""
+
+
+class DatabaseError(Error):
+    """Error related to the database."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data (bad values, out of range...)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors related to the database's operation (connection lost, ...)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violated (constraint failures)."""
+
+
+class InternalError(DatabaseError):
+    """The database encountered an internal error."""
+
+
+class ProgrammingError(DatabaseError):
+    """Programming errors (bad SQL, wrong parameters, table not found)."""
+
+
+class NotSupportedError(DatabaseError):
+    """A method or API is not supported by the database/driver."""

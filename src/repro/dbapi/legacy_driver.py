@@ -1,0 +1,35 @@
+"""A conventional, locally-installed database driver.
+
+This is what the paper calls the legacy situation: the driver is installed
+on the client machine (here: imported as a regular module), its version is
+frozen at install time, and upgrading it requires touching the client.
+"Application 3" in Figure 1 keeps using such a driver while other
+applications have moved to Drivolution; the external Drivolution server of
+Section 4.1.3 also uses one to query its legacy database.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.dbapi.runtime import RuntimeConnection, RuntimeDriver
+from repro.dbserver.wire import PROTOCOL_VERSION
+from repro.netsim.transport import Network
+
+#: The module-level driver instance, analogous to an installed vendor driver.
+LegacyDriver = RuntimeDriver(
+    name="pydb-legacy",
+    driver_version=(1, 0, 0),
+    protocol_version=PROTOCOL_VERSION,
+)
+
+
+def connect(
+    url: str,
+    user: Optional[str] = None,
+    password: Optional[str] = None,
+    network: Optional[Network] = None,
+    **options: Any,
+) -> RuntimeConnection:
+    """Module-level ``connect`` in the style of every DB-API driver."""
+    return LegacyDriver.connect(url, user=user, password=password, network=network, **options)

@@ -1,0 +1,150 @@
+"""Client-side connection pool.
+
+The paper points out (Section 3.4.2) that the ``AFTER_CLOSE`` expiration
+policy interacts badly with connection pools, because pooled connections
+are rarely closed by the application. The pool here reproduces that
+behaviour: connections are created by a factory, handed out, and returned
+to the idle set instead of being closed. It also supports the operations
+the bootloader and the experiments need — draining, invalidation, and
+statistics about how long connections have lived.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.dbapi.api import Connection
+from repro.dbapi.exceptions import InterfaceError, OperationalError
+
+
+@dataclass
+class PooledConnection:
+    """Book-keeping wrapper around a pooled connection."""
+
+    connection: Connection
+    created_at: float
+    last_used_at: float
+    checkouts: int = 0
+
+    @property
+    def closed(self) -> bool:
+        return self.connection.closed
+
+
+class ConnectionPool:
+    """A bounded pool of DB-API connections."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Connection],
+        min_size: int = 0,
+        max_size: int = 10,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if min_size < 0 or max_size <= 0 or min_size > max_size:
+            raise ValueError("invalid pool sizing")
+        self._factory = factory
+        self._min_size = min_size
+        self._max_size = max_size
+        self._clock = clock
+        self._idle: List[PooledConnection] = []
+        self._busy: List[PooledConnection] = []
+        self._lock = threading.Condition()
+        self._closed = False
+        for _ in range(min_size):
+            self._idle.append(self._create())
+
+    # -- internals -----------------------------------------------------------
+
+    def _create(self) -> PooledConnection:
+        connection = self._factory()
+        now = self._clock()
+        return PooledConnection(connection=connection, created_at=now, last_used_at=now)
+
+    # -- pool API ------------------------------------------------------------
+
+    def acquire(self, timeout: Optional[float] = 5.0) -> Connection:
+        """Check out a connection, creating one if under ``max_size``."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise InterfaceError("connection pool is closed")
+                # Prefer a live idle connection.
+                while self._idle:
+                    pooled = self._idle.pop()
+                    if pooled.closed:
+                        continue
+                    pooled.checkouts += 1
+                    pooled.last_used_at = self._clock()
+                    self._busy.append(pooled)
+                    return pooled.connection
+                if len(self._busy) < self._max_size:
+                    pooled = self._create()
+                    pooled.checkouts += 1
+                    self._busy.append(pooled)
+                    return pooled.connection
+                remaining = None if deadline is None else deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    raise OperationalError("timed out waiting for a pooled connection")
+                self._lock.wait(timeout=remaining)
+
+    def release(self, connection: Connection) -> None:
+        """Return a connection to the pool (closed connections are dropped)."""
+        with self._lock:
+            pooled = next((item for item in self._busy if item.connection is connection), None)
+            if pooled is None:
+                raise InterfaceError("connection does not belong to this pool")
+            self._busy.remove(pooled)
+            if not pooled.closed and not self._closed:
+                pooled.last_used_at = self._clock()
+                self._idle.append(pooled)
+            else:
+                self._safe_close(pooled)
+            self._lock.notify()
+
+    def invalidate_idle(self) -> int:
+        """Close all idle connections (returns how many were closed)."""
+        with self._lock:
+            count = len(self._idle)
+            for pooled in self._idle:
+                self._safe_close(pooled)
+            self._idle.clear()
+            self._lock.notify_all()
+        return count
+
+    def close(self) -> None:
+        """Close the pool and every idle connection. Busy connections are
+        closed when released."""
+        with self._lock:
+            self._closed = True
+            for pooled in self._idle:
+                self._safe_close(pooled)
+            self._idle.clear()
+            self._lock.notify_all()
+
+    @staticmethod
+    def _safe_close(pooled: PooledConnection) -> None:
+        try:
+            pooled.connection.close()
+        except Exception:  # pragma: no cover - close must never raise here
+            pass
+
+    # -- observability ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "idle": len(self._idle),
+                "busy": len(self._busy),
+                "max_size": self._max_size,
+                "closed": self._closed,
+            }
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return len(self._idle) + len(self._busy)

@@ -1,0 +1,332 @@
+"""Driver runtime: a concrete DB-API implementation over the database wire protocol.
+
+A *driver package* in this repro is a small piece of Python source code
+(stored as a BLOB in the database, per the paper's Table 1) that binds
+specific parameters — driver version, wire protocol version, bundled
+extensions, optional pre-configured URL — to this runtime. That mirrors
+how a vendor's JDBC jar wraps a shared client library: the jar is what
+gets distributed and versioned, the library does the actual talking.
+
+The runtime implements:
+
+- connection establishment with protocol-version negotiation and the
+  authentication method appropriate to the bundled extensions
+  (``kerberos`` extension → token authentication),
+- pre-configured URLs: when the package carries ``preconfigured_url`` the
+  host in the application's URL is ignored and the driver always connects
+  to its baked-in target (the master/slave failover mechanism of paper
+  Section 5.2),
+- DB-API cursors over the EXECUTE/RESULT wire messages,
+- feature probes for extension packages (GIS, NLS, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dbapi.api import Connection, Cursor
+from repro.dbapi.exceptions import (
+    InterfaceError,
+    IntegrityError,
+    OperationalError,
+    ProgrammingError,
+)
+from repro.dbapi.urls import ConnectionUrl, parse_url
+from repro.dbserver.auth import compute_token
+from repro.dbserver.wire import PROTOCOL_VERSION, MessageType, make_connect, make_execute
+from repro.errors import TransportError
+from repro.netsim.registry import DEFAULT_NETWORK_NAME, get_network
+from repro.netsim.transport import Channel, Network
+
+_ERROR_CODE_MAP = {
+    "protocol_mismatch": OperationalError,
+    "auth_failed": OperationalError,
+    "auth_method_unsupported": OperationalError,
+    "unknown_database": OperationalError,
+    "sql_error": ProgrammingError,
+    "bad_message": InterfaceError,
+    "bad_handshake": InterfaceError,
+    "internal_error": OperationalError,
+}
+
+
+def _raise_for_error(message: Dict[str, Any]) -> None:
+    code = str(message.get("code", "internal_error"))
+    text = str(message.get("message", "unknown server error"))
+    exc_class = _ERROR_CODE_MAP.get(code, OperationalError)
+    if "constraint" in text or "foreign key" in text or "duplicate primary key" in text:
+        exc_class = IntegrityError
+    raise exc_class(f"[{code}] {text}")
+
+
+class RuntimeCursor(Cursor):
+    """Cursor over the EXECUTE/RESULT exchange."""
+
+    def __init__(self, connection: "RuntimeConnection") -> None:
+        self._connection = connection
+        self._rows: List[Tuple[Any, ...]] = []
+        self._cursor_index = 0
+        self._columns: List[str] = []
+        self._rowcount = -1
+        self._closed = False
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        if not self._columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._columns]
+
+    @property
+    def rowcount(self) -> int:
+        return self._rowcount
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> "RuntimeCursor":
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        result = self._connection._execute(sql, params or {})
+        self._columns = list(result.get("columns", []))
+        self._rows = [tuple(row) for row in result.get("rows", [])]
+        self._cursor_index = 0
+        self._rowcount = int(result.get("rowcount", -1))
+        return self
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        if self._cursor_index >= len(self._rows):
+            return None
+        row = self._rows[self._cursor_index]
+        self._cursor_index += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        count = size if size is not None else self.arraysize
+        rows = self._rows[self._cursor_index : self._cursor_index + count]
+        self._cursor_index += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        rows = self._rows[self._cursor_index :]
+        self._cursor_index = len(self._rows)
+        return rows
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+
+class RuntimeConnection(Connection):
+    """A live connection produced by :class:`RuntimeDriver`."""
+
+    def __init__(self, driver: "RuntimeDriver", channel: Channel, url: ConnectionUrl, session_id: str) -> None:
+        self._driver = driver
+        self._channel = channel
+        self._url = url
+        self._session_id = session_id
+        self._closed = False
+        self._in_transaction = False
+        self._lock = threading.Lock()
+        #: Number of statements executed on this connection (observability
+        #: for experiments: proves traffic kept flowing across an upgrade).
+        self.statements_executed = 0
+
+    # -- internals ----------------------------------------------------------
+
+    def _execute(self, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        with self._lock:
+            try:
+                self._channel.send(make_execute(sql, params=params))
+                reply = self._channel.recv(timeout=30.0)
+            except TransportError as exc:
+                self._closed = True
+                raise OperationalError(f"connection lost: {exc}") from exc
+        if reply.get("type") == MessageType.ERROR:
+            _raise_for_error(reply)
+        if reply.get("type") != MessageType.RESULT:
+            raise InterfaceError(f"unexpected reply {reply.get('type')!r}")
+        self.statements_executed += 1
+        return reply
+
+    # -- DB-API -------------------------------------------------------------
+
+    def cursor(self) -> RuntimeCursor:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        return RuntimeCursor(self)
+
+    def begin(self) -> None:
+        self._execute("BEGIN", {})
+        self._in_transaction = True
+
+    def commit(self) -> None:
+        if not self._in_transaction:
+            return
+        self._execute("COMMIT", {})
+        self._in_transaction = False
+
+    def rollback(self) -> None:
+        if not self._in_transaction:
+            return
+        self._execute("ROLLBACK", {})
+        self._in_transaction = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            if self._in_transaction:
+                try:
+                    self.rollback()
+                except Exception:
+                    pass
+            self._channel.send({"type": MessageType.CLOSE})
+        except TransportError:
+            pass
+        finally:
+            self._closed = True
+            self._channel.close()
+            self._driver._forget_connection(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    @property
+    def session_id(self) -> str:
+        return self._session_id
+
+    @property
+    def url(self) -> ConnectionUrl:
+        return self._url
+
+    @property
+    def driver_info(self) -> Dict[str, Any]:
+        return self._driver.info()
+
+    def ping(self) -> bool:
+        """Check liveness of the server side of this connection."""
+        if self._closed:
+            return False
+        with self._lock:
+            try:
+                self._channel.send({"type": MessageType.PING})
+                reply = self._channel.recv(timeout=5.0)
+            except TransportError:
+                self._closed = True
+                return False
+        return reply.get("type") == MessageType.PONG
+
+
+class RuntimeDriver:
+    """A parameterised DB-API driver over the database wire protocol."""
+
+    api_name = "PYDB-API"
+
+    def __init__(
+        self,
+        name: str = "pydb-driver",
+        driver_version: Tuple[int, int, int] = (1, 0, 0),
+        protocol_version: int = PROTOCOL_VERSION,
+        extensions: Optional[List[str]] = None,
+        preconfigured_url: Optional[str] = None,
+        default_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.driver_version = tuple(driver_version)
+        self.protocol_version = protocol_version
+        self.extensions = list(extensions or [])
+        self.preconfigured_url = preconfigured_url
+        self.default_options = dict(default_options or {})
+        self._connections: List[RuntimeConnection] = []
+        self._lock = threading.Lock()
+
+    # -- metadata ------------------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "api_name": self.api_name,
+            "driver_version": tuple(self.driver_version),
+            "protocol_version": self.protocol_version,
+            "extensions": list(self.extensions),
+            "preconfigured_url": self.preconfigured_url,
+        }
+
+    # -- connection management --------------------------------------------------
+
+    def connect(
+        self,
+        url: str,
+        user: Optional[str] = None,
+        password: Optional[str] = None,
+        network: Optional[Network] = None,
+        **options: Any,
+    ) -> RuntimeConnection:
+        """Open a connection. Application options are merged over the
+        driver's pre-configured defaults (paper Section 3.1.1)."""
+        merged_options: Dict[str, Any] = dict(self.default_options)
+        merged_options.update(options)
+        effective_url = self.preconfigured_url or url
+        parsed = parse_url(effective_url)
+        if network is None:
+            network_name = merged_options.get("network", parsed.options.get("network", DEFAULT_NETWORK_NAME))
+            network = get_network(str(network_name))
+        try:
+            channel = network.connect(parsed.primary_host, timeout=5.0)
+        except TransportError as exc:
+            raise OperationalError(f"cannot reach database at {parsed.primary_host}: {exc}") from exc
+        auth_method = "password"
+        auth_token = None
+        if "kerberos" in self.extensions and merged_options.get("realm_secret"):
+            auth_method = "token"
+            auth_token = compute_token(str(merged_options["realm_secret"]), user)
+        connect_message = make_connect(
+            database=parsed.database,
+            user=user,
+            password=password,
+            protocol_version=self.protocol_version,
+            auth_method=auth_method,
+            auth_token=auth_token,
+            options={key: str(value) for key, value in merged_options.items()},
+        )
+        try:
+            channel.send(connect_message)
+            reply = channel.recv(timeout=10.0)
+        except TransportError as exc:
+            channel.close()
+            raise OperationalError(f"handshake with {parsed.primary_host} failed: {exc}") from exc
+        if reply.get("type") == MessageType.ERROR:
+            channel.close()
+            _raise_for_error(reply)
+        if reply.get("type") != MessageType.CONNECT_OK:
+            channel.close()
+            raise InterfaceError(f"unexpected handshake reply {reply.get('type')!r}")
+        connection = RuntimeConnection(self, channel, parsed, str(reply.get("session_id", "")))
+        with self._lock:
+            self._connections.append(connection)
+        return connection
+
+    def _forget_connection(self, connection: RuntimeConnection) -> None:
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+
+    def open_connections(self) -> List[RuntimeConnection]:
+        """Currently open connections created by this driver instance."""
+        with self._lock:
+            return [conn for conn in self._connections if not conn.closed]
+
+    def close_all(self) -> None:
+        """Close every connection created by this driver instance."""
+        for connection in self.open_connections():
+            connection.close()
+
+    # -- feature probes -----------------------------------------------------------
+
+    def supports(self, feature: str) -> bool:
+        return feature in self.extensions

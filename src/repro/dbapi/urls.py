@@ -1,0 +1,71 @@
+"""Connection URL parsing.
+
+URLs follow the familiar JDBC-like shape::
+
+    pydb://dbhost:5432/mydb?network=default&feature=gis
+    sequoia://controller1:25322,controller2:25322/vdb
+
+- the scheme names the driver family (``pydb`` for the database wire
+  protocol, ``sequoia`` for the cluster middleware, ``drivolution`` for
+  bootloader-only URLs),
+- multiple comma-separated hosts are allowed (Sequoia multi-controller
+  URLs, paper Section 5.3.2),
+- query options become a string dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dbapi.exceptions import InterfaceError
+
+
+@dataclass(frozen=True)
+class ConnectionUrl:
+    """A parsed connection URL."""
+
+    scheme: str
+    hosts: tuple
+    database: str
+    options: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def primary_host(self) -> str:
+        return self.hosts[0]
+
+    def with_database(self, database: str) -> "ConnectionUrl":
+        return ConnectionUrl(self.scheme, self.hosts, database, dict(self.options))
+
+    def render(self) -> str:
+        """Render back to a URL string."""
+        hosts = ",".join(self.hosts)
+        url = f"{self.scheme}://{hosts}/{self.database}"
+        if self.options:
+            query = "&".join(f"{key}={value}" for key, value in sorted(self.options.items()))
+            url = f"{url}?{query}"
+        return url
+
+
+def parse_url(url: str) -> ConnectionUrl:
+    """Parse a connection URL, raising :class:`InterfaceError` on bad input."""
+    if not isinstance(url, str) or "://" not in url:
+        raise InterfaceError(f"invalid connection URL: {url!r}")
+    scheme, _, rest = url.partition("://")
+    if not scheme:
+        raise InterfaceError(f"missing scheme in connection URL: {url!r}")
+    options: Dict[str, str] = {}
+    if "?" in rest:
+        rest, _, query = rest.partition("?")
+        for pair in query.split("&"):
+            if not pair:
+                continue
+            key, _, value = pair.partition("=")
+            options[key] = value
+    host_part, _, database = rest.partition("/")
+    if not host_part:
+        raise InterfaceError(f"missing host in connection URL: {url!r}")
+    hosts: List[str] = [host.strip() for host in host_part.split(",") if host.strip()]
+    if not hosts:
+        raise InterfaceError(f"missing host in connection URL: {url!r}")
+    return ConnectionUrl(scheme=scheme, hosts=tuple(hosts), database=database, options=options)

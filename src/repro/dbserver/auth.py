@@ -1,0 +1,80 @@
+"""Authentication methods for the database server.
+
+The paper's step 6 ("Authenticate") notes that a driver which does not
+support the authentication method required by the database fails at this
+point. We model two methods:
+
+- ``password`` — classic user/password lookup against the engine's user
+  catalog,
+- ``token`` — a Kerberos-like method where the client must present a token
+  derived from a realm secret (drivers without the "kerberos extension"
+  package simply cannot produce one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+from repro.errors import DriverError
+from repro.sqlengine.engine import Engine
+
+
+class AuthenticationError(DriverError):
+    """Authentication failed or the method is not supported."""
+
+
+class Authenticator(ABC):
+    """One server-side authentication method."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def authenticate(self, engine: Engine, connect_message: Dict[str, Any]) -> None:
+        """Raise :class:`AuthenticationError` if the credentials are bad."""
+
+
+class PasswordAuthenticator(Authenticator):
+    """User/password authentication against the engine's user catalog."""
+
+    name = "password"
+
+    def authenticate(self, engine: Engine, connect_message: Dict[str, Any]) -> None:
+        user = connect_message.get("user")
+        password = connect_message.get("password")
+        if not engine.authenticate(user, password):
+            raise AuthenticationError(f"invalid credentials for user {user!r}")
+
+
+class TokenAuthenticator(Authenticator):
+    """Kerberos-like token authentication.
+
+    The expected token for user ``u`` is ``sha256(realm_secret + u)``.
+    Only drivers shipped with the security extension know how to compute
+    it (see :func:`repro.dbapi.driver_factory.kerberos_token`).
+    """
+
+    name = "token"
+
+    def __init__(self, realm_secret: str) -> None:
+        self._realm_secret = realm_secret
+
+    def expected_token(self, user: Optional[str]) -> str:
+        return hashlib.sha256(f"{self._realm_secret}:{user}".encode("utf-8")).hexdigest()
+
+    def authenticate(self, engine: Engine, connect_message: Dict[str, Any]) -> None:
+        user = connect_message.get("user")
+        token = connect_message.get("auth_token")
+        if token is None:
+            raise AuthenticationError(
+                "token authentication required but no token presented "
+                "(driver lacks the security extension)"
+            )
+        if token != self.expected_token(user):
+            raise AuthenticationError(f"invalid authentication token for user {user!r}")
+
+
+def compute_token(realm_secret: str, user: Optional[str]) -> str:
+    """Client-side helper mirroring :class:`TokenAuthenticator`."""
+    return hashlib.sha256(f"{realm_secret}:{user}".encode("utf-8")).hexdigest()

@@ -1,0 +1,98 @@
+"""Database wire protocol message definitions.
+
+The protocol is deliberately simple (connect / execute / result / error /
+close) but carries an explicit ``protocol_version`` so that driver/server
+mismatches surface exactly where the paper says they do: at connection
+time (step 5 of the legacy lifecycle) rather than at install time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import DriverError
+
+#: Current protocol version spoken by the reference server and the
+#: up-to-date driver generation. Older driver generations speak lower
+#: versions; the server accepts a configurable range.
+PROTOCOL_VERSION = 3
+
+
+class WireError(DriverError):
+    """Malformed or unexpected wire message."""
+
+
+class MessageType:
+    """Message type tags used on the database wire protocol."""
+
+    CONNECT = "db_connect"
+    CONNECT_OK = "db_connect_ok"
+    EXECUTE = "db_execute"
+    RESULT = "db_result"
+    ERROR = "db_error"
+    CLOSE = "db_close"
+    PING = "db_ping"
+    PONG = "db_pong"
+
+
+def make_connect(
+    database: str,
+    user: Optional[str],
+    password: Optional[str],
+    protocol_version: int,
+    auth_method: str = "password",
+    auth_token: Optional[str] = None,
+    options: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a CONNECT message."""
+    return {
+        "type": MessageType.CONNECT,
+        "database": database,
+        "user": user,
+        "password": password,
+        "protocol_version": protocol_version,
+        "auth_method": auth_method,
+        "auth_token": auth_token,
+        "options": options or {},
+    }
+
+
+def make_connect_ok(server_name: str, protocol_version: int, session_id: str) -> Dict[str, Any]:
+    return {
+        "type": MessageType.CONNECT_OK,
+        "server": server_name,
+        "protocol_version": protocol_version,
+        "session_id": session_id,
+    }
+
+
+def make_execute(sql: str, params: Optional[Dict[str, Any]] = None, positional: Optional[list] = None) -> Dict[str, Any]:
+    return {
+        "type": MessageType.EXECUTE,
+        "sql": sql,
+        "params": params or {},
+        "positional": positional or [],
+    }
+
+
+def make_result(columns: list, rows: list, rowcount: int) -> Dict[str, Any]:
+    return {
+        "type": MessageType.RESULT,
+        "columns": columns,
+        "rows": [list(row) for row in rows],
+        "rowcount": rowcount,
+    }
+
+
+def make_error(code: str, message: str) -> Dict[str, Any]:
+    return {"type": MessageType.ERROR, "code": code, "message": message}
+
+
+def expect_type(message: Dict[str, Any], expected: str) -> Dict[str, Any]:
+    """Validate that ``message`` has the expected type tag."""
+    received = message.get("type")
+    if received == MessageType.ERROR:
+        raise WireError(f"server error [{message.get('code')}]: {message.get('message')}")
+    if received != expected:
+        raise WireError(f"expected {expected!r} message, got {received!r}")
+    return message

@@ -1,0 +1,32 @@
+"""Top-level exception hierarchy shared by all repro subsystems.
+
+Every subsystem defines more specific exceptions derived from the classes
+here so that callers can catch at the granularity they need:
+
+- ``ReproError`` — root of everything raised by this library.
+- ``TransportError`` — network/transport failures (:mod:`repro.netsim`).
+- ``SqlError`` — SQL engine failures (:mod:`repro.sqlengine`).
+- ``DriverError`` — DB-API driver and database server failures.
+- ``DrivolutionError`` — failures of the Drivolution protocol, server or
+  bootloader (:mod:`repro.core`).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TransportError(ReproError):
+    """A network transport operation failed (connect, send, receive)."""
+
+
+class SqlError(ReproError):
+    """A SQL statement could not be parsed or executed."""
+
+
+class DriverError(ReproError):
+    """A database driver or database server operation failed."""
+
+
+class DrivolutionError(ReproError):
+    """A Drivolution protocol, server or bootloader operation failed."""

@@ -1,0 +1,31 @@
+"""Experiment harness.
+
+One module per paper element (table, figure or case study), each exposing
+a ``run_experiment(...)`` function that builds the scenario on the
+simulated substrate, runs it, and returns an
+:class:`~repro.experiments.harness.ExperimentResult` whose rows are what
+``benchmarks/`` and ``EXPERIMENTS.md`` report.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+====  ==========================================  =================================
+id    paper element                               module
+====  ==========================================  =================================
+E1    Section 2 vs 3.2 lifecycle                  :mod:`repro.experiments.lifecycle`
+E2    Table 5 (heterogeneous DBA admin)           :mod:`repro.experiments.table5_admin`
+E3    Figure 1 (architecture / bootstrap)         :mod:`repro.experiments.fig1_architecture`
+E4    Figure 2 (external server, legacy DB)       :mod:`repro.experiments.fig2_legacy_server`
+E5    Figure 3 (heterogeneous DBMSes)             :mod:`repro.experiments.fig3_heterogeneous`
+E6    Figure 4 (master/slave failover)            :mod:`repro.experiments.fig4_failover`
+E7    Figure 5 (legacy Sequoia cluster)           :mod:`repro.experiments.fig5_legacy_cluster`
+E8    Figure 6 (hybrid HA, embedded servers)      :mod:`repro.experiments.fig6_hybrid_ha`
+E9    Section 5.4.1 (custom driver delivery)      :mod:`repro.experiments.custom_delivery`
+E10   Section 5.4.2 (license server)              :mod:`repro.experiments.license_server_exp`
+E11   Tables 3/4 + Section 3.3 (policies, leases) :mod:`repro.experiments.policy_matrix`
+E12   Section 3.1.1 (bootloader overhead)         :mod:`repro.experiments.overhead`
+====  ==========================================  =================================
+"""
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["ExperimentResult"]

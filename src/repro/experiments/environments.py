@@ -1,0 +1,209 @@
+"""Reusable experiment environments.
+
+Every experiment needs some combination of databases, database servers, a
+Drivolution server and client bootloaders, all wired to the same in-memory
+network and simulated clock. These builders construct (and tear down) the
+recurring combinations so individual experiment modules stay focused on
+the scenario they reproduce.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster import Backend, Controller, ControllerConfig, ControllerGroup
+from repro.core import (
+    Bootloader,
+    BootloaderConfig,
+    DrivolutionAdmin,
+    DrivolutionServer,
+    InDatabaseServerBinding,
+    StandaloneServerBinding,
+)
+from repro.core.clock import SimulatedClock
+from repro.dbapi import legacy_driver
+from repro.dbserver import DatabaseServer, ServerConfig
+from repro.netsim import InMemoryNetwork
+from repro.sqlengine import Engine
+
+_env_counter = itertools.count(1)
+
+
+@dataclass
+class SingleDatabaseEnvironment:
+    """One database engine + server with an in-database Drivolution server."""
+
+    clock: SimulatedClock
+    network: InMemoryNetwork
+    engine: Engine
+    database_name: str
+    db_address: str
+    db_server: DatabaseServer
+    drivolution: DrivolutionServer
+    admin: DrivolutionAdmin
+    _cleanup: List[Callable[[], None]] = field(default_factory=list)
+
+    @property
+    def url(self) -> str:
+        return f"pydb://{self.db_address}/{self.database_name}"
+
+    def new_bootloader(self, config: Optional[BootloaderConfig] = None) -> Bootloader:
+        return Bootloader(config or BootloaderConfig(), network=self.network, clock=self.clock)
+
+    def legacy_connect(self, **kwargs: Any):
+        return legacy_driver.connect(self.url, network=self.network, **kwargs)
+
+    def open_sql_session(self):
+        return self.engine.open_session(self.database_name)
+
+    def close(self) -> None:
+        for cleanup in self._cleanup:
+            cleanup()
+        self.db_server.stop()
+
+
+def build_single_database(
+    database_name: str = "appdb",
+    lease_time_ms: int = 60_000,
+    server_name: Optional[str] = None,
+) -> SingleDatabaseEnvironment:
+    """A database with its Drivolution server sharing the same listener."""
+    index = next(_env_counter)
+    clock = SimulatedClock()
+    network = InMemoryNetwork()
+    engine = Engine(name=server_name or f"db{index}", clock=clock)
+    engine.create_database(database_name)
+    db_address = f"{engine.name}:5432"
+    db_server = DatabaseServer(engine, network, db_address, ServerConfig(name=engine.name)).start()
+    binding = InDatabaseServerBinding(engine, database_name, clock=clock)
+    drivolution = DrivolutionServer(binding, network=network, clock=clock, server_id=f"drivo-{engine.name}")
+    drivolution.attach_to_database_server(db_server)
+    admin = DrivolutionAdmin([drivolution], default_lease_time_ms=lease_time_ms)
+    return SingleDatabaseEnvironment(
+        clock=clock,
+        network=network,
+        engine=engine,
+        database_name=database_name,
+        db_address=db_address,
+        db_server=db_server,
+        drivolution=drivolution,
+        admin=admin,
+    )
+
+
+@dataclass
+class ClusterEnvironment:
+    """Replicated databases behind Sequoia-like controllers."""
+
+    clock: SimulatedClock
+    network: InMemoryNetwork
+    replica_engines: List[Engine]
+    replica_servers: List[DatabaseServer]
+    replica_addresses: List[str]
+    controllers: List[Controller]
+    group: ControllerGroup
+    database_name: str
+    standalone_drivolution: Optional[DrivolutionServer] = None
+
+    def client_url(self) -> str:
+        hosts = ",".join(controller.address for controller in self.controllers)
+        return f"sequoia://{hosts}/{self.controllers[0].config.virtual_database}"
+
+    def replica_url(self, index: int) -> str:
+        return f"pydb://{self.replica_addresses[index]}/{self.database_name}"
+
+    def new_bootloader(self, config: Optional[BootloaderConfig] = None) -> Bootloader:
+        return Bootloader(config or BootloaderConfig(api_name="SEQUOIA"), network=self.network, clock=self.clock)
+
+    def close(self) -> None:
+        self.group.stop()
+        for server in self.replica_servers:
+            server.stop()
+        if self.standalone_drivolution is not None:
+            self.standalone_drivolution.stop()
+
+
+def build_cluster(
+    replicas: int = 2,
+    controllers: int = 2,
+    database_name: str = "appdb",
+    virtual_database: str = "vdb",
+    embedded_drivolution: bool = False,
+    standalone_drivolution: bool = False,
+    drivolution_address: str = "drivolution:8000",
+) -> ClusterEnvironment:
+    """Build a Sequoia-like cluster.
+
+    ``embedded_drivolution`` embeds one Drivolution server per controller
+    (Figure 6); ``standalone_drivolution`` starts a single standalone
+    distribution service on its own address (Figure 5).
+    """
+    index = next(_env_counter)
+    clock = SimulatedClock()
+    network = InMemoryNetwork()
+
+    replica_engines: List[Engine] = []
+    replica_servers: List[DatabaseServer] = []
+    replica_addresses: List[str] = []
+    for replica_index in range(replicas):
+        engine = Engine(name=f"cluster{index}-db{replica_index + 1}", clock=clock)
+        engine.create_database(database_name)
+        address = f"{engine.name}:5432"
+        server = DatabaseServer(engine, network, address, ServerConfig(name=engine.name)).start()
+        replica_engines.append(engine)
+        replica_servers.append(server)
+        replica_addresses.append(address)
+
+    def backend_factory(address: str) -> Callable[[], Any]:
+        return lambda: legacy_driver.connect(
+            f"pydb://{address}/{database_name}", network=network
+        )
+
+    controller_list: List[Controller] = []
+    for controller_index in range(controllers):
+        controller = Controller(
+            ControllerConfig(
+                controller_id=f"controller{controller_index + 1}",
+                virtual_database=virtual_database,
+            ),
+            network,
+            f"cluster{index}-controller{controller_index + 1}:25322",
+            backends=[
+                Backend(f"db{replica_index + 1}", backend_factory(address))
+                for replica_index, address in enumerate(replica_addresses)
+            ],
+        )
+        if embedded_drivolution:
+            embedded = DrivolutionServer(
+                StandaloneServerBinding(clock=clock),
+                clock=clock,
+                server_id=f"drivo-{controller.config.controller_id}",
+            )
+            controller.embed_drivolution(embedded)
+        controller_list.append(controller)
+
+    group = ControllerGroup(controller_list).start()
+
+    standalone: Optional[DrivolutionServer] = None
+    if standalone_drivolution:
+        standalone = DrivolutionServer(
+            StandaloneServerBinding(clock=clock),
+            network=network,
+            address=drivolution_address,
+            clock=clock,
+            server_id="drivo-standalone",
+        ).start()
+
+    return ClusterEnvironment(
+        clock=clock,
+        network=network,
+        replica_engines=replica_engines,
+        replica_servers=replica_servers,
+        replica_addresses=replica_addresses,
+        controllers=controller_list,
+        group=group,
+        database_name=database_name,
+        standalone_drivolution=standalone,
+    )

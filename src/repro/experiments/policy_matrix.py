@@ -1,0 +1,303 @@
+"""E11 — Protocol tables 3/4 and Section 3.3: policies and lease times.
+
+Three sub-studies:
+
+1. **Expiration policy matrix** — upgrade a driver while a fleet of
+   clients holds open connections (some inside transactions) and measure,
+   per policy, how many connections were closed immediately, how many
+   in-flight transactions were aborted, and how many connections linger on
+   the old driver.
+2. **Revocation** — let the lease expire with no replacement driver and
+   verify the REVOKE behaviour: new connection requests are blocked with an
+   explanatory error.
+3. **Lease-time sweep** — upgrade propagation delay and Drivolution-server
+   traffic as a function of the lease time, plus the dedicated
+   notification channel, which upgrades clients without waiting for the
+   lease at the cost of one standing connection per client.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import BootloaderConfig
+from repro.core.constants import ExpirationPolicy, RenewPolicy
+from repro.dbapi.driver_factory import build_pydb_driver
+from repro.errors import DrivolutionError
+from repro.experiments.environments import build_single_database
+from repro.experiments.harness import ExperimentResult
+
+
+def _policy_name(policy: ExpirationPolicy) -> str:
+    return policy.name
+
+
+def run_expiration_policy_matrix(
+    clients: int = 4, connections_per_client: int = 3, lease_time_ms: int = 1_000
+) -> ExperimentResult:
+    """Sub-study 1: behaviour of each expiration policy during an upgrade."""
+    result = ExperimentResult(
+        experiment_id="E11a",
+        title="Expiration policy matrix during a driver upgrade",
+        parameters={
+            "clients": clients,
+            "connections_per_client": connections_per_client,
+            "lease_time_ms": lease_time_ms,
+        },
+    )
+    for policy in (ExpirationPolicy.AFTER_CLOSE, ExpirationPolicy.AFTER_COMMIT, ExpirationPolicy.IMMEDIATE):
+        env = build_single_database(lease_time_ms=lease_time_ms)
+        try:
+            record_v1 = env.admin.install_driver(
+                build_pydb_driver("pydb-1.0.0", driver_version=(1, 0, 0)),
+                database=env.database_name,
+                lease_time_ms=lease_time_ms,
+                expiration_policy=policy,
+            )
+            session = env.open_sql_session()
+            session.execute(
+                "CREATE TABLE IF NOT EXISTS policy_events "
+                "(id INTEGER NOT NULL PRIMARY KEY, v VARCHAR)"
+            )
+            bootloaders = [env.new_bootloader(BootloaderConfig()) for _ in range(clients)]
+            open_connections = []
+            in_transaction = 0
+            row_id = 0
+            for bootloader in bootloaders:
+                for index in range(connections_per_client):
+                    connection = bootloader.connect(env.url)
+                    open_connections.append(connection)
+                    if index == 0:
+                        # Leave one connection per client inside a transaction.
+                        connection.begin()
+                        cursor = connection.cursor()
+                        row_id += 1
+                        cursor.execute(
+                            "INSERT INTO policy_events (id, v) VALUES ($id, 'pending')",
+                            {"id": row_id},
+                        )
+                        cursor.close()
+                        in_transaction += 1
+            env.admin.push_upgrade(
+                build_pydb_driver("pydb-1.1.0", driver_version=(1, 1, 0)),
+                old_record=record_v1,
+                database=env.database_name,
+                lease_time_ms=lease_time_ms,
+                expiration_policy=policy,
+            )
+            env.clock.advance(lease_time_ms / 1000.0 + 1.0)
+            outcomes = [bootloader.check_for_update() for bootloader in bootloaders]
+            closed_now = 0
+            aborted = 0
+            deferred_commit = 0
+            still_old = 0
+            for bootloader in bootloaders:
+                transition = bootloader.last_transition
+                if transition is None:
+                    continue
+                closed_now += transition.closed_immediately
+                aborted += transition.aborted_transactions
+                deferred_commit += transition.deferred_to_commit
+                still_old += transition.deferred_to_close
+            # Connections deferred to commit close once their transaction ends.
+            for connection in open_connections:
+                if not connection.closed and connection.in_transaction:
+                    connection.commit()
+            lingering = sum(1 for connection in open_connections if not connection.closed)
+            result.add_row(
+                expiration_policy=_policy_name(policy),
+                upgraded_clients=outcomes.count("upgraded"),
+                connections_total=len(open_connections),
+                closed_immediately=closed_now,
+                aborted_transactions=aborted,
+                closed_after_commit=deferred_commit,
+                left_to_application_close=still_old,
+                connections_still_open_after_commit_phase=lingering,
+            )
+            for connection in open_connections:
+                if not connection.closed:
+                    connection.close()
+        finally:
+            env.close()
+    result.add_note(
+        "IMMEDIATE aborts in-flight transactions; AFTER_COMMIT defers exactly the "
+        "in-transaction connections; AFTER_CLOSE leaves every old connection to the application"
+    )
+    return result
+
+
+def run_revocation_study(lease_time_ms: int = 1_000) -> ExperimentResult:
+    """Sub-study 2: lease expires with no replacement driver (REVOKE path)."""
+    result = ExperimentResult(
+        experiment_id="E11b",
+        title="Driver revocation when the lease expires with no replacement",
+        parameters={"lease_time_ms": lease_time_ms},
+    )
+    env = build_single_database(lease_time_ms=lease_time_ms)
+    try:
+        record = env.admin.install_driver(
+            build_pydb_driver("pydb-1.0.0", driver_version=(1, 0, 0)),
+            database=env.database_name,
+            lease_time_ms=lease_time_ms,
+        )
+        bootloader = env.new_bootloader(BootloaderConfig())
+        connection = bootloader.connect(env.url)
+        # The administrator disables the driver without providing a new one.
+        env.admin.revoke_driver(record.driver_ids, api_name="PYDB-API")
+        env.clock.advance(lease_time_ms / 1000.0 + 1.0)
+        outcome = bootloader.check_for_update()
+        blocked = 0
+        error_text = ""
+        try:
+            bootloader.connect(env.url)
+        except DrivolutionError as exc:
+            blocked = 1
+            error_text = str(exc)
+        result.add_row(
+            outcome=outcome,
+            new_connections_blocked=blocked,
+            revocations=bootloader.stats.revocations,
+            blocked_connects=bootloader.stats.blocked_connects,
+            error_mentions_missing_driver="driver" in error_text.lower(),
+        )
+        result.add_note(
+            "after revocation the bootloader blocks new connection requests and returns an "
+            "error explaining the absence of a suitable driver (paper Section 3.1.2)"
+        )
+        if not connection.closed:
+            connection.close()
+    finally:
+        env.close()
+    return result
+
+
+def run_lease_time_sweep(
+    lease_times_ms: List[int] = (500, 2_000, 10_000, 60_000),
+    clients: int = 5,
+    observation_window_s: float = 60.0,
+) -> ExperimentResult:
+    """Sub-study 3: lease time vs upgrade propagation delay vs server traffic."""
+    result = ExperimentResult(
+        experiment_id="E11c",
+        title="Lease-time sweep: propagation delay vs Drivolution server traffic",
+        parameters={
+            "lease_times_ms": list(lease_times_ms),
+            "clients": clients,
+            "observation_window_s": observation_window_s,
+        },
+    )
+    for lease_time_ms in lease_times_ms:
+        env = build_single_database(lease_time_ms=lease_time_ms)
+        try:
+            record_v1 = env.admin.install_driver(
+                build_pydb_driver("pydb-1.0.0", driver_version=(1, 0, 0)),
+                database=env.database_name,
+                lease_time_ms=lease_time_ms,
+            )
+            bootloaders = [env.new_bootloader(BootloaderConfig()) for _ in range(clients)]
+            for bootloader in bootloaders:
+                bootloader.connect(env.url).close()
+            requests_before = env.drivolution.stats.requests
+            env.admin.push_upgrade(
+                build_pydb_driver("pydb-1.1.0", driver_version=(1, 1, 0)),
+                old_record=record_v1,
+                database=env.database_name,
+                lease_time_ms=lease_time_ms,
+            )
+            # Clients poll lazily each lease period. Keep polling for the whole
+            # observation window so renewal traffic is comparable across lease
+            # times, and record when the upgrade reached every client.
+            lease_s = lease_time_ms / 1000.0
+            elapsed = 0.0
+            upgraded = 0
+            propagation_delay = None
+            while elapsed < observation_window_s:
+                env.clock.advance(lease_s)
+                elapsed += lease_s
+                for bootloader in bootloaders:
+                    bootloader.check_for_update()
+                upgraded = sum(
+                    1
+                    for bootloader in bootloaders
+                    if bootloader.driver_info().get("driver_name") == "pydb-1.1.0"
+                )
+                if upgraded == clients and propagation_delay is None:
+                    propagation_delay = elapsed
+            renewal_traffic = env.drivolution.stats.requests - requests_before
+            result.add_row(
+                mode="lease polling",
+                lease_time_ms=lease_time_ms,
+                upgraded_clients=upgraded,
+                propagation_delay_s=round(propagation_delay if propagation_delay is not None else elapsed, 3),
+                server_requests_in_window=renewal_traffic,
+            )
+        finally:
+            env.close()
+
+    # Dedicated notification channel: propagation is immediate, independent
+    # of the lease time, at the cost of one standing connection per client.
+    env = build_single_database(lease_time_ms=60_000)
+    try:
+        record_v1 = env.admin.install_driver(
+            build_pydb_driver("pydb-1.0.0", driver_version=(1, 0, 0)),
+            database=env.database_name,
+            lease_time_ms=60_000,
+        )
+        bootloaders = [env.new_bootloader(BootloaderConfig()) for _ in range(clients)]
+        for bootloader in bootloaders:
+            bootloader.connect(env.url).close()
+            bootloader.subscribe_for_updates(env.db_address, database=env.database_name)
+        requests_before = env.drivolution.stats.requests
+        env.admin.push_upgrade(
+            build_pydb_driver("pydb-1.1.0", driver_version=(1, 1, 0)),
+            old_record=record_v1,
+            database=env.database_name,
+            lease_time_ms=60_000,
+        )
+        import time as _time
+
+        deadline = _time.time() + 5.0
+        upgraded = 0
+        while _time.time() < deadline:
+            upgraded = sum(
+                1
+                for bootloader in bootloaders
+                if bootloader.driver_info().get("driver_name") == "pydb-1.1.0"
+            )
+            if upgraded == clients:
+                break
+            _time.sleep(0.02)
+        result.add_row(
+            mode="notification channel",
+            lease_time_ms=60_000,
+            upgraded_clients=upgraded,
+            propagation_delay_s=0.0,
+            server_requests_in_window=env.drivolution.stats.requests - requests_before,
+        )
+        result.add_note(
+            "shorter leases upgrade clients sooner but generate proportionally more renewal "
+            "traffic; the dedicated notification channel upgrades immediately regardless of lease time"
+        )
+        for bootloader in bootloaders:
+            bootloader.shutdown()
+    finally:
+        env.close()
+    return result
+
+
+def run_experiment(**kwargs) -> ExperimentResult:
+    """Combined E11 result (matrix + revocation + sweep rows)."""
+    combined = ExperimentResult(
+        experiment_id="E11",
+        title="Policies and leases (Tables 3/4, Section 3.3)",
+    )
+    for partial in (
+        run_expiration_policy_matrix(),
+        run_revocation_study(),
+        run_lease_time_sweep(),
+    ):
+        for row in partial.rows:
+            combined.add_row(study=partial.experiment_id, **row)
+        for note in partial.notes:
+            combined.add_note(f"{partial.experiment_id}: {note}")
+    return combined

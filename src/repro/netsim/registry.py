@@ -1,0 +1,59 @@
+"""Process-global network registry.
+
+Dynamically loaded driver packages (see :mod:`repro.core.loader`) receive a
+connection URL and options from the application, exactly as the paper
+describes for JDBC drivers. When the application does not pass an explicit
+``network=`` option, drivers resolve the transport by name through this
+registry: experiments register their :class:`InMemoryNetwork` under a name
+(``"default"`` unless stated otherwise) and every driver loaded afterwards
+finds it here.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.errors import TransportError
+from repro.netsim.tcp import TcpNetwork
+from repro.netsim.transport import Network
+
+DEFAULT_NETWORK_NAME = "default"
+
+_lock = threading.Lock()
+_networks: Dict[str, Network] = {}
+
+
+def register_network(name: str, network: Network) -> None:
+    """Register ``network`` under ``name`` (replacing any previous one)."""
+    with _lock:
+        _networks[name] = network
+
+
+def unregister_network(name: str) -> None:
+    """Remove a registered network; missing names are ignored."""
+    with _lock:
+        _networks.pop(name, None)
+
+
+def get_network(name: str = DEFAULT_NETWORK_NAME) -> Network:
+    """Look up a registered network by name.
+
+    The special name ``"tcp"`` always resolves to a :class:`TcpNetwork`
+    even when nothing was registered, so TCP URLs work out of the box.
+    """
+    with _lock:
+        network = _networks.get(name)
+    if network is not None:
+        return network
+    if name == "tcp":
+        return TcpNetwork()
+    raise TransportError(
+        f"no network registered under {name!r}; call register_network() first"
+    )
+
+
+def clear_registry() -> None:
+    """Remove all registered networks (used by test teardown)."""
+    with _lock:
+        _networks.clear()

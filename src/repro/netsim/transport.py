@@ -1,0 +1,172 @@
+"""Abstract transport interfaces.
+
+A :class:`Network` creates :class:`Listener` objects (server side) and
+:class:`Channel` objects (client side). Channels are bidirectional,
+message-oriented and blocking; servers typically wrap a listener in a
+:class:`ChannelServer` which accepts connections on a background thread
+and dispatches each one to a handler callable.
+
+The same interfaces are implemented by the in-memory network
+(:mod:`repro.netsim.inmem`) and the TCP network (:mod:`repro.netsim.tcp`),
+so every server and client in the repro is transport agnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import TransportError
+
+#: Addresses are plain strings, e.g. ``"db1:5432"`` for the in-memory
+#: network or ``"127.0.0.1:15432"`` for TCP.
+Address = str
+
+
+class Channel(ABC):
+    """A bidirectional, message-oriented connection between two peers."""
+
+    @abstractmethod
+    def send(self, message: Dict[str, Any]) -> None:
+        """Send one message dictionary to the peer."""
+
+    @abstractmethod
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Receive one message, blocking up to ``timeout`` seconds.
+
+        Raises :class:`repro.errors.TransportError` on timeout or if the
+        peer has closed the channel.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close the channel; pending receivers on both sides are woken."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool:
+        """Whether the channel has been closed by either side."""
+
+    def request(self, message: Dict[str, Any], timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Convenience helper: send ``message`` and wait for one reply."""
+        self.send(message)
+        return self.recv(timeout=timeout)
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Listener(ABC):
+    """Server-side endpoint accepting incoming channels."""
+
+    @property
+    @abstractmethod
+    def address(self) -> Address:
+        """The address clients use to connect to this listener."""
+
+    @abstractmethod
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        """Accept one incoming channel, blocking up to ``timeout``."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Stop accepting connections and release the address."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool:
+        """Whether the listener has been closed."""
+
+
+class Network(ABC):
+    """Factory for listeners and outbound channels."""
+
+    @abstractmethod
+    def listen(self, address: Address) -> Listener:
+        """Bind a listener to ``address``."""
+
+    @abstractmethod
+    def connect(self, address: Address, timeout: Optional[float] = None) -> Channel:
+        """Open a channel to the listener bound at ``address``."""
+
+    def registered_addresses(self) -> List[Address]:
+        """Addresses currently listening on this network.
+
+        Used by broadcast-style discovery (``DRIVOLUTION_DISCOVER``).
+        Networks that cannot enumerate peers (real TCP) return an empty
+        list, and discovery falls back to an explicit server list.
+        """
+        return []
+
+
+class ChannelServer:
+    """Accept loop that dispatches each incoming channel to a handler.
+
+    The handler is called as ``handler(channel)`` on a dedicated thread
+    per connection; it owns the channel and must close it when done. This
+    is the building block used by the database server, the Sequoia
+    controller and the Drivolution server.
+    """
+
+    def __init__(self, listener: Listener, handler: Callable[[Channel], None], name: str = "server"):
+        self._listener = listener
+        self._handler = handler
+        self._name = name
+        self._threads: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    @property
+    def address(self) -> Address:
+        return self._listener.address
+
+    @property
+    def running(self) -> bool:
+        return self._accept_thread is not None and not self._stopped.is_set()
+
+    def start(self) -> "ChannelServer":
+        """Start accepting connections on a background thread."""
+        if self._accept_thread is not None:
+            raise TransportError(f"{self._name} already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self._name}-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                channel = self._listener.accept(timeout=0.1)
+            except TransportError:
+                if self._listener.closed:
+                    return
+                continue
+            thread = threading.Thread(
+                target=self._run_handler, args=(channel,), name=f"{self._name}-conn", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _run_handler(self, channel: Channel) -> None:
+        try:
+            self._handler(channel)
+        except TransportError:
+            pass
+        finally:
+            try:
+                channel.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def stop(self) -> None:
+        """Stop accepting new connections. Existing handlers keep running."""
+        self._stopped.set()
+        self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None

@@ -1,0 +1,51 @@
+"""In-memory SQL database engine.
+
+Drivolution stores drivers, permissions and leases in regular database
+tables inside the ``information_schema`` and retrieves them with plain SQL
+(Sample code 1 and 2 in the paper). This package provides the relational
+substrate that makes that possible without any external DBMS:
+
+- a SQL subset (CREATE TABLE / DROP TABLE / INSERT / SELECT / UPDATE /
+  DELETE / BEGIN / COMMIT / ROLLBACK) with ``LIKE``, ``IS NULL``,
+  ``BETWEEN``, ``IN``, ``ORDER BY``, ``LIMIT`` and ``COUNT``/``MAX``
+  aggregates,
+- typed columns (INTEGER, BIGINT, VARCHAR, BLOB, TIMESTAMP, BOOLEAN,
+  DOUBLE) with NOT NULL, PRIMARY KEY and REFERENCES constraints,
+- schema-qualified table names (``information_schema.drivers``),
+- named (``$name``) and positional (``?``) statement parameters,
+- per-session transactions with rollback.
+
+The public entry points are :class:`~repro.sqlengine.engine.Engine` (a
+server-side catalog of databases) and the sessions it creates.
+"""
+
+from repro.sqlengine.types import SqlType, SqlTypeError
+from repro.sqlengine.schema import Column, TableSchema, SchemaError
+from repro.sqlengine.database import Database
+from repro.sqlengine.engine import Engine, Session, ResultSet
+from repro.sqlengine.errors import (
+    SqlEngineError,
+    SqlParseError,
+    SqlExecutionError,
+    ConstraintViolation,
+    TableNotFound,
+    TransactionError,
+)
+
+__all__ = [
+    "SqlType",
+    "SqlTypeError",
+    "Column",
+    "TableSchema",
+    "SchemaError",
+    "Database",
+    "Engine",
+    "Session",
+    "ResultSet",
+    "SqlEngineError",
+    "SqlParseError",
+    "SqlExecutionError",
+    "ConstraintViolation",
+    "TableNotFound",
+    "TransactionError",
+]

@@ -1,0 +1,83 @@
+"""A single database: a catalog of tables plus its ``information_schema``."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.sqlengine.errors import SqlExecutionError
+from repro.sqlengine.schema import Column, TableSchema
+from repro.sqlengine.storage import Table
+from repro.sqlengine.types import SqlType
+
+
+class Database:
+    """Named catalog of tables.
+
+    Tables are stored under a canonical lowercase key which may be
+    schema-qualified (``information_schema.drivers``). Unqualified names
+    resolve directly. The catalog also exposes a built-in
+    ``information_schema.tables`` view-like table that is refreshed on
+    demand so clients can introspect the catalog through plain SQL.
+    """
+
+    def __init__(self, name: str, clock: Callable[[], float] = time.time) -> None:
+        self.name = name
+        self.clock = clock
+        self._tables: Dict[str, Table] = {}
+        self._lock = threading.RLock()
+        self._create_tables_catalog()
+
+    # -- catalog -------------------------------------------------------------
+
+    def _create_tables_catalog(self) -> None:
+        schema = TableSchema(
+            name="information_schema.tables",
+            columns=[
+                Column("table_name", SqlType.VARCHAR, not_null=True),
+                Column("table_schema", SqlType.VARCHAR),
+            ],
+        )
+        self._tables["information_schema.tables"] = Table(schema)
+
+    def _refresh_tables_catalog(self) -> None:
+        catalog = self._tables["information_schema.tables"]
+        # Rebuild in place: simplest correct behaviour for a tiny catalog.
+        for index, _row in list(catalog.enumerate_rows()):
+            catalog.delete_at(index)
+        for key in sorted(self._tables):
+            if key == "information_schema.tables":
+                continue
+            if "." in key:
+                schema_name, _, table_name = key.partition(".")
+            else:
+                schema_name, table_name = None, key
+            catalog.insert({"table_name": table_name, "table_schema": schema_name})
+
+    def lookup_table(self, key: str) -> Optional[Table]:
+        """Resolve a canonical lowercase table key to its table."""
+        with self._lock:
+            if key == "information_schema.tables":
+                self._refresh_tables_catalog()
+            return self._tables.get(key.lower())
+
+    def create_table(self, key: str, table: Table) -> None:
+        with self._lock:
+            lowered = key.lower()
+            if lowered in self._tables:
+                raise SqlExecutionError(f"table {key!r} already exists in database {self.name!r}")
+            self._tables[lowered] = table
+
+    def drop_table(self, key: str) -> bool:
+        with self._lock:
+            return self._tables.pop(key.lower(), None) is not None
+
+    def table_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tables)
+
+    @property
+    def lock(self) -> threading.RLock:
+        """Engine-wide statement lock (sessions serialize on this)."""
+        return self._lock

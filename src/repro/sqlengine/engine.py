@@ -1,0 +1,176 @@
+"""Engine facade: databases, users and sessions.
+
+An :class:`Engine` is what a DBMS process owns: a set of named databases,
+a user/password catalog and a factory for :class:`Session` objects. The
+database server (:mod:`repro.dbserver`) wraps an engine behind a wire
+protocol; the Drivolution server queries it directly when embedded
+in-database, or through a driver when running externally.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlengine.database import Database
+from repro.sqlengine.errors import SqlExecutionError, TransactionError
+from repro.sqlengine.executor import ExecutionResult, Executor
+from repro.sqlengine.parser import parse
+from repro.sqlengine.transactions import TransactionManager
+
+
+@dataclass
+class ResultSet:
+    """Result of one SQL statement execution."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    rowcount: int = 0
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        """The first row, or None if the result is empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        row = self.first()
+        return row[0] if row else None
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    @staticmethod
+    def from_execution(result: ExecutionResult) -> "ResultSet":
+        return ResultSet(columns=result.columns, rows=result.rows, rowcount=result.rowcount)
+
+
+class Session:
+    """One client session against one database.
+
+    Sessions are cheap; every connection from the database server gets its
+    own session so its transaction state is isolated.
+    """
+
+    def __init__(self, engine: "Engine", database: Database, user: Optional[str] = None) -> None:
+        self._engine = engine
+        self._database = database
+        self.user = user
+        self._transactions = TransactionManager()
+        self._executor = Executor(
+            lookup_table=database.lookup_table,
+            create_table=database.create_table,
+            drop_table=database.drop_table,
+            transactions=self._transactions,
+            clock=database.clock,
+        )
+        self._closed = False
+
+    @property
+    def database_name(self) -> str:
+        return self._database.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is open (used by AFTER_COMMIT)."""
+        return self._transactions.active
+
+    def execute(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]] = None,
+        positional: Sequence[Any] = (),
+    ) -> ResultSet:
+        """Parse and execute one SQL statement."""
+        if self._closed:
+            raise SqlExecutionError("session is closed")
+        statement = parse(sql)
+        with self._database.lock:
+            result = self._executor.execute(statement, params=params, positional=positional)
+        return ResultSet.from_execution(result)
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    def abort(self) -> bool:
+        """Roll back any in-flight transaction (forced termination path)."""
+        with self._database.lock:
+            return self._transactions.abort_if_active()
+
+    def close(self) -> None:
+        """Close the session, rolling back any open transaction."""
+        if self._closed:
+            return
+        try:
+            self.abort()
+        except TransactionError:  # pragma: no cover - abort never raises this
+            pass
+        self._closed = True
+
+
+class Engine:
+    """A DBMS instance: named databases plus a user catalog."""
+
+    def __init__(self, name: str = "repro-db", clock: Callable[[], float] = time.time) -> None:
+        self.name = name
+        self.clock = clock
+        self._databases: Dict[str, Database] = {}
+        self._users: Dict[str, str] = {}
+        self._lock = threading.RLock()
+
+    # -- databases -------------------------------------------------------------
+
+    def create_database(self, name: str) -> Database:
+        """Create (or return the existing) database called ``name``."""
+        with self._lock:
+            key = name.lower()
+            if key not in self._databases:
+                self._databases[key] = Database(name, clock=self.clock)
+            return self._databases[key]
+
+    def database(self, name: str) -> Optional[Database]:
+        with self._lock:
+            return self._databases.get(name.lower())
+
+    def database_names(self) -> List[str]:
+        with self._lock:
+            return sorted(db.name for db in self._databases.values())
+
+    def drop_database(self, name: str) -> bool:
+        with self._lock:
+            return self._databases.pop(name.lower(), None) is not None
+
+    # -- users -------------------------------------------------------------------
+
+    def create_user(self, user: str, password: str) -> None:
+        with self._lock:
+            self._users[user] = password
+
+    def authenticate(self, user: Optional[str], password: Optional[str]) -> bool:
+        """Check credentials. An engine with no users accepts anyone."""
+        with self._lock:
+            if not self._users:
+                return True
+            if user is None:
+                return False
+            return self._users.get(user) == password
+
+    # -- sessions -----------------------------------------------------------------
+
+    def open_session(self, database_name: str, user: Optional[str] = None) -> Session:
+        database = self.database(database_name)
+        if database is None:
+            raise SqlExecutionError(f"database {database_name!r} does not exist")
+        return Session(self, database, user=user)

@@ -1,0 +1,31 @@
+"""SQL engine exception hierarchy."""
+
+from repro.errors import SqlError
+
+
+class SqlEngineError(SqlError):
+    """Base class for all SQL engine errors."""
+
+
+class SqlParseError(SqlEngineError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SqlExecutionError(SqlEngineError):
+    """A parsed statement could not be executed."""
+
+
+class TableNotFound(SqlExecutionError):
+    """The referenced table does not exist."""
+
+
+class ColumnNotFound(SqlExecutionError):
+    """The referenced column does not exist."""
+
+
+class ConstraintViolation(SqlExecutionError):
+    """A NOT NULL, PRIMARY KEY or REFERENCES constraint was violated."""
+
+
+class TransactionError(SqlExecutionError):
+    """Invalid transaction usage (e.g. COMMIT without BEGIN)."""

@@ -1,0 +1,160 @@
+"""Row storage with constraint enforcement.
+
+A :class:`Table` stores rows as dictionaries keyed by column name and
+maintains a primary-key index. Constraint checks (NOT NULL, PRIMARY KEY
+uniqueness, REFERENCES existence) happen on every insert/update so the
+Drivolution registry can rely on them, e.g. ``driver_permission`` rows
+cannot reference a driver that was never installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sqlengine.errors import ConstraintViolation
+from repro.sqlengine.schema import TableSchema
+
+Row = Dict[str, Any]
+
+
+class Table:
+    """One table: a schema plus its rows."""
+
+    def __init__(self, schema: TableSchema, resolve_table: Optional[Callable[[str], Optional["Table"]]] = None) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._pk_index: Dict[Tuple[Any, ...], int] = {}
+        # Callback used to resolve foreign-key target tables by name.
+        self._resolve_table = resolve_table
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterable[Row]:
+        """Iterate over live rows (deleted slots are skipped)."""
+        return (row for row in self._rows if row is not None)
+
+    def snapshot(self) -> List[Row]:
+        """A deep-enough copy of all rows (rows copied, values shared)."""
+        return [dict(row) for row in self._rows if row is not None]
+
+    # -- constraint checks ---------------------------------------------------
+
+    def _check_not_null(self, row: Row) -> None:
+        for column in self.schema.columns:
+            if column.not_null and row.get(column.name) is None:
+                raise ConstraintViolation(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+
+    def _check_primary_key(self, row: Row, ignore_index: Optional[int] = None) -> None:
+        pk = self.schema.primary_key_of(row)
+        if pk is None:
+            return
+        existing = self._pk_index.get(pk)
+        if existing is not None and existing != ignore_index:
+            raise ConstraintViolation(
+                f"duplicate primary key {pk!r} in table {self.name!r}"
+            )
+
+    def _check_foreign_keys(self, row: Row) -> None:
+        if self._resolve_table is None:
+            return
+        for column, foreign_key in self.schema.foreign_keys():
+            value = row.get(column.name)
+            if value is None:
+                continue
+            target = self._resolve_table(foreign_key.table)
+            if target is None:
+                raise ConstraintViolation(
+                    f"foreign key on {self.name}.{column.name} references missing table "
+                    f"{foreign_key.table!r}"
+                )
+            if not target.has_value(foreign_key.column, value):
+                raise ConstraintViolation(
+                    f"foreign key violation: {self.name}.{column.name}={value!r} has no match in "
+                    f"{foreign_key.table}.{foreign_key.column}"
+                )
+
+    def has_value(self, column_name: str, value: Any) -> bool:
+        """Whether any live row has ``column_name == value``."""
+        key = self.schema.column(column_name).name
+        return any(row[key] == value for row in self.rows())
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(self, values: Dict[str, Any]) -> Row:
+        """Insert one row given a (partial) column->value mapping."""
+        row = self.schema.coerce_row(values)
+        self._check_not_null(row)
+        self._check_primary_key(row)
+        self._check_foreign_keys(row)
+        index = len(self._rows)
+        self._rows.append(row)
+        pk = self.schema.primary_key_of(row)
+        if pk is not None:
+            self._pk_index[pk] = index
+        return dict(row)
+
+    def update_at(self, index: int, new_values: Dict[str, Any]) -> Tuple[Row, Row]:
+        """Apply ``new_values`` to the row at ``index``; returns (old, new)."""
+        old = self._rows[index]
+        if old is None:
+            raise ConstraintViolation(f"row {index} of table {self.name!r} was deleted")
+        updated = dict(old)
+        for key, value in new_values.items():
+            column = self.schema.column(key)
+            updated[column.name] = column.coerce(value)
+        self._check_not_null(updated)
+        old_pk = self.schema.primary_key_of(old)
+        new_pk = self.schema.primary_key_of(updated)
+        if new_pk != old_pk:
+            self._check_primary_key(updated, ignore_index=index)
+        self._check_foreign_keys(updated)
+        self._rows[index] = updated
+        if old_pk is not None and old_pk in self._pk_index:
+            del self._pk_index[old_pk]
+        if new_pk is not None:
+            self._pk_index[new_pk] = index
+        return dict(old), dict(updated)
+
+    def delete_at(self, index: int) -> Row:
+        """Delete the row at ``index``; returns the removed row."""
+        old = self._rows[index]
+        if old is None:
+            raise ConstraintViolation(f"row {index} of table {self.name!r} already deleted")
+        self._rows[index] = None  # type: ignore[call-overload]
+        pk = self.schema.primary_key_of(old)
+        if pk is not None and self._pk_index.get(pk) == index:
+            del self._pk_index[pk]
+        return dict(old)
+
+    def restore_at(self, index: int, row: Row) -> None:
+        """Undo helper: put ``row`` back at ``index`` (used by rollback)."""
+        while len(self._rows) <= index:
+            self._rows.append(None)  # type: ignore[arg-type]
+        self._rows[index] = dict(row)
+        pk = self.schema.primary_key_of(row)
+        if pk is not None:
+            self._pk_index[pk] = index
+
+    def remove_at(self, index: int) -> None:
+        """Undo helper: remove the row at ``index`` without constraint checks."""
+        if index < len(self._rows) and self._rows[index] is not None:
+            row = self._rows[index]
+            pk = self.schema.primary_key_of(row)
+            if pk is not None and self._pk_index.get(pk) == index:
+                del self._pk_index[pk]
+            self._rows[index] = None  # type: ignore[call-overload]
+
+    def enumerate_rows(self) -> Iterable[Tuple[int, Row]]:
+        """Yield (index, row) pairs for live rows."""
+        for index, row in enumerate(self._rows):
+            if row is not None:
+                yield index, row

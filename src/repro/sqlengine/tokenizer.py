@@ -1,0 +1,147 @@
+"""SQL tokenizer.
+
+Produces a flat list of tokens consumed by the recursive-descent parser in
+:mod:`repro.sqlengine.parser`. Token kinds:
+
+- ``IDENT`` — identifiers and keywords (keyword recognition is done by the
+  parser, case-insensitively),
+- ``NUMBER`` — integer or float literals,
+- ``STRING`` — single-quoted string literals (with ``''`` escaping),
+- ``PARAM`` — ``$name`` named parameters or ``?`` positional parameters,
+- ``OP`` — operators and punctuation (``= <> != <= >= < > ( ) , . *``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.sqlengine.errors import SqlParseError
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position (for error messages)."""
+
+    kind: str
+    value: Union[str, int, float]
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", ".", "*", ";", "+", "-")
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_BODY = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize a SQL string, raising :class:`SqlParseError` on bad input."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            literal, index = _read_string(sql, index)
+            tokens.append(Token("STRING", literal, index))
+            continue
+        if char in _DIGITS or (
+            char == "-" and index + 1 < length and sql[index + 1] in _DIGITS and _number_context(tokens)
+        ):
+            number, index = _read_number(sql, index)
+            tokens.append(Token("NUMBER", number, index))
+            continue
+        if char == "$":
+            name, index = _read_identifier(sql, index + 1)
+            if not name:
+                raise SqlParseError(f"empty parameter name at position {index}")
+            tokens.append(Token("PARAM", name, index))
+            continue
+        if char == "?":
+            tokens.append(Token("PARAM", "?", index))
+            index += 1
+            continue
+        if char in _IDENT_START:
+            name, index = _read_identifier(sql, index)
+            tokens.append(Token("IDENT", name, index))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, index):
+                tokens.append(Token("OP", op, index))
+                index += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        raise SqlParseError(f"unexpected character {char!r} at position {index}")
+    return tokens
+
+
+def _number_context(tokens: List[Token]) -> bool:
+    """A leading ``-`` starts a number only where a value is expected."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    if last.kind == "OP" and last.value not in (")", "*"):
+        return True
+    if last.kind == "IDENT":
+        return last.value.upper() in {
+            "SELECT", "WHERE", "AND", "OR", "NOT", "VALUES", "SET", "BETWEEN",
+            "LIKE", "IN", "BY", "LIMIT", "THEN", "ELSE",
+        }
+    return False
+
+
+def _read_string(sql: str, index: int) -> tuple:
+    """Read a single-quoted string starting at ``index`` (on the quote)."""
+    assert sql[index] == "'"
+    index += 1
+    chunks: List[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            if index + 1 < len(sql) and sql[index + 1] == "'":
+                chunks.append("'")
+                index += 2
+                continue
+            return "".join(chunks), index + 1
+        chunks.append(char)
+        index += 1
+    raise SqlParseError("unterminated string literal")
+
+
+def _read_number(sql: str, index: int) -> tuple:
+    start = index
+    if sql[index] == "-":
+        index += 1
+    is_float = False
+    while index < len(sql) and (sql[index] in _DIGITS or sql[index] == "."):
+        if sql[index] == ".":
+            if is_float:
+                break
+            is_float = True
+        index += 1
+    text = sql[start:index]
+    try:
+        value: Union[int, float] = float(text) if is_float else int(text)
+    except ValueError as exc:
+        raise SqlParseError(f"invalid number literal {text!r}") from exc
+    return value, index
+
+
+def _read_identifier(sql: str, index: int) -> tuple:
+    start = index
+    while index < len(sql) and sql[index] in _IDENT_BODY:
+        index += 1
+    return sql[start:index], index

@@ -1,0 +1,100 @@
+"""Transactions: per-session undo logs.
+
+Each session may run at most one transaction at a time. DML statements
+executed inside a transaction record undo entries; ROLLBACK replays them
+in reverse, COMMIT discards them. Statements outside an explicit
+transaction auto-commit.
+
+The engine serializes statement execution with a single lock, so the undo
+log does not need to handle concurrent writers to the same row; what the
+Drivolution experiments need from transactions is the *lifecycle* —
+knowing whether a connection has an in-flight transaction (the
+``AFTER_COMMIT`` expiration policy) and being able to abort it cleanly
+(the ``IMMEDIATE`` policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sqlengine.errors import TransactionError
+from repro.sqlengine.storage import Table
+
+
+@dataclass
+class UndoEntry:
+    """One reversible mutation."""
+
+    kind: str  # "insert" | "update" | "delete"
+    table: Table
+    index: int
+    before: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class Transaction:
+    """An open transaction accumulating undo entries."""
+
+    undo_log: List[UndoEntry] = field(default_factory=list)
+    statements: int = 0
+
+    def record_insert(self, table: Table, index: int) -> None:
+        self.undo_log.append(UndoEntry(kind="insert", table=table, index=index))
+
+    def record_update(self, table: Table, index: int, before: Dict[str, Any]) -> None:
+        self.undo_log.append(UndoEntry(kind="update", table=table, index=index, before=before))
+
+    def record_delete(self, table: Table, index: int, before: Dict[str, Any]) -> None:
+        self.undo_log.append(UndoEntry(kind="delete", table=table, index=index, before=before))
+
+    def rollback(self) -> None:
+        """Undo every recorded mutation, newest first."""
+        for entry in reversed(self.undo_log):
+            if entry.kind == "insert":
+                entry.table.remove_at(entry.index)
+            elif entry.kind in ("update", "delete"):
+                assert entry.before is not None
+                entry.table.restore_at(entry.index, entry.before)
+        self.undo_log.clear()
+
+
+class TransactionManager:
+    """Tracks the open transaction of one session."""
+
+    def __init__(self) -> None:
+        self._current: Optional[Transaction] = None
+
+    @property
+    def active(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current(self) -> Optional[Transaction]:
+        return self._current
+
+    def begin(self) -> Transaction:
+        if self._current is not None:
+            raise TransactionError("transaction already in progress")
+        self._current = Transaction()
+        return self._current
+
+    def commit(self) -> None:
+        if self._current is None:
+            raise TransactionError("COMMIT without an open transaction")
+        self._current = None
+
+    def rollback(self) -> None:
+        if self._current is None:
+            raise TransactionError("ROLLBACK without an open transaction")
+        self._current.rollback()
+        self._current = None
+
+    def abort_if_active(self) -> bool:
+        """Roll back the open transaction if there is one (used by forced
+        connection termination under the IMMEDIATE policy)."""
+        if self._current is None:
+            return False
+        self._current.rollback()
+        self._current = None
+        return True

@@ -1,0 +1,133 @@
+"""SQL data types and value coercion.
+
+Data type definitions follow the ANSI SQL 2003 names used by the paper's
+Table 1 and Table 2 (INTEGER, BIGINT, VARCHAR, BLOB, TIMESTAMP). Values
+are stored as native Python objects:
+
+========= ======================
+SQL type  Python representation
+========= ======================
+INTEGER   int
+BIGINT    int
+DOUBLE    float
+VARCHAR   str
+BLOB      bytes
+TIMESTAMP float (epoch seconds)
+BOOLEAN   bool
+========= ======================
+
+NULL is represented by ``None`` for every type.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.sqlengine.errors import SqlEngineError
+
+
+class SqlTypeError(SqlEngineError):
+    """A value cannot be coerced to the column's declared type."""
+
+
+class SqlType(enum.Enum):
+    """Supported column types."""
+
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    DOUBLE = "DOUBLE"
+    VARCHAR = "VARCHAR"
+    BLOB = "BLOB"
+    TIMESTAMP = "TIMESTAMP"
+    BOOLEAN = "BOOLEAN"
+
+    @staticmethod
+    def from_name(name: str) -> "SqlType":
+        """Resolve a type name (case-insensitive, common aliases allowed)."""
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": SqlType.INTEGER,
+            "INTEGER": SqlType.INTEGER,
+            "BIGINT": SqlType.BIGINT,
+            "DOUBLE": SqlType.DOUBLE,
+            "FLOAT": SqlType.DOUBLE,
+            "REAL": SqlType.DOUBLE,
+            "VARCHAR": SqlType.VARCHAR,
+            "TEXT": SqlType.VARCHAR,
+            "CHAR": SqlType.VARCHAR,
+            "BLOB": SqlType.BLOB,
+            "TIMESTAMP": SqlType.TIMESTAMP,
+            "BOOLEAN": SqlType.BOOLEAN,
+            "BOOL": SqlType.BOOLEAN,
+        }
+        if normalized not in aliases:
+            raise SqlTypeError(f"unknown SQL type: {name!r}")
+        return aliases[normalized]
+
+
+def coerce_value(value: Any, sql_type: SqlType) -> Optional[Any]:
+    """Coerce ``value`` to the Python representation of ``sql_type``.
+
+    ``None`` passes through unchanged (NULL is valid for any type until a
+    NOT NULL constraint says otherwise). Raises :class:`SqlTypeError` for
+    incompatible values rather than silently truncating.
+    """
+    if value is None:
+        return None
+    if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                raise SqlTypeError(f"cannot coerce {value!r} to {sql_type.value}") from None
+        raise SqlTypeError(f"cannot coerce {type(value).__name__} to {sql_type.value}")
+    if sql_type == SqlType.DOUBLE:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                raise SqlTypeError(f"cannot coerce {value!r} to DOUBLE") from None
+        raise SqlTypeError(f"cannot coerce {type(value).__name__} to DOUBLE")
+    if sql_type == SqlType.VARCHAR:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (int, float, bool)):
+            return str(value)
+        raise SqlTypeError(f"cannot coerce {type(value).__name__} to VARCHAR")
+    if sql_type == SqlType.BLOB:
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, bytearray):
+            return bytes(value)
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        raise SqlTypeError(f"cannot coerce {type(value).__name__} to BLOB")
+    if sql_type == SqlType.TIMESTAMP:
+        if isinstance(value, bool):
+            raise SqlTypeError("cannot coerce BOOLEAN to TIMESTAMP")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                raise SqlTypeError(f"cannot coerce {value!r} to TIMESTAMP") from None
+        raise SqlTypeError(f"cannot coerce {type(value).__name__} to TIMESTAMP")
+    if sql_type == SqlType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise SqlTypeError(f"cannot coerce {type(value).__name__} to BOOLEAN")
+    raise SqlTypeError(f"unsupported SQL type: {sql_type!r}")  # pragma: no cover

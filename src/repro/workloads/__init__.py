@@ -1,0 +1,19 @@
+"""Workload generation and metrics.
+
+The paper's case studies argue about operational quantities: how many
+steps an upgrade takes, whether applications keep running while drivers
+change underneath them, how many requests fail during a failover. This
+package provides the client-application simulator and the metrics
+collector that turn those arguments into measured numbers.
+"""
+
+from repro.workloads.metrics import MetricsCollector, RequestRecord, MetricsSummary
+from repro.workloads.client_app import ClientApplication, WorkloadSpec
+
+__all__ = [
+    "MetricsCollector",
+    "RequestRecord",
+    "MetricsSummary",
+    "ClientApplication",
+    "WorkloadSpec",
+]

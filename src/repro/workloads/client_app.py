@@ -1,0 +1,197 @@
+"""Client application simulator.
+
+A :class:`ClientApplication` models one of the paper's "client
+applications": it owns a ``connect`` callable (a conventional driver's
+``connect``, a bootloader's ``connect``, or a pooled factory), issues a
+simple transactional workload against its database, and records every
+request outcome in a :class:`~repro.workloads.metrics.MetricsCollector`.
+
+Applications can run their workload inline (``run_requests``) for
+deterministic experiments, or on a background thread (``start``/``stop``)
+for scenarios that need traffic flowing *while* an upgrade or failover
+happens.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ReproError
+from repro.workloads.metrics import MetricsCollector
+
+
+@dataclass
+class WorkloadSpec:
+    """Shape of the workload an application issues.
+
+    ``write_ratio`` is the fraction of requests that are INSERTs (the rest
+    are SELECTs); ``use_transactions`` wraps each write in BEGIN/COMMIT,
+    which matters for the AFTER_COMMIT expiration policy experiments.
+    """
+
+    table: str = "app_events"
+    write_ratio: float = 0.5
+    use_transactions: bool = False
+    setup_sql: Optional[str] = None
+
+    def default_setup_sql(self) -> str:
+        return (
+            f"CREATE TABLE IF NOT EXISTS {self.table} "
+            "(id INTEGER NOT NULL PRIMARY KEY, client VARCHAR, payload VARCHAR)"
+        )
+
+
+class ClientApplication:
+    """One simulated client application."""
+
+    _id_lock = threading.Lock()
+    _next_row_id = 0
+
+    def __init__(
+        self,
+        name: str,
+        connect: Callable[..., Any],
+        url: str,
+        spec: Optional[WorkloadSpec] = None,
+        connect_kwargs: Optional[Dict[str, Any]] = None,
+        clock: Callable[[], float] = time.time,
+        reconnect_per_request: bool = False,
+    ) -> None:
+        self.name = name
+        self._connect = connect
+        self.url = url
+        self.spec = spec or WorkloadSpec()
+        self._connect_kwargs = dict(connect_kwargs or {})
+        self.metrics = MetricsCollector(clock=clock)
+        self._clock = clock
+        self._reconnect_per_request = reconnect_per_request
+        self._connection: Optional[Any] = None
+        self._request_counter = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._lock = threading.RLock()
+
+    # -- connection handling ------------------------------------------------------
+
+    def _get_connection(self) -> Any:
+        with self._lock:
+            if self._connection is None or getattr(self._connection, "closed", False):
+                self._connection = self._connect(self.url, **self._connect_kwargs)
+            return self._connection
+
+    def drop_connection(self) -> None:
+        """Close the cached connection so the next request reconnects."""
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                except Exception:
+                    pass
+                self._connection = None
+
+    def current_driver_name(self) -> str:
+        with self._lock:
+            if self._connection is None or getattr(self._connection, "closed", False):
+                return ""
+            info = getattr(self._connection, "driver_info", {})
+            return str(info.get("name", ""))
+
+    # -- setup -----------------------------------------------------------------------
+
+    def ensure_schema(self) -> None:
+        """Create the workload table (idempotent)."""
+        connection = self._get_connection()
+        cursor = connection.cursor()
+        cursor.execute(self.spec.setup_sql or self.spec.default_setup_sql())
+        cursor.close()
+
+    # -- workload ---------------------------------------------------------------------
+
+    @classmethod
+    def _allocate_row_id(cls) -> int:
+        with cls._id_lock:
+            cls._next_row_id += 1
+            return cls._next_row_id
+
+    def run_requests(self, count: int, tag: str = "") -> None:
+        """Issue ``count`` requests synchronously, recording each outcome."""
+        for index in range(count):
+            self._one_request(index, tag)
+
+    def _one_request(self, index: int, tag: str) -> None:
+        started = time.perf_counter()
+        driver_name = ""
+        try:
+            if self._reconnect_per_request:
+                self.drop_connection()
+            connection = self._get_connection()
+            driver_name = str(getattr(connection, "driver_info", {}).get("name", ""))
+            cursor = connection.cursor()
+            self._request_counter += 1
+            # Interleave writes and reads so the requested ratio holds even
+            # for small request counts: request k is a write when the integer
+            # part of k * ratio advances.
+            ratio = self.spec.write_ratio
+            is_write = int(self._request_counter * ratio) != int((self._request_counter - 1) * ratio)
+            if is_write:
+                row_id = self._allocate_row_id()
+                if self.spec.use_transactions:
+                    connection.begin()
+                cursor.execute(
+                    f"INSERT INTO {self.spec.table} (id, client, payload) "
+                    "VALUES ($id, $client, $payload)",
+                    {"id": row_id, "client": self.name, "payload": f"req-{index}"},
+                )
+                if self.spec.use_transactions:
+                    connection.commit()
+            else:
+                cursor.execute(
+                    f"SELECT COUNT(*) FROM {self.spec.table} WHERE client = $client",
+                    {"client": self.name},
+                )
+                cursor.fetchall()
+            cursor.close()
+        except ReproError as exc:
+            self.metrics.record_failure(
+                f"{type(exc).__name__}: {exc}",
+                latency=time.perf_counter() - started,
+                driver=driver_name,
+                tag=tag,
+            )
+            # A failed request usually means a dead connection: reconnect next time.
+            self.drop_connection()
+            return
+        self.metrics.record_success(
+            latency=time.perf_counter() - started, driver=driver_name, tag=tag
+        )
+
+    # -- background traffic --------------------------------------------------------------
+
+    def start(self, interval: float = 0.005, tag: str = "") -> None:
+        """Issue requests continuously on a background thread."""
+        if self._thread is not None:
+            return
+        self._stop_event.clear()
+
+        def loop() -> None:
+            index = 0
+            while not self._stop_event.wait(interval):
+                self._one_request(index, tag)
+                index += 1
+
+        self._thread = threading.Thread(target=loop, name=f"app-{self.name}", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    def close(self) -> None:
+        self.stop()
+        self.drop_connection()

@@ -1,0 +1,122 @@
+"""Metrics collection for experiments.
+
+Records per-request outcomes against a (possibly simulated) clock and
+derives the quantities the experiments report: success/failure counts,
+error windows (downtime), latency statistics and driver-generation
+breakdowns (which driver served which request — the visible effect of an
+upgrade).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one application request."""
+
+    timestamp: float
+    ok: bool
+    latency: float = 0.0
+    error: str = ""
+    driver: str = ""
+    tag: str = ""
+
+
+@dataclass
+class MetricsSummary:
+    """Aggregate view of a metrics collector."""
+
+    total: int
+    succeeded: int
+    failed: int
+    error_window_seconds: float
+    mean_latency: float
+    max_latency: float
+    drivers_seen: Dict[str, int]
+    errors_by_type: Dict[str, int]
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that succeeded."""
+        return self.succeeded / self.total if self.total else 1.0
+
+
+class MetricsCollector:
+    """Thread-safe accumulator of request records."""
+
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+        self._clock = clock
+        self._records: List[RequestRecord] = []
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def record_success(self, latency: float = 0.0, driver: str = "", tag: str = "") -> None:
+        self._append(RequestRecord(self._clock(), True, latency=latency, driver=driver, tag=tag))
+
+    def record_failure(self, error: str, latency: float = 0.0, driver: str = "", tag: str = "") -> None:
+        self._append(
+            RequestRecord(self._clock(), False, latency=latency, error=error, driver=driver, tag=tag)
+        )
+
+    def _append(self, record: RequestRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # -- queries ---------------------------------------------------------------
+
+    def records(self) -> List[RequestRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def failures(self) -> List[RequestRecord]:
+        return [record for record in self.records() if not record.ok]
+
+    def error_window_seconds(self) -> float:
+        """Length of the interval between the first and last failed request.
+
+        This is the experiments' downtime proxy: with a steady request
+        stream, the window during which requests fail is the window during
+        which the application was effectively down.
+        """
+        failed = self.failures()
+        if not failed:
+            return 0.0
+        return max(record.timestamp for record in failed) - min(record.timestamp for record in failed)
+
+    def drivers_seen(self) -> Dict[str, int]:
+        """How many successful requests each driver generation served."""
+        breakdown: Dict[str, int] = {}
+        for record in self.records():
+            if record.ok and record.driver:
+                breakdown[record.driver] = breakdown.get(record.driver, 0) + 1
+        return breakdown
+
+    def summary(self) -> MetricsSummary:
+        records = self.records()
+        succeeded = [record for record in records if record.ok]
+        failed = [record for record in records if not record.ok]
+        latencies = [record.latency for record in succeeded if record.latency > 0]
+        errors_by_type: Dict[str, int] = {}
+        for record in failed:
+            key = record.error.split(":")[0] if record.error else "unknown"
+            errors_by_type[key] = errors_by_type.get(key, 0) + 1
+        return MetricsSummary(
+            total=len(records),
+            succeeded=len(succeeded),
+            failed=len(failed),
+            error_window_seconds=self.error_window_seconds(),
+            mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+            max_latency=max(latencies) if latencies else 0.0,
+            drivers_seen=self.drivers_seen(),
+            errors_by_type=errors_by_type,
+        )

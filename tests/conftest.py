@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import SimulatedClock
+from repro.netsim import InMemoryNetwork
+from repro.netsim.registry import clear_registry, register_network
+from repro.sqlengine import Engine
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock()
+
+
+@pytest.fixture
+def network() -> InMemoryNetwork:
+    net = InMemoryNetwork()
+    register_network("default", net)
+    yield net
+    clear_registry()
+
+
+@pytest.fixture
+def engine(clock: SimulatedClock) -> Engine:
+    eng = Engine(name="testdb", clock=clock)
+    eng.create_database("appdb")
+    return eng
+
+
+@pytest.fixture
+def session(engine: Engine):
+    return engine.open_session("appdb")
+
+
+@pytest.fixture
+def single_db_env():
+    """A full single-database environment with an in-database Drivolution server."""
+    from repro.experiments.environments import build_single_database
+
+    env = build_single_database(lease_time_ms=1_000)
+    yield env
+    env.close()
+
+
+@pytest.fixture
+def cluster_env():
+    """A 2x2 cluster with embedded Drivolution servers."""
+    from repro.experiments.environments import build_cluster
+
+    env = build_cluster(replicas=2, controllers=2, embedded_drivolution=True)
+    yield env
+    env.close()

@@ -1,0 +1,196 @@
+"""Tests for the Sequoia-like cluster middleware."""
+
+import pytest
+
+from repro.cluster import Backend, is_write_statement
+from repro.cluster.recovery_log import RecoveryLog
+from repro.cluster.scheduler import RequestScheduler, SchedulerError
+from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION
+from repro.cluster.driver import ClusterDriverRuntime
+from repro.dbapi import OperationalError, ProgrammingError
+from repro.dbapi import legacy_driver
+
+
+class TestRecoveryLog:
+    def test_append_and_entries_after(self):
+        log = RecoveryLog()
+        assert log.last_index == 0
+        log.append("INSERT INTO t VALUES (1)")
+        log.append("INSERT INTO t VALUES (2)", params={"x": 1})
+        assert log.last_index == 2
+        assert [entry.index for entry in log.entries_after(0)] == [1, 2]
+        assert [entry.index for entry in log.entries_after(1)] == [2]
+        assert log.entries_after(5) == []
+        assert len(log) == 2
+
+
+class TestStatementClassification:
+    def test_reads_and_writes(self):
+        assert not is_write_statement("SELECT * FROM t")
+        assert not is_write_statement("  select 1")
+        assert is_write_statement("INSERT INTO t VALUES (1)")
+        assert is_write_statement("UPDATE t SET a = 1")
+        assert is_write_statement("DELETE FROM t")
+        assert is_write_statement("CREATE TABLE t (x INTEGER)")
+        assert is_write_statement("BEGIN")
+        assert not is_write_statement("")
+
+
+class TestSchedulerAndBackends:
+    def _make_backends(self, cluster_env, controller_index=0):
+        return cluster_env.controllers[controller_index].backends()
+
+    def test_writes_replicated_reads_balanced(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        scheduler = controller.scheduler
+        scheduler.execute("CREATE TABLE sched_t (id INTEGER PRIMARY KEY)")
+        scheduler.execute("INSERT INTO sched_t (id) VALUES (1)")
+        for engine in cluster_env.replica_engines:
+            count = engine.open_session(cluster_env.database_name).execute(
+                "SELECT COUNT(*) FROM sched_t"
+            ).scalar()
+            assert count == 1
+        # Reads spread across backends: both report statements after a few reads.
+        for _ in range(4):
+            scheduler.execute("SELECT COUNT(*) FROM sched_t")
+        executed = [backend.statements_executed for backend in controller.backends()]
+        assert all(count > 0 for count in executed)
+
+    def test_disable_enable_resync(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        scheduler = controller.scheduler
+        scheduler.execute("CREATE TABLE resync_t (id INTEGER PRIMARY KEY)")
+        controller.disable_backend("db1")
+        scheduler.execute("INSERT INTO resync_t (id) VALUES (1)")
+        scheduler.execute("INSERT INTO resync_t (id) VALUES (2)")
+        behind = cluster_env.replica_engines[0].open_session(cluster_env.database_name).execute(
+            "SELECT COUNT(*) FROM resync_t"
+        ).scalar()
+        assert behind == 0
+        replayed = controller.enable_backend("db1")
+        assert replayed == 2
+        caught_up = cluster_env.replica_engines[0].open_session(cluster_env.database_name).execute(
+            "SELECT COUNT(*) FROM resync_t"
+        ).scalar()
+        assert caught_up == 2
+
+    def test_no_enabled_backend(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        for backend in controller.backends():
+            backend.disable(0)
+        with pytest.raises(SchedulerError):
+            controller.scheduler.execute("SELECT 1 FROM nothing")
+
+    def test_backend_failure_marks_failed_but_statement_succeeds(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        scheduler = controller.scheduler
+        scheduler.execute("CREATE TABLE failover_t (id INTEGER PRIMARY KEY)")
+        # Kill one replica's database server endpoint: the write fails there
+        # but succeeds on the other replica.
+        cluster_env.network.kill_endpoint(cluster_env.replica_addresses[0])
+        controller.backend("db1").close_connection()
+        scheduler.execute("INSERT INTO failover_t (id) VALUES (1)")
+        states = {backend.name: backend.state.value for backend in controller.backends()}
+        assert states["db1"] == "failed"
+        assert states["db2"] == "enabled"
+        cluster_env.network.revive_endpoint(cluster_env.replica_addresses[0])
+
+    def test_replace_connection_factory(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        backend = controller.backend("db1")
+        address = cluster_env.replica_addresses[0]
+
+        def new_factory():
+            return legacy_driver.connect(
+                f"pydb://{address}/{cluster_env.database_name}", network=cluster_env.network
+            )
+
+        backend.replace_connection_factory(new_factory)
+        columns, rows, _ = backend.execute("SELECT 1")
+        assert rows == [(1,)]
+
+
+class TestClusterDriver:
+    def test_connect_execute_and_failover(self, cluster_env):
+        driver = ClusterDriverRuntime(name="sequoia-test")
+        connection = driver.connect(cluster_env.client_url(), network=cluster_env.network)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE drv_t (id INTEGER PRIMARY KEY)")
+        cursor.execute("INSERT INTO drv_t (id) VALUES (1)")
+        cursor.execute("SELECT COUNT(*) FROM drv_t")
+        assert cursor.fetchone() == (1,)
+        # Kill the controller currently serving this connection.
+        current = connection.controller_id
+        for controller in cluster_env.controllers:
+            if controller.config.controller_id == current:
+                controller.stop()
+                cluster_env.network.kill_endpoint(controller.address)
+        cursor.execute("SELECT COUNT(*) FROM drv_t")
+        assert cursor.fetchone() == (1,)
+        assert connection.failovers == 1
+        assert connection.controller_id != current
+        connection.close()
+
+    def test_unknown_virtual_database(self, cluster_env):
+        driver = ClusterDriverRuntime()
+        hosts = ",".join(controller.address for controller in cluster_env.controllers)
+        with pytest.raises(OperationalError):
+            driver.connect(f"sequoia://{hosts}/wrongvdb", network=cluster_env.network)
+
+    def test_old_driver_protocol_rejected(self, cluster_env):
+        ancient = ClusterDriverRuntime(protocol_version=0)
+        with pytest.raises(OperationalError):
+            ancient.connect(cluster_env.client_url(), network=cluster_env.network)
+
+    def test_newer_driver_downgrades(self, cluster_env):
+        newer = ClusterDriverRuntime(protocol_version=CLUSTER_PROTOCOL_VERSION + 5)
+        connection = newer.connect(cluster_env.client_url(), network=cluster_env.network)
+        cursor = connection.cursor()
+        cursor.execute("SELECT 1")
+        assert cursor.fetchone() == (1,)
+        connection.close()
+
+    def test_transaction_routed_to_all_backends(self, cluster_env):
+        driver = ClusterDriverRuntime()
+        connection = driver.connect(cluster_env.client_url(), network=cluster_env.network)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE tx_t (id INTEGER PRIMARY KEY)")
+        connection.begin()
+        cursor.execute("INSERT INTO tx_t (id) VALUES (1)")
+        connection.commit()
+        for engine in cluster_env.replica_engines:
+            assert engine.open_session(cluster_env.database_name).execute(
+                "SELECT COUNT(*) FROM tx_t"
+            ).scalar() == 1
+        connection.close()
+
+    def test_sql_error_surfaces_as_programming_error(self, cluster_env):
+        driver = ClusterDriverRuntime()
+        connection = driver.connect(cluster_env.client_url(), network=cluster_env.network)
+        cursor = connection.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("SELECT * FROM does_not_exist")
+        connection.close()
+
+
+class TestControllerGroupReplication:
+    def test_driver_install_replicated_to_peers(self, cluster_env):
+        from repro.dbapi.driver_factory import build_sequoia_driver
+
+        package = build_sequoia_driver("sequoia-9.9", driver_version=(9, 9, 0))
+        cluster_env.controllers[0].install_driver_cluster_wide(
+            package, database="vdb", lease_time_ms=1_000
+        )
+        for controller in cluster_env.controllers:
+            names = [pkg.name for _id, pkg in controller.drivolution.registry.list_drivers()]
+            assert "sequoia-9.9" in names
+
+    def test_cluster_wide_backend_disable_enable(self, cluster_env):
+        primary = cluster_env.controllers[0]
+        primary.scheduler.execute("CREATE TABLE cw_t (id INTEGER PRIMARY KEY)")
+        primary.disable_backend_cluster_wide("db1")
+        for controller in cluster_env.controllers:
+            assert not controller.backend("db1").enabled
+        primary.enable_backend_cluster_wide("db1")
+        for controller in cluster_env.controllers:
+            assert controller.backend("db1").enabled

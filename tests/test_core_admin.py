@@ -1,0 +1,62 @@
+"""Tests for the DBA admin operations."""
+
+import pytest
+
+from repro.core import DrivolutionAdmin, DriverSigner
+from repro.core.constants import ExpirationPolicy, RenewPolicy
+from repro.dbapi.driver_factory import build_pydb_driver
+from repro.errors import DrivolutionError
+
+
+class TestAdmin:
+    def test_requires_at_least_one_server(self):
+        with pytest.raises(DrivolutionError):
+            DrivolutionAdmin([])
+
+    def test_install_grants_permission_with_policies(self, single_db_env):
+        env = single_db_env
+        record = env.admin.install_driver(
+            build_pydb_driver("pydb-1.0.0"),
+            database=env.database_name,
+            lease_time_ms=5_000,
+            renew_policy=RenewPolicy.RENEW,
+            expiration_policy=ExpirationPolicy.AFTER_CLOSE,
+        )
+        assert record.driver_name == "pydb-1.0.0"
+        permissions = env.drivolution.registry.list_permissions()
+        assert permissions[-1].lease_time_in_ms == 5_000
+        assert permissions[-1].renew_policy == RenewPolicy.RENEW
+        assert permissions[-1].expiration_policy == ExpirationPolicy.AFTER_CLOSE
+        assert env.admin.installed_drivers()[env.drivolution.server_id] == ["pydb-1.0.0"]
+
+    def test_install_signs_packages_when_signer_configured(self, single_db_env):
+        env = single_db_env
+        signer = DriverSigner(b"key")
+        env.admin.signer = signer
+        record = env.admin.install_driver(build_pydb_driver("signed"), database=env.database_name)
+        stored = env.drivolution.registry.get_driver(record.driver_id_on(env.drivolution))
+        assert stored.signature is not None
+        assert signer.verify(stored)
+
+    def test_push_upgrade_expires_old_driver(self, single_db_env):
+        env = single_db_env
+        old = env.admin.install_driver(build_pydb_driver("v1"), database=env.database_name)
+        env.admin.push_upgrade(build_pydb_driver("v2"), old_record=old, database=env.database_name)
+        active_permissions = env.drivolution.registry.query_permissions(
+            env.database_name, None, None
+        )
+        active_driver_ids = {permission.driver_id for permission in active_permissions}
+        assert old.driver_id_on(env.drivolution) not in active_driver_ids
+
+    def test_remove_driver_deletes_rows(self, single_db_env):
+        env = single_db_env
+        record = env.admin.install_driver(build_pydb_driver("gone"), database=env.database_name)
+        env.admin.remove_driver(record.driver_ids)
+        assert env.admin.installed_drivers()[env.drivolution.server_id] == []
+
+    def test_operation_log_counts_steps(self, single_db_env):
+        env = single_db_env
+        before = env.admin.step_count()
+        record = env.admin.install_driver(build_pydb_driver("a"), database=env.database_name)
+        env.admin.revoke_driver(record.driver_ids)
+        assert env.admin.step_count() == before + 2

@@ -1,0 +1,75 @@
+"""Tests for on-demand driver assembly (Section 5.4.1)."""
+
+import pytest
+
+from repro.core import DriverLoader
+from repro.core.assembly import AssemblyError, DriverAssembler, ExtensionPackage
+from repro.dbapi.driver_factory import pydb_assembler
+
+
+class TestAssembler:
+    def test_base_only(self):
+        assembler = pydb_assembler(payload_size=512)
+        package = assembler.assemble()
+        loaded = DriverLoader().load(package)
+        assert loaded.module.FEATURES == {}
+        assert package.metadata["extensions"] == []
+
+    def test_single_extension_adds_feature_and_bytes(self):
+        assembler = pydb_assembler(payload_size=512)
+        base = assembler.assemble()
+        gis = assembler.assemble(extensions=["gis"])
+        assert gis.size_bytes > base.size_bytes
+        loaded = DriverLoader().load(gis)
+        assert "gis" in loaded.module.FEATURES
+        point = loaded.module.FEATURES["gis"]("POINT(1.5 2.5)")
+        assert point == {"type": "Point", "coordinates": [1.5, 2.5]}
+        assert "gis" in loaded.module.EXTENSIONS
+
+    def test_kerberos_extension_computes_token(self):
+        from repro.dbserver.auth import compute_token
+
+        assembler = pydb_assembler(payload_size=128)
+        loaded = DriverLoader().load(assembler.assemble(extensions=["kerberos"]))
+        assert loaded.module.FEATURES["kerberos"]("realm", "alice") == compute_token("realm", "alice")
+
+    def test_nls_extension_contains_messages(self):
+        assembler = pydb_assembler(payload_size=128)
+        loaded = DriverLoader().load(assembler.assemble(extensions=["nls-fr"]))
+        assert loaded.module.FEATURES["nls-fr"]["timeout"] == "délai dépassé"
+
+    def test_monolithic_is_largest(self):
+        assembler = pydb_assembler(payload_size=512)
+        monolithic = assembler.assemble_monolithic()
+        for name in assembler.available_extensions():
+            assert monolithic.size_bytes > assembler.assemble(extensions=[name]).size_bytes
+
+    def test_unknown_extension_rejected(self):
+        assembler = pydb_assembler(payload_size=128)
+        with pytest.raises(AssemblyError):
+            assembler.assemble(extensions=["quantum"])
+
+    def test_resolve_missing_feature(self):
+        assembler = pydb_assembler(payload_size=128)
+        assert assembler.resolve_missing_feature("gis").name == "gis"
+        assert assembler.resolve_missing_feature("Kerberos security").name == "kerberos"
+        with pytest.raises(AssemblyError):
+            assembler.resolve_missing_feature("teleportation")
+
+    def test_custom_extension_registration(self):
+        assembler = DriverAssembler(
+            base_name="base",
+            api_name="API",
+            base_source="EXTENSIONS = []\nFEATURES = {}\n\ndef connect(url, **o):\n    return url\n",
+        )
+        assembler.register_extension(
+            ExtensionPackage(name="audit", source_fragment="FEATURES['audit'] = True\n", payload=b"x" * 100)
+        )
+        package = assembler.assemble(extensions=["audit"])
+        loaded = DriverLoader().load(package)
+        assert loaded.module.FEATURES["audit"] is True
+        assert assembler.extension("audit").size_bytes >= 100
+
+    def test_assembled_name_reflects_extensions(self):
+        assembler = pydb_assembler(payload_size=128)
+        assert assembler.assemble(extensions=["gis", "nls-fr"]).name.endswith("+gis+nls-fr")

@@ -1,0 +1,99 @@
+"""Tests for driver packages: encoding, decoding, signing, tampering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BinaryFormat, DriverPackage, DriverSigner, PackageError
+
+SOURCE = "DRIVER_NAME = 'x'\n\ndef connect(url, **options):\n    return url\n"
+
+
+class TestEncodingFormats:
+    def test_pysrc_roundtrip(self):
+        package = DriverPackage.from_source("d", "PYDB-API", SOURCE, binary_format=BinaryFormat.PYSRC)
+        assert package.decode_source() == SOURCE
+        assert package.size_bytes == len(SOURCE.encode("utf-8"))
+
+    def test_zlib_roundtrip_and_smaller_for_repetitive_source(self):
+        repetitive = SOURCE + "# padding\n" * 200
+        plain = DriverPackage.from_source("d", "PYDB-API", repetitive, binary_format=BinaryFormat.PYSRC)
+        compressed = DriverPackage.from_source(
+            "d", "PYDB-API", repetitive, binary_format=BinaryFormat.PYSRC_ZLIB
+        )
+        assert compressed.decode_source() == repetitive
+        assert compressed.size_bytes < plain.size_bytes
+
+    def test_unsupported_format(self):
+        with pytest.raises(PackageError):
+            DriverPackage.from_source("d", "PYDB-API", SOURCE, binary_format="JAR")
+        package = DriverPackage(name="d", api_name="A", binary_code=b"x", binary_format="JAR")
+        with pytest.raises(PackageError):
+            package.decode_source()
+
+    def test_corrupt_zlib(self):
+        package = DriverPackage(
+            name="d", api_name="A", binary_code=b"not zlib", binary_format=BinaryFormat.PYSRC_ZLIB
+        )
+        with pytest.raises(PackageError):
+            package.decode_source()
+
+    def test_version_string_and_fingerprint(self):
+        package = DriverPackage.from_source("d", "A", SOURCE, driver_version=(2, 1, 3))
+        assert package.version_string == "2.1.3"
+        assert package.fingerprint() == package.fingerprint()
+        assert package.fingerprint() != package.tampered().fingerprint()
+
+
+class TestWireSerialisation:
+    def test_roundtrip(self):
+        package = DriverPackage.from_source(
+            "d", "PYDB-API", SOURCE, api_version=(3, 0), platform="cpython-any",
+            driver_version=(1, 2, 3), metadata={"extensions": ["gis"]},
+        )
+        restored = DriverPackage.from_wire(package.to_wire())
+        assert restored == package
+
+    def test_malformed_wire(self):
+        with pytest.raises(PackageError):
+            DriverPackage.from_wire({"name": "d"})
+
+
+class TestSigning:
+    def test_sign_and_verify(self):
+        signer = DriverSigner(b"secret")
+        package = DriverPackage.from_source("d", "A", SOURCE).signed_by(signer)
+        assert signer.verify(package)
+        signer.require_valid(package)
+
+    def test_unsigned_fails_verification(self):
+        signer = DriverSigner(b"secret")
+        package = DriverPackage.from_source("d", "A", SOURCE)
+        assert not signer.verify(package)
+        with pytest.raises(PackageError):
+            signer.require_valid(package)
+
+    def test_tampered_code_fails_verification(self):
+        signer = DriverSigner(b"secret")
+        package = DriverPackage.from_source("d", "A", SOURCE).signed_by(signer)
+        tampered = package.tampered()
+        assert not signer.verify(tampered)
+
+    def test_different_key_fails_verification(self):
+        package = DriverPackage.from_source("d", "A", SOURCE).signed_by(DriverSigner(b"key1"))
+        assert not DriverSigner(b"key2").verify(package)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(PackageError):
+            DriverSigner(b"")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.text(min_size=0, max_size=300),
+    st.sampled_from([BinaryFormat.PYSRC, BinaryFormat.PYSRC_ZLIB]),
+)
+def test_property_source_roundtrip(source, binary_format):
+    """Any source text survives encode → wire → decode for both formats."""
+    package = DriverPackage.from_source("p", "API", source, binary_format=binary_format)
+    assert DriverPackage.from_wire(package.to_wire()).decode_source() == source

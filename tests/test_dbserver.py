@@ -1,0 +1,165 @@
+"""Tests for the database server: handshake, auth, statements, extensions."""
+
+import pytest
+
+from repro.dbapi import OperationalError, ProgrammingError
+from repro.dbapi.runtime import RuntimeDriver
+from repro.dbserver import DatabaseServer, PasswordAuthenticator, ServerConfig, TokenAuthenticator
+from repro.dbserver.auth import compute_token
+from repro.dbserver.wire import PROTOCOL_VERSION
+from repro.netsim import InMemoryNetwork
+from repro.sqlengine import Engine
+
+
+@pytest.fixture
+def setup():
+    network = InMemoryNetwork()
+    engine = Engine(name="srv")
+    engine.create_database("appdb")
+    server = DatabaseServer(engine, network, "srv:5432", ServerConfig(name="srv")).start()
+    yield network, engine, server
+    server.stop()
+
+
+class TestHandshake:
+    def test_connect_and_execute(self, setup):
+        network, _engine, _server = setup
+        driver = RuntimeDriver()
+        connection = driver.connect("pydb://srv:5432/appdb", network=network)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        cursor.execute("INSERT INTO t (id) VALUES (1)")
+        cursor.execute("SELECT COUNT(*) FROM t")
+        assert cursor.fetchone() == (1,)
+        connection.close()
+
+    def test_unknown_database(self, setup):
+        network, _engine, _server = setup
+        driver = RuntimeDriver()
+        with pytest.raises(OperationalError, match="unknown_database"):
+            driver.connect("pydb://srv:5432/nope", network=network)
+
+    def test_protocol_version_too_old(self, setup):
+        network, _engine, _server = setup
+        old_driver = RuntimeDriver(protocol_version=PROTOCOL_VERSION - 2)
+        with pytest.raises(OperationalError, match="protocol"):
+            old_driver.connect("pydb://srv:5432/appdb", network=network)
+
+    def test_protocol_version_in_accepted_range(self, setup):
+        network, _engine, _server = setup
+        previous_generation = RuntimeDriver(protocol_version=PROTOCOL_VERSION - 1)
+        connection = previous_generation.connect("pydb://srv:5432/appdb", network=network)
+        assert not connection.closed
+        connection.close()
+
+    def test_server_unreachable(self, setup):
+        network, _engine, _server = setup
+        driver = RuntimeDriver()
+        with pytest.raises(OperationalError):
+            driver.connect("pydb://nowhere:5432/appdb", network=network)
+
+
+class TestAuthentication:
+    def test_password_auth_success_and_failure(self):
+        network = InMemoryNetwork()
+        engine = Engine(name="auth")
+        engine.create_database("appdb")
+        engine.create_user("alice", "secret")
+        server = DatabaseServer(
+            engine,
+            network,
+            "auth:5432",
+            ServerConfig(name="auth", authenticators={"password": PasswordAuthenticator()}),
+        ).start()
+        driver = RuntimeDriver()
+        connection = driver.connect("pydb://auth:5432/appdb", network=network, user="alice", password="secret")
+        assert not connection.closed
+        connection.close()
+        with pytest.raises(OperationalError, match="auth_failed"):
+            driver.connect("pydb://auth:5432/appdb", network=network, user="alice", password="bad")
+        server.stop()
+
+    def test_token_auth_requires_kerberos_extension(self):
+        network = InMemoryNetwork()
+        engine = Engine(name="kerb")
+        engine.create_database("appdb")
+        server = DatabaseServer(
+            engine,
+            network,
+            "kerb:5432",
+            ServerConfig(name="kerb", authenticators={"token": TokenAuthenticator("realm-secret")}),
+        ).start()
+        plain_driver = RuntimeDriver()
+        # Plain driver only knows password auth, which the server does not offer.
+        with pytest.raises(OperationalError, match="auth_method_unsupported"):
+            plain_driver.connect("pydb://kerb:5432/appdb", network=network, user="bob")
+        kerberos_driver = RuntimeDriver(extensions=["kerberos"])
+        connection = kerberos_driver.connect(
+            "pydb://kerb:5432/appdb", network=network, user="bob", realm_secret="realm-secret"
+        )
+        assert not connection.closed
+        connection.close()
+        wrong_realm = RuntimeDriver(extensions=["kerberos"])
+        with pytest.raises(OperationalError, match="auth_failed"):
+            wrong_realm.connect(
+                "pydb://kerb:5432/appdb", network=network, user="bob", realm_secret="wrong"
+            )
+        server.stop()
+
+    def test_compute_token_matches_authenticator(self):
+        authenticator = TokenAuthenticator("s")
+        assert authenticator.expected_token("u") == compute_token("s", "u")
+
+
+class TestStatementsAndErrors:
+    def test_sql_error_maps_to_programming_error(self, setup):
+        network, _engine, _server = setup
+        connection = RuntimeDriver().connect("pydb://srv:5432/appdb", network=network)
+        cursor = connection.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("SELECT * FROM missing_table")
+        # The connection survives a statement error.
+        cursor.execute("SELECT 1")
+        assert cursor.fetchone() == (1,)
+        connection.close()
+
+    def test_ping(self, setup):
+        network, _engine, _server = setup
+        connection = RuntimeDriver().connect("pydb://srv:5432/appdb", network=network)
+        assert connection.ping() is True
+        connection.close()
+        assert connection.ping() is False
+
+    def test_active_session_tracking(self, setup):
+        network, _engine, server = setup
+        connection = RuntimeDriver().connect("pydb://srv:5432/appdb", network=network)
+        cursor = connection.cursor()
+        cursor.execute("SELECT 1")
+        assert server.active_session_count() >= 1
+        connection.close()
+
+    def test_second_listener(self, setup):
+        network, _engine, server = setup
+        server.listen_also("srv-alt:5432")
+        connection = RuntimeDriver().connect("pydb://srv-alt:5432/appdb", network=network)
+        cursor = connection.cursor()
+        cursor.execute("SELECT 1")
+        assert cursor.fetchone() == (1,)
+        connection.close()
+
+
+class TestExtensions:
+    def test_extension_dispatch_by_prefix(self, setup):
+        network, _engine, server = setup
+        seen = []
+
+        def handler(channel, first_message):
+            seen.append(first_message)
+            channel.send({"type": "custom_ack"})
+
+        server.register_extension("custom_", handler)
+        channel = network.connect("srv:5432")
+        channel.send({"type": "custom_hello", "x": 1})
+        assert channel.recv(timeout=1.0) == {"type": "custom_ack"}
+        assert seen[0]["x"] == 1
+        channel.close()

@@ -1,0 +1,98 @@
+"""Tests for the driver package factory and the network registry."""
+
+import pytest
+
+from repro.core import DriverLoader
+from repro.core.constants import BinaryFormat
+from repro.dbapi.driver_factory import (
+    build_pydb_driver,
+    build_sequoia_driver,
+    driver_family,
+    render_pydb_source,
+    render_sequoia_source,
+)
+from repro.errors import TransportError
+from repro.netsim import InMemoryNetwork, TcpNetwork
+from repro.netsim.registry import clear_registry, get_network, register_network, unregister_network
+
+
+class TestPydbPackages:
+    def test_metadata_embedded_in_source(self):
+        source = render_pydb_source(
+            "pydb-7",
+            driver_version=(7, 1, 2),
+            protocol_version=3,
+            extensions=["gis", "nls-fr"],
+            preconfigured_url="pydb://fixed:5432/db",
+            default_options={"application_name": "batch"},
+        )
+        assert "DRIVER_VERSION = (7, 1, 2)" in source
+        assert "PROTOCOL_VERSION = 3" in source
+        assert "'pydb://fixed:5432/db'" in source
+        assert "application_name" in source
+
+    def test_package_fields(self):
+        package = build_pydb_driver(
+            "pydb-1.2.3",
+            driver_version=(1, 2, 3),
+            platform="cpython-any",
+            api_version=(2, 0),
+            binary_format=BinaryFormat.PYSRC_ZLIB,
+            extensions=["gis"],
+        )
+        assert package.api_name == "PYDB-API"
+        assert package.driver_version == (1, 2, 3)
+        assert package.platform == "cpython-any"
+        assert package.api_version == (2, 0)
+        assert package.binary_format == BinaryFormat.PYSRC_ZLIB
+        assert package.metadata["extensions"] == ["gis"]
+        assert "def connect" in package.decode_source()
+
+    def test_loaded_package_exposes_runtime(self):
+        loaded = DriverLoader().load(build_pydb_driver("pydb-x", extensions=["kerberos"]))
+        runtime = loaded.module.driver_runtime()
+        assert runtime.name == "pydb-x"
+        assert runtime.supports("kerberos")
+
+    def test_driver_family_versions(self):
+        family = driver_family(3, base_name="pydb", start_version=(2, 0, 0))
+        assert [package.driver_version for package in family] == [(2, 0, 0), (2, 1, 0), (2, 2, 0)]
+        assert [package.name for package in family] == ["pydb-2.0.0", "pydb-2.1.0", "pydb-2.2.0"]
+
+
+class TestSequoiaPackages:
+    def test_metadata_embedded_in_source(self):
+        source = render_sequoia_source("seq-2", driver_version=(2, 0, 0), protocol_version=2)
+        assert "ClusterDriverRuntime" in source
+        assert "DRIVER_VERSION = (2, 0, 0)" in source
+
+    def test_package_loads(self):
+        loaded = DriverLoader().load(build_sequoia_driver("seq-1", driver_version=(1, 0, 0)))
+        assert loaded.info()["api_name"] == "SEQUOIA"
+        assert callable(loaded.module.connect)
+
+
+class TestNetworkRegistry:
+    def teardown_method(self):
+        clear_registry()
+
+    def test_register_and_get(self):
+        network = InMemoryNetwork()
+        register_network("default", network)
+        assert get_network("default") is network
+        unregister_network("default")
+        with pytest.raises(TransportError):
+            get_network("default")
+
+    def test_tcp_name_always_resolves(self):
+        assert isinstance(get_network("tcp"), TcpNetwork)
+
+    def test_unknown_name(self):
+        with pytest.raises(TransportError):
+            get_network("nonexistent")
+
+    def test_clear_registry(self):
+        register_network("a", InMemoryNetwork())
+        clear_registry()
+        with pytest.raises(TransportError):
+            get_network("a")

@@ -1,0 +1,171 @@
+"""End-to-end tests: every paper experiment runs and supports its claim."""
+
+import pytest
+
+from repro.experiments import (
+    custom_delivery,
+    fig1_architecture,
+    fig2_legacy_server,
+    fig3_heterogeneous,
+    fig4_failover,
+    fig5_legacy_cluster,
+    fig6_hybrid_ha,
+    license_server_exp,
+    lifecycle,
+    overhead,
+    policy_matrix,
+    table5_admin,
+)
+
+
+class TestLifecycleAndTable5:
+    def test_e1_lifecycle_one_step_upgrade(self):
+        result = lifecycle.run_experiment(client_counts=[1, 10, 100])
+        row = result.find_row(clients=100)
+        assert row["drivolution_update_ops"] == 1
+        assert row["legacy_update_ops"] == 900
+        assert row["update_ops_ratio"] == 900.0
+        assert any("0 application restarts" in note for note in result.notes)
+        assert any("5/5 clients upgraded" in note for note in result.notes)
+
+    def test_e2_table5_step_counts(self):
+        result = table5_admin.run_experiment(dba_counts=[2], database_count=3)
+        access = result.find_row(task="access new database", dbas=2)
+        upgrade = result.find_row(task="driver upgrade", dbas=2)
+        assert access["legacy_steps"] == 6 and access["drivolution_steps"] == 2
+        assert upgrade["legacy_steps"] == 6 and upgrade["drivolution_steps"] == 2
+        assert any("drivers delivered automatically" in note for note in result.notes)
+
+
+class TestArchitectureExperiments:
+    def test_e3_coexistence(self):
+        result = fig1_architecture.run_experiment(requests_per_app=10)
+        assert len(result.rows) == 3
+        assert all(row["requests_failed"] == 0 for row in result.rows)
+        drivolution_rows = [row for row in result.rows if row["driver_source"] == "drivolution"]
+        assert all(row["bytes_downloaded"] > 0 for row in drivolution_rows)
+        conventional = result.find_row(application="app3-conventional")
+        assert conventional["bytes_downloaded"] == 0
+
+    def test_e4_external_server(self):
+        result = fig2_legacy_server.run_experiment(client_count=2, requests_per_client=4)
+        assert all(row["client_machines_modified"] == 0 for row in result.rows)
+        bootstrap = result.find_row(phase="bootstrap")
+        assert bootstrap["drivers_stored_in_legacy_database"] == 1
+        unavailable = result.find_row(phase="Drivolution server unavailable at renewal")
+        assert unavailable["requests_failed"] == 0
+        assert unavailable["clients_served"] == 2
+
+    def test_e5_heterogeneous_console(self):
+        result = fig3_heterogeneous.run_experiment(database_count=3)
+        assert len(result.rows) == 3
+        assert all(row["connected"] for row in result.rows)
+        assert all(row["manual_driver_installs"] == 0 for row in result.rows)
+        drivers = {row["driver_delivered"] for row in result.rows}
+        assert len(drivers) == 3  # each database delivered its own driver
+
+
+class TestFailoverAndCluster:
+    def test_e6_failover(self):
+        result = fig4_failover.run_experiment(client_count=3, requests_per_phase=6)
+        drivolution = result.find_row(approach="drivolution")
+        manual = result.find_row(approach="manual reconfiguration")
+        assert drivolution["failed_requests"] == 0
+        assert drivolution["clients_redirected"] == 3
+        assert drivolution["per_client_operations"] == 0
+        assert drivolution["writes_on_master_after_failover"] == 0
+        assert drivolution["writes_on_slave_after_failover"] > 0
+        assert manual["per_client_operations"] == 9
+        assert manual["failed_requests"] > drivolution["failed_requests"]
+
+    @pytest.mark.slow
+    def test_e7_legacy_cluster(self):
+        result = fig5_legacy_cluster.run_experiment(client_count=2, requests_per_phase=4)
+        sequoia = result.find_row(operation="Sequoia driver upgrade (rolling controller restart)")
+        database = result.find_row(operation="database driver upgrade (one backend at a time)")
+        assert sequoia["failed_requests"] == 0
+        assert sequoia["clients_upgraded"] == 2
+        assert sequoia["client_machines_modified"] == 0
+        assert database["failed_requests"] == 0
+        assert any("consistent: True" in note for note in result.notes)
+
+    @pytest.mark.slow
+    def test_e8_hybrid_ha(self):
+        result = fig6_hybrid_ha.run_experiment(client_count=3, requests_per_phase=4)
+        install = result.find_row(phase="install on controller1")
+        assert install["replicated_to_all_controllers"] is True
+        upgrade = result.find_row(phase="upgrade pushed on controller2")
+        assert upgrade["clients_upgraded"] == 3
+        failure = result.find_row(phase="controller1 failed")
+        assert failure["failed_requests"] == 0
+
+
+class TestDeliveryLicensesPoliciesOverhead:
+    def test_e9_custom_delivery(self):
+        result = custom_delivery.run_experiment(payload_size=1024)
+        total = result.find_row(client="TOTAL")
+        assert total["assembled_bytes"] < total["monolithic_bytes"]
+        per_client = [row for row in result.rows if row["client"] != "TOTAL"]
+        assert all(row["features_match_request"] for row in per_client)
+        plain = result.find_row(client="plain-app")
+        assert plain["savings_pct"] > 50
+
+    def test_e10_license_server(self):
+        result = license_server_exp.run_experiment(license_count=2, client_count=4)
+        static = result.find_row(policy="static")
+        dynamic = result.find_row(policy="dynamic")
+        assert static["granted"] == 2 and static["denied"] == 2
+        assert dynamic["reclaimed_after_crash"] > 0
+
+    def test_e11_policy_matrix(self):
+        result = policy_matrix.run_expiration_policy_matrix(clients=2, connections_per_client=2)
+        immediate = result.find_row(expiration_policy="IMMEDIATE")
+        after_commit = result.find_row(expiration_policy="AFTER_COMMIT")
+        after_close = result.find_row(expiration_policy="AFTER_CLOSE")
+        assert immediate["aborted_transactions"] == 2
+        assert after_commit["aborted_transactions"] == 0
+        assert after_commit["closed_after_commit"] == 2
+        assert after_close["left_to_application_close"] == 4
+        assert after_close["connections_still_open_after_commit_phase"] == 4
+
+    def test_e11_revocation(self):
+        result = policy_matrix.run_revocation_study()
+        row = result.rows[0]
+        assert row["outcome"] == "revoked"
+        assert row["new_connections_blocked"] == 1
+        assert row["error_mentions_missing_driver"]
+
+    def test_e11_lease_sweep_tradeoff(self):
+        result = policy_matrix.run_lease_time_sweep(
+            lease_times_ms=[1_000, 10_000], clients=2, observation_window_s=20.0
+        )
+        short = result.find_row(mode="lease polling", lease_time_ms=1_000)
+        long = result.find_row(mode="lease polling", lease_time_ms=10_000)
+        push = result.find_row(mode="notification channel")
+        assert short["propagation_delay_s"] < long["propagation_delay_s"]
+        assert short["server_requests_in_window"] > long["server_requests_in_window"]
+        assert push["propagation_delay_s"] == 0.0
+        assert push["upgraded_clients"] == 2
+
+    def test_e12_overhead(self):
+        result = overhead.run_experiment(statement_count=30, connect_count=5)
+        connect_row = result.find_row(metric="connect latency (ms)")
+        statement_row = result.find_row(metric="per-statement latency (ms)")
+        assert connect_row["bootloader_first"] > 0
+        assert statement_row["conventional_driver"] > 0
+        # Per-statement cost through the Drivolution-delivered driver is in
+        # the same ballpark as the conventional driver (within 3x).
+        assert statement_row["bootloader_subsequent"] < statement_row["conventional_driver"] * 3
+
+
+class TestResultFormatting:
+    def test_to_text_renders_columns_and_notes(self):
+        result = lifecycle.run_experiment(client_counts=[1])
+        text = result.to_text()
+        assert "E1" in text
+        assert "clients" in text
+        assert "note:" in text
+
+    def test_find_row_missing(self):
+        result = lifecycle.run_experiment(client_counts=[1])
+        assert result.find_row(clients=12345) is None

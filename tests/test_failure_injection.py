@@ -1,0 +1,153 @@
+"""Failure injection and concurrency scenarios across the full stack."""
+
+import threading
+
+import pytest
+
+from repro.core import BootloaderConfig
+from repro.core.bootloader import BootloaderError
+from repro.dbapi.driver_factory import build_pydb_driver
+from repro.experiments.environments import build_cluster, build_single_database
+
+
+class TestDrivolutionServerFailures:
+    def test_bootstrap_fails_cleanly_when_everything_is_down(self, single_db_env):
+        env = single_db_env
+        env.admin.install_driver(build_pydb_driver("d"), database=env.database_name)
+        env.network.kill_endpoint(env.db_address)
+        bootloader = env.new_bootloader(BootloaderConfig())
+        with pytest.raises(BootloaderError):
+            bootloader.connect(env.url)
+        env.network.revive_endpoint(env.db_address)
+        connection = bootloader.connect(env.url)
+        assert not connection.closed
+        connection.close()
+
+    def test_failover_to_second_drivolution_server(self, single_db_env):
+        from repro.core import DrivolutionAdmin, DrivolutionServer, StandaloneServerBinding
+
+        env = single_db_env
+        backup = DrivolutionServer(
+            StandaloneServerBinding(clock=env.clock),
+            network=env.network,
+            address="drivolution-backup:8000",
+            clock=env.clock,
+            server_id="drivo-backup",
+        ).start()
+        DrivolutionAdmin([backup]).install_driver(
+            build_pydb_driver("backup-driver"), database=env.database_name, lease_time_ms=1_000
+        )
+        # Primary (in-database) has no driver and the first configured server
+        # is unreachable: the bootloader falls through the server list.
+        bootloader = env.new_bootloader(
+            BootloaderConfig(drivolution_servers=["drivolution-dead:8000", "drivolution-backup:8000"])
+        )
+        connection = bootloader.connect(env.url)
+        assert bootloader.driver_info()["driver_name"] == "backup-driver"
+        assert bootloader.current_lease.server_id == "drivo-backup"
+        connection.close()
+        backup.stop()
+
+    def test_slow_network_still_bootstraps(self, single_db_env):
+        env = single_db_env
+        env.admin.install_driver(build_pydb_driver("d"), database=env.database_name)
+        env.network.set_latency(0.005)
+        bootloader = env.new_bootloader(BootloaderConfig())
+        connection = bootloader.connect(env.url)
+        assert not connection.closed
+        connection.close()
+        env.network.set_latency(0.0)
+
+
+class TestConcurrentClients:
+    def test_many_bootloaders_upgrade_concurrently(self, single_db_env):
+        env = single_db_env
+        record = env.admin.install_driver(
+            build_pydb_driver("conc-v1", driver_version=(1, 0, 0)),
+            database=env.database_name,
+            lease_time_ms=1_000,
+        )
+        bootloaders = [env.new_bootloader(BootloaderConfig()) for _ in range(8)]
+        for bootloader in bootloaders:
+            bootloader.connect(env.url).close()
+        env.admin.push_upgrade(
+            build_pydb_driver("conc-v2", driver_version=(2, 0, 0)),
+            old_record=record,
+            database=env.database_name,
+            lease_time_ms=1_000,
+        )
+        env.clock.advance(2.0)
+        outcomes = [None] * len(bootloaders)
+
+        def check(index):
+            outcomes[index] = bootloaders[index].check_for_update()
+
+        threads = [threading.Thread(target=check, args=(i,)) for i in range(len(bootloaders))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert outcomes.count("upgraded") == len(bootloaders)
+        assert {b.driver_info()["driver_name"] for b in bootloaders} == {"conc-v2"}
+        # Every client got its own lease; the server logged them all.
+        new_driver_id = list(
+            env.drivolution.registry.query_permissions(env.database_name, None, None)
+        )[0].driver_id
+        assert env.drivolution.leases.active_lease_count(new_driver_id) == len(bootloaders)
+
+    def test_concurrent_traffic_during_upgrade_on_cluster(self, cluster_env):
+        """Traffic keeps flowing while the cluster driver is upgraded."""
+        from repro.core import Bootloader
+        from repro.dbapi.driver_factory import build_sequoia_driver
+        from repro.workloads import ClientApplication, WorkloadSpec
+
+        env = cluster_env
+        env.controllers[0].install_driver_cluster_wide(
+            build_sequoia_driver("seq-v1", driver_version=(1, 0, 0)),
+            database="vdb",
+            lease_time_ms=1_000,
+        )
+        bootloaders = [
+            Bootloader(BootloaderConfig(api_name="SEQUOIA"), network=env.network, clock=env.clock)
+            for _ in range(3)
+        ]
+        apps = [
+            ClientApplication(
+                f"conc{i}", b.connect, env.client_url(),
+                spec=WorkloadSpec(table="conc_events"), clock=env.clock,
+            )
+            for i, b in enumerate(bootloaders)
+        ]
+        apps[0].ensure_schema()
+        stop = threading.Event()
+
+        def traffic(app):
+            while not stop.is_set():
+                app.run_requests(1)
+
+        threads = [threading.Thread(target=traffic, args=(app,)) for app in apps]
+        for thread in threads:
+            thread.start()
+        env.controllers[1].install_driver_cluster_wide(
+            build_sequoia_driver("seq-v2", driver_version=(2, 0, 0)),
+            database="vdb",
+            lease_time_ms=1_000,
+        )
+        # A client that bootstrapped concurrently with the install may have
+        # been granted a fresh lease for the old driver just before the new
+        # one landed; it converges at its next lease expiry. Keep expiring
+        # leases until every client has upgraded (bounded).
+        for _ in range(5):
+            env.clock.advance(2.0)
+            for bootloader in bootloaders:
+                bootloader.check_for_update()
+            if {b.driver_info()["driver_name"] for b in bootloaders} == {"seq-v2"}:
+                break
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert {b.driver_info()["driver_name"] for b in bootloaders} == {"seq-v2"}
+        total_failed = sum(app.metrics.summary().failed for app in apps)
+        assert total_failed == 0
+        for app in apps:
+            app.close()

@@ -1,0 +1,84 @@
+"""Integration tests for the TCP transport (real sockets on localhost)."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.netsim import TcpNetwork
+from repro.netsim.transport import ChannelServer
+
+
+@pytest.fixture
+def net():
+    return TcpNetwork()
+
+
+class TestTcpTransport:
+    def test_roundtrip_with_bytes(self, net):
+        listener = net.listen("127.0.0.1:0")
+        received = {}
+
+        def server_side():
+            channel = listener.accept(timeout=5.0)
+            received.update(channel.recv(timeout=5.0))
+            channel.send({"ack": True})
+            channel.close()
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = net.connect(listener.address, timeout=5.0)
+        client.send({"blob": b"\x00\x01binary", "n": 42})
+        assert client.recv(timeout=5.0) == {"ack": True}
+        thread.join(timeout=5.0)
+        listener.close()
+        assert received == {"blob": b"\x00\x01binary", "n": 42}
+
+    def test_ephemeral_port_reported(self, net):
+        listener = net.listen("127.0.0.1:0")
+        host, _, port = listener.address.rpartition(":")
+        assert host == "127.0.0.1"
+        assert int(port) > 0
+        listener.close()
+
+    def test_connect_refused(self, net):
+        listener = net.listen("127.0.0.1:0")
+        address = listener.address
+        listener.close()
+        with pytest.raises(TransportError):
+            net.connect(address, timeout=0.5)
+
+    def test_invalid_address(self, net):
+        with pytest.raises(TransportError):
+            net.connect("not-an-address", timeout=0.5)
+        with pytest.raises(TransportError):
+            net.listen("127.0.0.1:notaport")
+
+    def test_channel_server_over_tcp(self, net):
+        def handler(channel):
+            message = channel.recv(timeout=5.0)
+            channel.send({"echo": message.get("value")})
+
+        listener = net.listen("127.0.0.1:0")
+        server = ChannelServer(listener, handler, name="tcp-echo").start()
+        try:
+            client = net.connect(listener.address, timeout=5.0)
+            client.send({"value": "over tcp"})
+            assert client.recv(timeout=5.0) == {"echo": "over tcp"}
+        finally:
+            server.stop()
+
+    def test_peer_close_detected(self, net):
+        listener = net.listen("127.0.0.1:0")
+
+        def server_side():
+            channel = listener.accept(timeout=5.0)
+            channel.close()
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = net.connect(listener.address, timeout=5.0)
+        thread.join(timeout=5.0)
+        with pytest.raises(TransportError):
+            client.recv(timeout=1.0)
+        listener.close()

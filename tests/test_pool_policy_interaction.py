@@ -1,0 +1,103 @@
+"""The paper's connection-pool caveat (Section 3.4.2).
+
+"If the client uses a connection pool, the first option [AFTER_CLOSE]
+might not be a good choice since connection renewal is highly dependent on
+connection pool settings and application load."
+
+These tests reproduce that interaction: with AFTER_CLOSE, pooled
+connections keep using the old driver indefinitely because the pool never
+closes them; AFTER_COMMIT (the sensible default) drains them promptly.
+"""
+
+import pytest
+
+from repro.core import BootloaderConfig
+from repro.core.constants import ExpirationPolicy
+from repro.dbapi import ConnectionPool
+from repro.dbapi.driver_factory import build_pydb_driver
+
+
+def _fleet_with_pool(env, policy, pool_size=3):
+    """Install v1, create a bootloader whose connections live in a pool."""
+    record = env.admin.install_driver(
+        build_pydb_driver("pool-v1", driver_version=(1, 0, 0)),
+        database=env.database_name,
+        lease_time_ms=1_000,
+        expiration_policy=policy,
+    )
+    bootloader = env.new_bootloader(BootloaderConfig())
+    pool = ConnectionPool(lambda: bootloader.connect(env.url), min_size=pool_size, max_size=pool_size)
+    return record, bootloader, pool
+
+
+class TestPoolVersusExpirationPolicy:
+    def test_after_close_leaves_pooled_connections_on_old_driver(self, single_db_env):
+        env = single_db_env
+        record, bootloader, pool = _fleet_with_pool(env, ExpirationPolicy.AFTER_CLOSE)
+        env.admin.push_upgrade(
+            build_pydb_driver("pool-v2", driver_version=(2, 0, 0)),
+            old_record=record,
+            database=env.database_name,
+            lease_time_ms=1_000,
+            expiration_policy=ExpirationPolicy.AFTER_CLOSE,
+        )
+        env.clock.advance(2.0)
+        assert bootloader.check_for_update() == "upgraded"
+        # The pool never closed its idle connections, so they still run the
+        # old driver — exactly the paper's warning.
+        stale = bootloader.stale_connections()
+        assert len(stale) == 3
+        assert all(conn.driver_info["name"] == "pool-v1" for conn in stale)
+        # Only after explicitly invalidating the pool do old connections go away.
+        pool.invalidate_idle()
+        assert bootloader.stale_connections() == []
+        fresh = pool.acquire()
+        assert fresh.driver_info["name"] == "pool-v2"
+        pool.release(fresh)
+        pool.close()
+
+    def test_after_commit_drains_idle_pooled_connections(self, single_db_env):
+        env = single_db_env
+        record, bootloader, pool = _fleet_with_pool(env, ExpirationPolicy.AFTER_COMMIT)
+        env.admin.push_upgrade(
+            build_pydb_driver("pool-v2", driver_version=(2, 0, 0)),
+            old_record=record,
+            database=env.database_name,
+            lease_time_ms=1_000,
+            expiration_policy=ExpirationPolicy.AFTER_COMMIT,
+        )
+        env.clock.advance(2.0)
+        assert bootloader.check_for_update() == "upgraded"
+        # Idle pooled connections were closed by the policy; the pool drops
+        # them on next acquire and builds fresh ones with the new driver.
+        assert bootloader.stale_connections() == []
+        fresh = pool.acquire()
+        assert fresh.driver_info["name"] == "pool-v2"
+        pool.release(fresh)
+        pool.close()
+
+    def test_immediate_aborts_pooled_transaction(self, single_db_env):
+        env = single_db_env
+        record, bootloader, pool = _fleet_with_pool(env, ExpirationPolicy.IMMEDIATE, pool_size=2)
+        session = env.open_sql_session()
+        session.execute("CREATE TABLE pool_tx (id INTEGER PRIMARY KEY)")
+        busy = pool.acquire()
+        busy.begin()
+        cursor = busy.cursor()
+        cursor.execute("INSERT INTO pool_tx (id) VALUES (1)")
+        env.admin.push_upgrade(
+            build_pydb_driver("pool-v2", driver_version=(2, 0, 0)),
+            old_record=record,
+            database=env.database_name,
+            lease_time_ms=1_000,
+            expiration_policy=ExpirationPolicy.IMMEDIATE,
+        )
+        env.clock.advance(2.0)
+        assert bootloader.check_for_update() == "upgraded"
+        transition = bootloader.last_transition
+        assert transition.aborted_transactions == 1
+        assert busy.closed
+        # The aborted transaction's insert is not visible.
+        assert env.open_sql_session().execute("SELECT COUNT(*) FROM pool_tx").scalar() == 0
+        pool.release(busy)
+        pool.close()

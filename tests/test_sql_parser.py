@@ -1,0 +1,161 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.parser import parse
+from repro.sqlengine.statements import (
+    Begin,
+    Commit,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Rollback,
+    Select,
+    Update,
+)
+from repro.sqlengine.types import SqlType
+
+
+class TestCreateTable:
+    def test_basic(self):
+        statement = parse(
+            "CREATE TABLE drivers (driver_id INTEGER NOT NULL PRIMARY KEY, api_name VARCHAR NOT NULL)"
+        )
+        assert isinstance(statement, CreateTable)
+        assert statement.schema.column("driver_id").primary_key
+        assert statement.schema.column("api_name").not_null
+        assert statement.schema.column("api_name").sql_type == SqlType.VARCHAR
+
+    def test_if_not_exists(self):
+        statement = parse("CREATE TABLE IF NOT EXISTS t (x INTEGER)")
+        assert statement.if_not_exists
+
+    def test_schema_qualified_name(self):
+        statement = parse("CREATE TABLE information_schema.drivers (x INTEGER)")
+        assert statement.table.key() == "information_schema.drivers"
+
+    def test_references(self):
+        statement = parse(
+            "CREATE TABLE p (driver_id INTEGER NOT NULL REFERENCES drivers(driver_id))"
+        )
+        fk = statement.schema.column("driver_id").references
+        assert fk is not None
+        assert fk.table == "drivers"
+        assert fk.column == "driver_id"
+
+    def test_varchar_length_ignored(self):
+        statement = parse("CREATE TABLE t (name VARCHAR(255))")
+        assert statement.schema.column("name").sql_type == SqlType.VARCHAR
+
+
+class TestSelect:
+    def test_star(self):
+        statement = parse("SELECT * FROM drivers")
+        assert isinstance(statement, Select)
+        assert statement.items[0].star
+
+    def test_projection_with_where(self):
+        statement = parse(
+            "SELECT binary_format, binary_code FROM drivers WHERE api_name LIKE $api"
+        )
+        assert len(statement.items) == 2
+        assert statement.where is not None
+
+    def test_paper_sample_code_1_shape(self):
+        sql = (
+            "SELECT binary_format, binary_code FROM information_schema.drivers "
+            "WHERE api_name LIKE $client_api_name "
+            "AND (platform IS NULL OR platform LIKE $client_platform) "
+            "AND ($client_api_version IS NULL OR api_version_major IS NULL "
+            "OR $client_api_version = api_version_major)"
+        )
+        statement = parse(sql)
+        assert statement.table.key() == "information_schema.drivers"
+
+    def test_order_by_and_limit(self):
+        statement = parse("SELECT * FROM t ORDER BY a DESC, b LIMIT 5")
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+        assert statement.limit == 5
+
+    def test_aggregate_count_star(self):
+        statement = parse("SELECT COUNT(*) FROM t")
+        assert statement.items[0].aggregate == "COUNT"
+        assert statement.items[0].expression is None
+
+    def test_aggregate_max_with_alias(self):
+        statement = parse("SELECT MAX(driver_id) AS max_id FROM drivers")
+        assert statement.items[0].aggregate == "MAX"
+        assert statement.items[0].alias == "max_id"
+
+    def test_mixing_aggregates_checked_at_execution(self):
+        # Parsing succeeds; the executor rejects the mix.
+        statement = parse("SELECT COUNT(*), api_name FROM t")
+        assert isinstance(statement, Select)
+
+    def test_select_without_from(self):
+        statement = parse("SELECT 1")
+        assert statement.table is None
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT * FROM t LIMIT 'five'")
+
+
+class TestInsertUpdateDelete:
+    def test_insert_with_columns(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, Insert)
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_without_columns(self):
+        statement = parse("INSERT INTO t VALUES (1, 2)")
+        assert statement.columns == []
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = $value WHERE id = 3")
+        assert isinstance(statement, Update)
+        assert [name for name, _ in statement.assignments] == ["a", "b"]
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE id = 1")
+        assert isinstance(statement, Delete)
+
+    def test_delete_without_where(self):
+        statement = parse("DELETE FROM t")
+        assert statement.where is None
+
+
+class TestTransactionsAndDrop:
+    def test_begin_commit_rollback(self):
+        assert isinstance(parse("BEGIN"), Begin)
+        assert isinstance(parse("START TRANSACTION"), Begin)
+        assert isinstance(parse("COMMIT"), Commit)
+        assert isinstance(parse("ROLLBACK"), Rollback)
+
+    def test_drop_table(self):
+        statement = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, DropTable)
+        assert statement.if_exists
+
+
+class TestErrors:
+    def test_empty_statement(self):
+        with pytest.raises(SqlParseError):
+            parse("   ")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlParseError):
+            parse("GRANT ALL ON t TO user")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT * FROM t garbage garbage")
+
+    def test_missing_values_keyword(self):
+        with pytest.raises(SqlParseError):
+            parse("INSERT INTO t (a) (1)")

@@ -1,0 +1,97 @@
+"""Property-based tests of the SQL engine's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine import Engine
+
+_ids = st.lists(st.integers(min_value=1, max_value=10_000), unique=True, min_size=1, max_size=25)
+_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+
+
+def _fresh_session():
+    engine = Engine()
+    engine.create_database("db")
+    session = engine.open_session("db")
+    session.execute(
+        "CREATE TABLE items (id INTEGER NOT NULL PRIMARY KEY, name VARCHAR, score INTEGER)"
+    )
+    return session
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ids)
+def test_insert_then_count_matches(ids):
+    """COUNT(*) equals the number of successfully inserted rows."""
+    session = _fresh_session()
+    for row_id in ids:
+        session.execute(
+            "INSERT INTO items (id, name, score) VALUES ($id, 'n', $score)",
+            params={"id": row_id, "score": row_id * 2},
+        )
+    assert session.execute("SELECT COUNT(*) FROM items").scalar() == len(ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ids)
+def test_select_by_primary_key_finds_each_row(ids):
+    session = _fresh_session()
+    for row_id in ids:
+        session.execute(
+            "INSERT INTO items (id, name) VALUES ($id, $name)",
+            params={"id": row_id, "name": f"item-{row_id}"},
+        )
+    for row_id in ids:
+        rows = session.execute(
+            "SELECT name FROM items WHERE id = $id", params={"id": row_id}
+        ).rows
+        assert rows == [(f"item-{row_id}",)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ids, st.integers(min_value=0, max_value=10_000))
+def test_delete_is_complement_of_select(ids, threshold):
+    """Rows deleted by a predicate plus rows remaining equals total rows."""
+    session = _fresh_session()
+    for row_id in ids:
+        session.execute(
+            "INSERT INTO items (id, score) VALUES ($id, $score)",
+            params={"id": row_id, "score": row_id},
+        )
+    deleted = session.execute(
+        "DELETE FROM items WHERE score < $t", params={"t": threshold}
+    ).rowcount
+    remaining = session.execute("SELECT COUNT(*) FROM items").scalar()
+    assert deleted + remaining == len(ids)
+    assert remaining == sum(1 for row_id in ids if row_id >= threshold)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ids)
+def test_transaction_rollback_restores_row_count(ids):
+    """Any sequence of writes inside a transaction is fully undone by ROLLBACK."""
+    session = _fresh_session()
+    session.execute("INSERT INTO items (id, name) VALUES (99999, 'anchor')")
+    before = session.execute("SELECT COUNT(*) FROM items").scalar()
+    session.execute("BEGIN")
+    for row_id in ids:
+        if row_id == 99999:
+            continue
+        session.execute("INSERT INTO items (id) VALUES ($id)", params={"id": row_id})
+    session.execute("UPDATE items SET name = 'changed' WHERE id = 99999")
+    session.execute("ROLLBACK")
+    assert session.execute("SELECT COUNT(*) FROM items").scalar() == before
+    assert session.execute("SELECT name FROM items WHERE id = 99999").scalar() == "anchor"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_names, min_size=1, max_size=15))
+def test_order_by_matches_python_sort(names):
+    session = _fresh_session()
+    for index, name in enumerate(names):
+        session.execute(
+            "INSERT INTO items (id, name) VALUES ($id, $name)",
+            params={"id": index + 1, "name": name},
+        )
+    rows = session.execute("SELECT name FROM items ORDER BY name").rows
+    assert [row[0] for row in rows] == sorted(names)

@@ -1,0 +1,66 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("SELECT api_name FROM drivers")
+        assert [token.kind for token in tokens] == ["IDENT", "IDENT", "IDENT", "IDENT"]
+        assert tokens[0].value == "SELECT"
+
+    def test_string_literal(self):
+        tokens = tokenize("SELECT 'hello world'")
+        assert tokens[1].kind == "STRING"
+        assert tokens[1].value == "hello world"
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlParseError):
+            tokenize("SELECT 'oops")
+
+    def test_integer_and_float_literals(self):
+        tokens = tokenize("SELECT 42, 3.5")
+        values = [token.value for token in tokens if token.kind == "NUMBER"]
+        assert values == [42, 3.5]
+
+    def test_negative_number_after_comparison(self):
+        tokens = tokenize("WHERE x = -5")
+        numbers = [token for token in tokens if token.kind == "NUMBER"]
+        assert numbers and numbers[0].value == -5
+
+    def test_named_parameter(self):
+        tokens = tokenize("WHERE api_name LIKE $client_api_name")
+        params = [token for token in tokens if token.kind == "PARAM"]
+        assert params[0].value == "client_api_name"
+
+    def test_positional_parameter(self):
+        tokens = tokenize("WHERE id = ?")
+        assert any(token.kind == "PARAM" and token.value == "?" for token in tokens)
+
+    def test_operators(self):
+        tokens = tokenize("a <> b AND c >= 2")
+        ops = [token.value for token in tokens if token.kind == "OP"]
+        assert "<>" in ops and ">=" in ops
+
+    def test_qualified_name_dot(self):
+        tokens = tokenize("SELECT * FROM information_schema.drivers")
+        assert any(token.kind == "OP" and token.value == "." for token in tokens)
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n")
+        assert [token.kind for token in tokens] == ["IDENT", "NUMBER"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlParseError):
+            tokenize("SELECT @foo")
+
+    def test_empty_parameter_name(self):
+        with pytest.raises(SqlParseError):
+            tokenize("WHERE x = $ ")

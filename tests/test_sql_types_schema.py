@@ -1,0 +1,109 @@
+"""Unit tests for SQL types, coercion and table schemas."""
+
+import pytest
+
+from repro.sqlengine.schema import Column, SchemaError, TableSchema
+from repro.sqlengine.types import SqlType, SqlTypeError, coerce_value
+
+
+class TestTypeResolution:
+    def test_known_names_and_aliases(self):
+        assert SqlType.from_name("integer") == SqlType.INTEGER
+        assert SqlType.from_name("INT") == SqlType.INTEGER
+        assert SqlType.from_name("bigint") == SqlType.BIGINT
+        assert SqlType.from_name("TEXT") == SqlType.VARCHAR
+        assert SqlType.from_name("FLOAT") == SqlType.DOUBLE
+        assert SqlType.from_name("bool") == SqlType.BOOLEAN
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlTypeError):
+            SqlType.from_name("GEOMETRY")
+
+
+class TestCoercion:
+    def test_null_passes_through(self):
+        for sql_type in SqlType:
+            assert coerce_value(None, sql_type) is None
+
+    def test_integer(self):
+        assert coerce_value(5, SqlType.INTEGER) == 5
+        assert coerce_value("7", SqlType.INTEGER) == 7
+        assert coerce_value(3.0, SqlType.INTEGER) == 3
+        with pytest.raises(SqlTypeError):
+            coerce_value("abc", SqlType.INTEGER)
+        with pytest.raises(SqlTypeError):
+            coerce_value([1], SqlType.INTEGER)
+
+    def test_varchar(self):
+        assert coerce_value("x", SqlType.VARCHAR) == "x"
+        assert coerce_value(5, SqlType.VARCHAR) == "5"
+        with pytest.raises(SqlTypeError):
+            coerce_value(b"bytes", SqlType.VARCHAR)
+
+    def test_blob(self):
+        assert coerce_value(b"code", SqlType.BLOB) == b"code"
+        assert coerce_value("text", SqlType.BLOB) == b"text"
+        assert coerce_value(bytearray(b"ba"), SqlType.BLOB) == b"ba"
+
+    def test_timestamp(self):
+        assert coerce_value(1000, SqlType.TIMESTAMP) == 1000.0
+        assert coerce_value("1000.5", SqlType.TIMESTAMP) == 1000.5
+        with pytest.raises(SqlTypeError):
+            coerce_value(True, SqlType.TIMESTAMP)
+
+    def test_boolean(self):
+        assert coerce_value(True, SqlType.BOOLEAN) is True
+        assert coerce_value(1, SqlType.BOOLEAN) is True
+        with pytest.raises(SqlTypeError):
+            coerce_value(2, SqlType.BOOLEAN)
+
+    def test_double(self):
+        assert coerce_value(1, SqlType.DOUBLE) == 1.0
+        assert coerce_value("2.5", SqlType.DOUBLE) == 2.5
+
+
+class TestTableSchema:
+    def _schema(self) -> TableSchema:
+        return TableSchema(
+            name="drivers",
+            columns=[
+                Column("driver_id", SqlType.INTEGER, not_null=True, primary_key=True),
+                Column("api_name", SqlType.VARCHAR, not_null=True),
+                Column("platform", SqlType.VARCHAR),
+            ],
+        )
+
+    def test_column_lookup_case_insensitive(self):
+        schema = self._schema()
+        assert schema.column("API_NAME").name == "api_name"
+        assert schema.has_column("Platform")
+        assert not schema.has_column("nope")
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            self._schema().column("missing")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=[Column("a", SqlType.INTEGER), Column("A", SqlType.VARCHAR)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=[])
+
+    def test_coerce_row_fills_missing_with_null(self):
+        row = self._schema().coerce_row({"driver_id": 1, "api_name": "JDBC"})
+        assert row == {"driver_id": 1, "api_name": "JDBC", "platform": None}
+
+    def test_coerce_row_rejects_unknown_column(self):
+        with pytest.raises(SchemaError):
+            self._schema().coerce_row({"driver_id": 1, "bogus": "x"})
+
+    def test_primary_key_extraction(self):
+        schema = self._schema()
+        row = schema.coerce_row({"driver_id": 7, "api_name": "JDBC"})
+        assert schema.primary_key_of(row) == (7,)
+
+    def test_no_primary_key(self):
+        schema = TableSchema(name="t", columns=[Column("a", SqlType.INTEGER)])
+        assert schema.primary_key_of({"a": 1}) is None

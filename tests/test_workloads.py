@@ -1,0 +1,122 @@
+"""Tests for the workload generator and metrics collection."""
+
+from repro.core.clock import SimulatedClock
+from repro.dbapi import legacy_driver
+from repro.dbapi.driver_factory import build_pydb_driver
+from repro.workloads import ClientApplication, MetricsCollector, WorkloadSpec
+
+
+class TestMetricsCollector:
+    def test_summary_counts_and_windows(self):
+        clock = SimulatedClock()
+        metrics = MetricsCollector(clock=clock)
+        metrics.record_success(latency=0.01, driver="v1")
+        clock.advance(1.0)
+        metrics.record_failure("OperationalError: boom", driver="v1")
+        clock.advance(2.0)
+        metrics.record_failure("OperationalError: boom again", driver="v1")
+        clock.advance(1.0)
+        metrics.record_success(latency=0.03, driver="v2")
+        summary = metrics.summary()
+        assert summary.total == 4
+        assert summary.succeeded == 2
+        assert summary.failed == 2
+        assert summary.availability == 0.5
+        assert summary.error_window_seconds == 2.0
+        assert summary.drivers_seen == {"v1": 1, "v2": 1}
+        assert summary.errors_by_type == {"OperationalError": 2}
+        assert summary.mean_latency > 0
+        assert len(metrics) == 4
+
+    def test_empty_metrics(self):
+        summary = MetricsCollector().summary()
+        assert summary.total == 0
+        assert summary.availability == 1.0
+        assert summary.error_window_seconds == 0.0
+
+
+class TestClientApplication:
+    def test_workload_against_real_database(self, single_db_env):
+        env = single_db_env
+
+        def connect(url, **kwargs):
+            return legacy_driver.connect(url, network=env.network, **kwargs)
+
+        app = ClientApplication(
+            "app",
+            connect,
+            env.url,
+            spec=WorkloadSpec(table="wl_events", write_ratio=0.5),
+            clock=env.clock,
+        )
+        app.ensure_schema()
+        app.run_requests(20)
+        summary = app.metrics.summary()
+        assert summary.total == 20
+        assert summary.failed == 0
+        rows = env.open_sql_session().execute("SELECT COUNT(*) FROM wl_events").scalar()
+        assert rows == 10  # write_ratio 0.5 of 20 requests
+        assert app.current_driver_name() == "pydb-legacy"
+        app.close()
+
+    def test_failures_recorded_and_connection_recycled(self, single_db_env):
+        env = single_db_env
+        env.admin.install_driver(build_pydb_driver("d"), database=env.database_name)
+
+        def connect(url, **kwargs):
+            return legacy_driver.connect(url, network=env.network, **kwargs)
+
+        app = ClientApplication(
+            "flaky", connect, env.url, spec=WorkloadSpec(table="wl_fail"), clock=env.clock
+        )
+        app.ensure_schema()
+        app.run_requests(2, tag="ok")
+        env.network.kill_endpoint(env.db_address)
+        app.drop_connection()
+        app.run_requests(2, tag="down")
+        env.network.revive_endpoint(env.db_address)
+        app.run_requests(2, tag="recovered")
+        summary = app.metrics.summary()
+        failed_tags = {record.tag for record in app.metrics.failures()}
+        assert failed_tags == {"down"}
+        assert summary.failed == 2
+        recovered = [r for r in app.metrics.records() if r.tag == "recovered"]
+        assert all(record.ok for record in recovered)
+        app.close()
+
+    def test_transactional_workload(self, single_db_env):
+        env = single_db_env
+
+        def connect(url, **kwargs):
+            return legacy_driver.connect(url, network=env.network, **kwargs)
+
+        app = ClientApplication(
+            "tx-app",
+            connect,
+            env.url,
+            spec=WorkloadSpec(table="wl_tx", write_ratio=1.0, use_transactions=True),
+            clock=env.clock,
+        )
+        app.ensure_schema()
+        app.run_requests(5)
+        assert app.metrics.summary().failed == 0
+        assert env.open_sql_session().execute("SELECT COUNT(*) FROM wl_tx").scalar() == 5
+        app.close()
+
+    def test_background_traffic_thread(self, single_db_env):
+        import time
+
+        env = single_db_env
+
+        def connect(url, **kwargs):
+            return legacy_driver.connect(url, network=env.network, **kwargs)
+
+        app = ClientApplication(
+            "bg", connect, env.url, spec=WorkloadSpec(table="wl_bg"), clock=env.clock
+        )
+        app.ensure_schema()
+        app.start(interval=0.005)
+        time.sleep(0.15)
+        app.stop()
+        assert len(app.metrics) > 0
+        app.close()
