@@ -1,4 +1,9 @@
-"""E11 — Tables 3/4 and Section 3.3: policies, revocation, lease-time sweep."""
+"""E11/E13 — policy matrices.
+
+E11: Tables 3/4 and Section 3.3 (policies, revocation, lease-time sweep).
+E13a: the request-scheduling policy matrix — every read load-balancing
+policy × query cache on/off on the refactored cluster scheduler.
+"""
 
 from benchmarks.conftest import run_and_report
 from repro.experiments import policy_matrix
@@ -32,3 +37,28 @@ def test_bench_e11c_lease_time_sweep(benchmark):
     traffic = [row["server_requests_in_window"] for row in rows]
     assert delays == sorted(delays)
     assert traffic == sorted(traffic, reverse=True)
+
+
+def test_bench_e13a_scheduling_policy_matrix(benchmark):
+    result = run_and_report(
+        benchmark,
+        policy_matrix.run_scheduling_policy_matrix,
+        policies=("round_robin", "least_pending", "weighted"),
+        cache_modes=(False, True),
+        clients=3,
+        requests_per_client=40,
+        replicas=3,
+    )
+    # Every policy x cache combination ran the full workload cleanly.
+    policies_seen = {row["read_policy"] for row in result.rows}
+    assert policies_seen == {"round_robin", "least_pending", "weighted"}
+    assert len(result.rows) == 6
+    assert all(row["failed"] == 0 for row in result.rows)
+    # Tail-latency percentiles are reported and ordered.
+    assert all(row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"] for row in result.rows)
+    # The query cache actually absorbs repeated SELECTs.
+    for policy in policies_seen:
+        cached = result.find_row(read_policy=policy, query_cache=True)
+        uncached = result.find_row(read_policy=policy, query_cache=False)
+        assert cached["cache_hits"] > 0
+        assert uncached["cache_hits"] == 0

@@ -16,8 +16,16 @@ This package implements the pieces those case studies exercise:
   checkpoint / resync), with a pluggable connection factory so backends
   can be reached through a legacy driver *or* through a Drivolution
   bootloader (the hybrid deployment of Section 5.3.2),
-- :mod:`repro.cluster.scheduler` — write broadcast and read load
-  balancing,
+- :mod:`repro.cluster.classifier` — SQL-aware statement classification on
+  the sqlengine token stream, extracting read/written table names,
+- :mod:`repro.cluster.loadbalancer` — pluggable read policies
+  (round-robin, least-pending, weighted),
+- :mod:`repro.cluster.broadcaster` — thread-pooled parallel write
+  broadcast with per-backend failure aggregation,
+- :mod:`repro.cluster.querycache` — SELECT-result cache invalidated by
+  the tables each write touches,
+- :mod:`repro.cluster.scheduler` — the request scheduler orchestrating
+  classifier → policy → broadcaster → cache (see docs/scheduling.md),
 - :mod:`repro.cluster.controller` — the controller itself, optionally
   embedding a Drivolution server replicated across the controller group,
 - :mod:`repro.cluster.driver` — the cluster client driver with
@@ -27,8 +35,24 @@ This package implements the pieces those case studies exercise:
 from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION
 from repro.cluster.recovery_log import RecoveryLog, LogEntry
 from repro.cluster.backend import Backend, BackendState
-from repro.cluster.scheduler import RequestScheduler, is_write_statement
-from repro.cluster.controller import Controller, ControllerConfig, ControllerGroup
+from repro.cluster.classifier import ClassifiedStatement, StatementKind, classify
+from repro.cluster.loadbalancer import (
+    LeastPendingPolicy,
+    ReadPolicy,
+    RoundRobinPolicy,
+    WeightedPolicy,
+    available_policies,
+    create_policy,
+)
+from repro.cluster.broadcaster import BroadcastOutcome, WriteBroadcaster
+from repro.cluster.querycache import QueryCache
+from repro.cluster.scheduler import RequestScheduler, SchedulerError, is_write_statement
+from repro.cluster.controller import (
+    Controller,
+    ControllerConfig,
+    ControllerGroup,
+    SessionContext,
+)
 from repro.cluster.driver import ClusterDriverRuntime, ClusterConnection, SequoiaDriver
 
 __all__ = [
@@ -37,11 +61,25 @@ __all__ = [
     "LogEntry",
     "Backend",
     "BackendState",
+    "ClassifiedStatement",
+    "StatementKind",
+    "classify",
+    "ReadPolicy",
+    "RoundRobinPolicy",
+    "LeastPendingPolicy",
+    "WeightedPolicy",
+    "available_policies",
+    "create_policy",
+    "BroadcastOutcome",
+    "WriteBroadcaster",
+    "QueryCache",
     "RequestScheduler",
+    "SchedulerError",
     "is_write_statement",
     "Controller",
     "ControllerConfig",
     "ControllerGroup",
+    "SessionContext",
     "ClusterDriverRuntime",
     "ClusterConnection",
     "SequoiaDriver",

@@ -18,7 +18,20 @@ import threading
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cluster.recovery_log import LogEntry
+from repro.dbapi.exceptions import (
+    DataError,
+    IntegrityError,
+    NotSupportedError,
+    ProgrammingError,
+)
 from repro.errors import DriverError
+
+#: Errors that blame the statement, not the replica or its connection: bad
+#: SQL or a constraint violation must not tear down the backend connection
+#: (the server session owns any open transaction, and reconnecting would
+#: silently roll it back), and the scheduler uses the same distinction to
+#: decide whether a failed write means the backend itself is unhealthy.
+STATEMENT_FAULTS = (ProgrammingError, IntegrityError, DataError, NotSupportedError)
 
 
 class BackendState(enum.Enum):
@@ -36,16 +49,38 @@ class Backend:
     factory changes (e.g. after a driver upgrade) or after a failure.
     """
 
-    def __init__(self, name: str, connection_factory: Callable[[], Any]) -> None:
+    def __init__(
+        self, name: str, connection_factory: Callable[[], Any], weight: float = 1.0
+    ) -> None:
         self.name = name
         self._connection_factory = connection_factory
         self._connection: Optional[Any] = None
         self.state = BackendState.ENABLED
         #: Index of the last recovery-log entry applied to this backend.
         self.checkpoint_index = 0
+        #: Relative share of reads under the weighted load-balancing policy.
+        self.weight = weight
         self._lock = threading.RLock()
         #: Statements executed against this backend (observability).
         self.statements_executed = 0
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+
+    # -- in-flight accounting ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Statements currently in flight (drives the least-pending policy)."""
+        with self._pending_lock:
+            return self._pending
+
+    def begin_request(self) -> None:
+        with self._pending_lock:
+            self._pending += 1
+
+    def finish_request(self) -> None:
+        with self._pending_lock:
+            self._pending = max(0, self._pending - 1)
 
     # -- connection management -------------------------------------------------
 
@@ -90,6 +125,9 @@ class Backend:
             cursor = connection.cursor()
             try:
                 cursor.execute(sql, params or {})
+            except STATEMENT_FAULTS:
+                # The statement was bad; the connection is fine. Keep it.
+                raise
             except DriverError:
                 # A failed statement may mean the connection (or replica) died;
                 # drop the cached connection so the next call reconnects.

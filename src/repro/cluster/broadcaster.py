@@ -1,0 +1,126 @@
+"""Write broadcast across the replicated backends.
+
+Writes under RAIDb-1 must reach every enabled backend. The original
+scheduler executed them one backend after another, so the wall-clock cost
+of a write grew linearly with the replica count. The broadcaster runs the
+statement on all backends concurrently on a shared thread pool and
+aggregates the per-backend outcomes; the scheduler then decides what a
+partial failure means (mark the backend failed, keep the first success).
+
+``parallel=False`` preserves the sequential behaviour — the benchmarks
+compare both modes on latency-injected backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.backend import Backend
+from repro.errors import DriverError
+
+QueryResult = Tuple[List[str], List[Any], int]
+
+
+@dataclass
+class BackendOutcome:
+    """Result of one statement on one backend."""
+
+    backend: Backend
+    result: Optional[QueryResult] = None
+    error: Optional[DriverError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BroadcastOutcome:
+    """Aggregate of one write across all enabled backends.
+
+    ``outcomes`` preserves the backend list order, so ``result`` (the
+    first success in that order) is deterministic regardless of which
+    thread finished first.
+    """
+
+    outcomes: List[BackendOutcome] = field(default_factory=list)
+
+    @property
+    def result(self) -> Optional[QueryResult]:
+        for outcome in self.outcomes:
+            if outcome.ok:
+                return outcome.result
+        return None
+
+    @property
+    def succeeded(self) -> List[BackendOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def failed(self) -> List[BackendOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def failure_messages(self) -> List[str]:
+        return [f"{o.backend.name}: {o.error}" for o in self.failed]
+
+
+class WriteBroadcaster:
+    """Executes one statement on many backends, optionally in parallel."""
+
+    def __init__(self, parallel: bool = True, max_workers: int = 8) -> None:
+        self.parallel = parallel
+        self._max_workers = max(1, max_workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def _get_executor(self) -> Optional[ThreadPoolExecutor]:
+        with self._lock:
+            if self._closed:
+                # A write still in flight when the owner shut down must not
+                # resurrect the pool (it would leak); it runs sequentially.
+                return None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers, thread_name_prefix="broadcast"
+                )
+            return self._executor
+
+    def broadcast(
+        self, backends: List[Backend], sql: str, params: Optional[Dict[str, Any]] = None
+    ) -> BroadcastOutcome:
+        executor = (
+            self._get_executor() if self.parallel and len(backends) > 1 else None
+        )
+        if executor is None:
+            return BroadcastOutcome([self._run_one(backend, sql, params) for backend in backends])
+        futures = [
+            executor.submit(self._run_one, backend, sql, params) for backend in backends
+        ]
+        return BroadcastOutcome([future.result() for future in futures])
+
+    @staticmethod
+    def _run_one(backend: Backend, sql: str, params: Optional[Dict[str, Any]]) -> BackendOutcome:
+        backend.begin_request()
+        try:
+            result = backend.execute(sql, params)
+        except DriverError as exc:
+            return BackendOutcome(backend=backend, error=exc)
+        finally:
+            backend.finish_request()
+        return BackendOutcome(backend=backend, result=result)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def reopen(self) -> None:
+        """Allow parallel broadcasting again (a restarted controller)."""
+        with self._lock:
+            self._closed = False

@@ -1,0 +1,308 @@
+"""SQL-aware statement classification for the request scheduler.
+
+The original scheduler sniffed the first word of each statement, which
+misclassified ``WITH ... SELECT``, parenthesized selects and ``EXPLAIN``
+as writes — broadcasting them to every backend and appending them to the
+recovery log, so read-only statements were replayed during resync.
+
+This module classifies statements on the real token stream produced by
+:mod:`repro.sqlengine.tokenizer` and extracts the table names each
+statement reads and writes. Table sets drive two things downstream:
+
+- the query-result cache invalidates exactly the cached SELECTs that read
+  a table the write touches,
+- the recovery log only records genuine writes.
+
+Statements the tokenizer cannot understand fall back to conservative
+prefix classification (treated as writes with an unknown table set, which
+invalidates the whole cache).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.tokenizer import Token, tokenize
+
+
+class StatementKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    TRANSACTION = "transaction"
+    UNKNOWN = "unknown"
+
+
+#: Commands that start a read-only statement.
+_READ_COMMANDS = {"SELECT", "EXPLAIN", "SHOW", "DESCRIBE", "DESC"}
+#: Commands that modify database state.
+_WRITE_COMMANDS = {
+    "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER",
+    "TRUNCATE", "REPLACE", "MERGE", "GRANT", "REVOKE", "SET",
+}
+#: Transaction-control commands: broadcast but never logged for resync.
+_TRANSACTION_COMMANDS = {"BEGIN", "COMMIT", "ROLLBACK", "START", "SAVEPOINT"}
+#: Functions whose result changes between calls, so their SELECTs must
+#: not be served from the query cache. Called forms require a following
+#: ``(``; the CURRENT_* keywords also appear bare (the sqlengine parser
+#: accepts both spellings).
+_NONDETERMINISTIC_FUNCTIONS = {"NOW", "RANDOM", "RAND"}
+_NONDETERMINISTIC_KEYWORDS = {"CURRENT_TIMESTAMP", "CURRENT_DATE", "CURRENT_TIME"}
+
+
+@dataclass(frozen=True)
+class ClassifiedStatement:
+    """What the scheduler needs to know about one SQL statement."""
+
+    kind: StatementKind
+    #: The leading command keyword after unwrapping parens/EXPLAIN/WITH
+    #: (e.g. ``SELECT`` for ``WITH c AS (...) SELECT ...``).
+    command: str = ""
+    read_tables: FrozenSet[str] = frozenset()
+    write_tables: FrozenSet[str] = frozenset()
+    #: Whether the result may be stored in the query cache.
+    cacheable: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is StatementKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is StatementKind.WRITE
+
+    @property
+    def is_transaction_control(self) -> bool:
+        return self.kind is StatementKind.TRANSACTION
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return self.read_tables | self.write_tables
+
+
+def classify(sql: str) -> ClassifiedStatement:
+    """Classify one statement (results are memoised — this is the hot path)."""
+    return _classify_cached(sql)
+
+
+@functools.lru_cache(maxsize=4096)
+def _classify_cached(sql: str) -> ClassifiedStatement:
+    if not sql or not sql.strip():
+        return ClassifiedStatement(kind=StatementKind.READ)
+    try:
+        tokens = tokenize(sql)
+    except SqlParseError:
+        return _classify_by_prefix(sql)
+    if not tokens:
+        return ClassifiedStatement(kind=StatementKind.READ)
+    return _classify_tokens(tokens)
+
+
+def _classify_by_prefix(sql: str) -> ClassifiedStatement:
+    """Fallback for statements the tokenizer rejects."""
+    head = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+    if head in _READ_COMMANDS:
+        # No table information, so the result can never be invalidated
+        # accurately — refuse to cache it.
+        return ClassifiedStatement(kind=StatementKind.READ, command=head)
+    if head in _TRANSACTION_COMMANDS:
+        return ClassifiedStatement(kind=StatementKind.TRANSACTION, command=head)
+    # Unknown statements are conservatively treated as writes touching an
+    # unknown table set (empty write_tables ⇒ full cache invalidation).
+    return ClassifiedStatement(kind=StatementKind.WRITE, command=head)
+
+
+def _is_ident(token: Optional[Token], value: Optional[str] = None) -> bool:
+    if token is None or token.kind != "IDENT":
+        return False
+    return value is None or str(token.value).upper() == value
+
+
+def _is_op(token: Optional[Token], value: str) -> bool:
+    return token is not None and token.kind == "OP" and token.value == value
+
+
+def _find_command(tokens: List[Token]) -> Tuple[str, int, FrozenSet[str], bool]:
+    """Locate the main command keyword, unwrapping ``(...)``, ``EXPLAIN``
+    and ``WITH`` prefixes. Returns (command, index, cte_names, explain)."""
+    index = 0
+    length = len(tokens)
+    explain = False
+    while index < length and _is_op(tokens[index], "("):
+        index += 1
+    if index < length and _is_ident(tokens[index], "EXPLAIN"):
+        explain = True
+        index += 1
+        if index < length and _is_ident(tokens[index], "ANALYZE"):
+            index += 1
+    cte_names: set = set()
+    if index < length and _is_ident(tokens[index], "WITH"):
+        index += 1
+        if index < length and _is_ident(tokens[index], "RECURSIVE"):
+            index += 1
+        while index < length and tokens[index].kind == "IDENT":
+            cte_names.add(str(tokens[index].value).lower())
+            index += 1
+            # Optional column list: name (a, b) AS (...)
+            if _is_op(tokens[index] if index < length else None, "("):
+                index = _skip_balanced(tokens, index)
+            if _is_ident(tokens[index] if index < length else None, "AS"):
+                index += 1
+            if _is_op(tokens[index] if index < length else None, "("):
+                index = _skip_balanced(tokens, index)
+            if _is_op(tokens[index] if index < length else None, ","):
+                index += 1
+                continue
+            break
+    if index < length and tokens[index].kind == "IDENT":
+        return str(tokens[index].value).upper(), index, frozenset(cte_names), explain
+    return "", index, frozenset(cte_names), explain
+
+
+def _skip_balanced(tokens: List[Token], index: int) -> int:
+    """Skip past one balanced ``( ... )`` group starting at ``index``."""
+    depth = 0
+    length = len(tokens)
+    while index < length:
+        if _is_op(tokens[index], "("):
+            depth += 1
+        elif _is_op(tokens[index], ")"):
+            depth -= 1
+            if depth == 0:
+                return index + 1
+        index += 1
+    return index
+
+
+def _read_table_name(tokens: List[Token], index: int) -> Tuple[Optional[str], int]:
+    """Read a possibly dotted table name at ``index``; returns (name, next)."""
+    if index >= len(tokens) or tokens[index].kind != "IDENT":
+        return None, index
+    name = str(tokens[index].value)
+    index += 1
+    if _is_op(tokens[index] if index < len(tokens) else None, ".") and (
+        index + 1 < len(tokens) and tokens[index + 1].kind == "IDENT"
+    ):
+        name = f"{name}.{tokens[index + 1].value}"
+        index += 2
+    return name.lower(), index
+
+
+def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
+    command, cmd_index, cte_names, explain = _find_command(tokens)
+    if not command:
+        return ClassifiedStatement(kind=StatementKind.UNKNOWN)
+    if command in _TRANSACTION_COMMANDS:
+        return ClassifiedStatement(kind=StatementKind.TRANSACTION, command=command)
+    if explain or command in _READ_COMMANDS:
+        # EXPLAIN over anything — including EXPLAIN INSERT/UPDATE — only
+        # describes the plan, it never modifies state.
+        kind = StatementKind.READ
+    elif command in _WRITE_COMMANDS:
+        kind = StatementKind.WRITE
+    else:
+        kind = StatementKind.UNKNOWN
+
+    read_tables: set = set()
+    write_tables: set = set()
+    nondeterministic = False
+    index = 0
+    length = len(tokens)
+    while index < length:
+        token = tokens[index]
+        if token.kind != "IDENT":
+            index += 1
+            continue
+        keyword = str(token.value).upper()
+        if keyword in _NONDETERMINISTIC_KEYWORDS:
+            nondeterministic = True
+            index += 1
+            continue
+        if keyword in _NONDETERMINISTIC_FUNCTIONS and _is_op(
+            tokens[index + 1] if index + 1 < length else None, "("
+        ):
+            nondeterministic = True
+            index += 1
+            continue
+        if keyword == "FROM":
+            name, next_index = _read_table_name(tokens, index + 1)
+            if name is not None:
+                # DELETE FROM <t>: the FROM adjacent to the command names
+                # the write target; every other FROM is a read source.
+                if command == "DELETE" and index == cmd_index + 1:
+                    write_tables.add(name)
+                else:
+                    read_tables.add(name)
+            index = next_index
+            continue
+        if keyword == "JOIN":
+            name, next_index = _read_table_name(tokens, index + 1)
+            if name is not None:
+                read_tables.add(name)
+            index = next_index
+            continue
+        if keyword == "INTO":
+            name, next_index = _read_table_name(tokens, index + 1)
+            if name is not None:
+                write_tables.add(name)
+            index = next_index
+            continue
+        if keyword == "UPDATE" and index == cmd_index:
+            name, next_index = _read_table_name(tokens, index + 1)
+            if name is not None:
+                write_tables.add(name)
+            index = next_index
+            continue
+        if keyword == "TABLE" and command in ("CREATE", "DROP", "ALTER", "TRUNCATE"):
+            next_index = index + 1
+            # Skip IF [NOT] EXISTS.
+            if _is_ident(tokens[next_index] if next_index < length else None, "IF"):
+                next_index += 1
+                if _is_ident(tokens[next_index] if next_index < length else None, "NOT"):
+                    next_index += 1
+                if _is_ident(tokens[next_index] if next_index < length else None, "EXISTS"):
+                    next_index += 1
+            name, next_index = _read_table_name(tokens, next_index)
+            if name is not None:
+                write_tables.add(name)
+            index = next_index
+            continue
+        index += 1
+
+    read_tables -= cte_names
+    write_tables -= cte_names
+    if kind is StatementKind.READ:
+        # A read never writes; tables picked up by INTO-style scans inside
+        # odd statements stay on the read side.
+        read_tables |= write_tables
+        write_tables = set()
+    cacheable = (
+        kind is StatementKind.READ
+        and not nondeterministic
+        and not explain
+        and command == "SELECT"
+    )
+    return ClassifiedStatement(
+        kind=kind,
+        command=command,
+        read_tables=frozenset(read_tables),
+        write_tables=frozenset(write_tables),
+        cacheable=cacheable,
+    )
+
+
+def is_write_statement(sql: str) -> bool:
+    """Whether ``sql`` modifies state and must be broadcast to all replicas.
+
+    Read-only statements — including ``WITH ... SELECT``, parenthesized
+    selects and ``EXPLAIN`` — return False; everything else (writes,
+    transaction control, unparseable statements) returns True.
+    """
+    return not classify(sql).is_read
+
+
+def is_transaction_control(sql: str) -> bool:
+    return classify(sql).is_transaction_control

@@ -21,9 +21,13 @@ from __future__ import annotations
 import threading
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.backend import Backend
+from repro.cluster.broadcaster import WriteBroadcaster
+from repro.cluster.classifier import classify
+from repro.cluster.loadbalancer import create_policy
+from repro.cluster.querycache import QueryCache
 from repro.cluster.recovery_log import RecoveryLog
 from repro.cluster.scheduler import RequestScheduler, SchedulerError
 from repro.cluster.wire import (
@@ -54,6 +58,42 @@ class ControllerConfig:
     protocol_version: int = CLUSTER_PROTOCOL_VERSION
     #: Oldest driver protocol version this controller still accepts.
     min_client_protocol_version: int = 1
+    #: Read load-balancing policy (see repro.cluster.loadbalancer).
+    read_policy: str = "round_robin"
+    #: Extra keyword arguments for the policy (e.g. weighted's ``weights``).
+    policy_options: Dict[str, Any] = field(default_factory=dict)
+    #: Broadcast writes to all backends concurrently.
+    parallel_writes: bool = True
+    #: Thread-pool width of the parallel write broadcaster.
+    write_concurrency: int = 8
+    #: Cache SELECT results with table-based invalidation. Off by default:
+    #: with several controllers in a group, writes routed through a peer do
+    #: not invalidate this controller's cache.
+    query_cache_enabled: bool = False
+    query_cache_size: int = 256
+
+
+@dataclass
+class SessionContext:
+    """Per-client-session state, one per connected driver session.
+
+    Replaces the transaction bookkeeping that previously lived as a local
+    variable (and keyword sniffing) inside the client-serving loop.
+    """
+
+    session_id: str
+    in_transaction: bool = False
+    statements: int = 0
+    failed: int = 0
+
+    def observe(self, command: str, is_transaction_control: bool) -> None:
+        """Update the transaction state after a statement executed."""
+        if not is_transaction_control:
+            return
+        if command in ("BEGIN", "START"):
+            self.in_transaction = True
+        elif command in ("COMMIT", "ROLLBACK"):
+            self.in_transaction = False
 
 
 class Controller:
@@ -70,7 +110,20 @@ class Controller:
         self.network = network
         self.address = address
         self.recovery_log = RecoveryLog()
-        self.scheduler = RequestScheduler(backends or [], self.recovery_log)
+        self.scheduler = RequestScheduler(
+            backends or [],
+            self.recovery_log,
+            read_policy=create_policy(config.read_policy, **config.policy_options),
+            query_cache=(
+                QueryCache(max_entries=config.query_cache_size)
+                if config.query_cache_enabled
+                else None
+            ),
+            broadcaster=WriteBroadcaster(
+                parallel=config.parallel_writes, max_workers=config.write_concurrency
+            ),
+        )
+        self._sessions: Dict[str, SessionContext] = {}
         self._extensions: Dict[str, ExtensionHandler] = {}
         self._channel_server: Optional[ChannelServer] = None
         self._peers: List[Address] = []
@@ -85,6 +138,7 @@ class Controller:
     def start(self) -> "Controller":
         if self._channel_server is not None:
             return self
+        self.scheduler.broadcaster.reopen()
         listener = self.network.listen(self.address)
         self._channel_server = ChannelServer(
             listener, self._handle_channel, name=self.config.controller_id
@@ -96,10 +150,25 @@ class Controller:
         if self._channel_server is not None:
             self._channel_server.stop()
             self._channel_server = None
+        self.scheduler.close()
 
     @property
     def running(self) -> bool:
         return self._channel_server is not None
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Controller-level counters plus the scheduling subsystem's stats."""
+        with self._lock:
+            active_sessions = len(self._sessions)
+        return {
+            "controller_id": self.config.controller_id,
+            "statements_served": self.statements_served,
+            "failed_statements": self.failed_statements,
+            "active_sessions": active_sessions,
+            "scheduler": self.scheduler.stats(),
+        }
 
     # -- backends ----------------------------------------------------------------
 
@@ -118,17 +187,15 @@ class Controller:
     def disable_backend(self, name: str) -> int:
         """Disable a backend around a consistent checkpoint; returns the
         checkpoint index it will resync from."""
-        backend = self.backend(name)
-        checkpoint = self.recovery_log.last_index
-        backend.disable(checkpoint)
-        return checkpoint
+        return self.scheduler.checkpoint_and_disable(self.backend(name))
 
     def enable_backend(self, name: str) -> int:
         """Re-enable a backend, replaying missed writes; returns how many
-        log entries were replayed."""
-        backend = self.backend(name)
-        entries = self.recovery_log.entries_after(backend.checkpoint_index)
-        return backend.resync(entries)
+        log entries were replayed.
+
+        Refused while a transaction is open, and atomic with respect to
+        concurrent writes (see RequestScheduler.resync_and_enable)."""
+        return self.scheduler.resync_and_enable(self.backend(name))
 
     def disable_backend_cluster_wide(self, name: str) -> int:
         """Disable ``name`` on this controller and every peer.
@@ -142,9 +209,19 @@ class Controller:
         return checkpoint
 
     def enable_backend_cluster_wide(self, name: str) -> int:
-        """Re-enable ``name`` everywhere; returns the local replay count."""
+        """Re-enable ``name`` everywhere; returns the local replay count.
+
+        Raises if a reachable peer *refused* the enable (e.g. its
+        open-transaction gate), so the backend is not silently left
+        disabled there; unreachable peers keep the best-effort group
+        semantics."""
         replayed = self.enable_backend(name)
-        self._broadcast_group("enable_backend", {"backend": name})
+        _, refusals = self._broadcast_group("enable_backend", {"backend": name})
+        if refusals:
+            raise DriverError(
+                f"backend {name!r} re-enabled locally but refused by peers: "
+                + "; ".join(refusals)
+            )
         return replayed
 
     # -- extensions (embedded Drivolution server) -------------------------------------
@@ -223,9 +300,14 @@ class Controller:
         self.drivolution.notify_update(package.api_name, database)
         return driver_id
 
-    def _broadcast_group(self, operation: str, payload: Dict[str, Any]) -> int:
-        """Send a group operation to every peer; returns how many acknowledged."""
+    def _broadcast_group(self, operation: str, payload: Dict[str, Any]) -> "Tuple[int, List[str]]":
+        """Send a group operation to every peer.
+
+        Returns ``(acknowledged, refusals)``: unreachable peers are
+        skipped (best effort), but a reachable peer that answered with an
+        error is reported so callers can surface it."""
         acknowledged = 0
+        refusals: List[str] = []
         for peer in self.peers():
             try:
                 channel = self.network.connect(peer, timeout=2.0)
@@ -236,11 +318,13 @@ class Controller:
                 reply = channel.recv(timeout=5.0)
                 if reply.get("type") == "seq_group_ack":
                     acknowledged += 1
+                elif reply.get("type") == ClusterMessageType.ERROR:
+                    refusals.append(f"{peer}: {reply.get('message', 'unknown error')}")
             except TransportError:
                 continue
             finally:
                 channel.close()
-        return acknowledged
+        return acknowledged, refusals
 
     def _handle_group_message(self, channel: Channel, message: Dict[str, Any]) -> None:
         operation = str(message.get("operation", ""))
@@ -312,8 +396,26 @@ class Controller:
             )
             return
         session_id = uuid.uuid4().hex
-        channel.send(make_connect_ok(self.config.controller_id, client_version, session_id))
-        in_transaction = False
+        session = SessionContext(session_id=session_id)
+        with self._lock:
+            self._sessions[session_id] = session
+        try:
+            channel.send(make_connect_ok(self.config.controller_id, client_version, session_id))
+            self._serve_session(channel, session)
+        finally:
+            with self._lock:
+                self._sessions.pop(session_id, None)
+            if session.in_transaction:
+                # The client vanished mid-transaction. Roll it back so the
+                # backends' shared server sessions are released and the
+                # scheduler's open-transaction accounting (which gates the
+                # query-cache dirty-table flush) is not pinned forever.
+                try:
+                    self.scheduler.execute("ROLLBACK", in_transaction=True)
+                except (SchedulerError, DriverError):
+                    pass
+
+    def _serve_session(self, channel: Channel, session: SessionContext) -> None:
         while True:
             try:
                 message = channel.recv(timeout=None)
@@ -330,19 +432,18 @@ class Controller:
                 continue
             sql = str(message.get("sql", ""))
             params = dict(message.get("params") or {})
-            keyword = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+            statement = classify(sql)
             try:
                 columns, rows, rowcount = self.scheduler.execute(
-                    sql, params, in_transaction=in_transaction
+                    sql, params, in_transaction=session.in_transaction
                 )
             except (SchedulerError, DriverError) as exc:
                 self.failed_statements += 1
+                session.failed += 1
                 channel.send(make_error("execution_failed", str(exc)))
                 continue
-            if keyword in ("BEGIN", "START"):
-                in_transaction = True
-            elif keyword in ("COMMIT", "ROLLBACK"):
-                in_transaction = False
+            session.observe(statement.command, statement.is_transaction_control)
+            session.statements += 1
             self.statements_served += 1
             try:
                 channel.send(make_result(columns, rows, rowcount))

@@ -1,0 +1,140 @@
+"""Pluggable read load-balancing policies.
+
+The scheduler asks a :class:`ReadPolicy` to pick one enabled backend for
+each read. Policies are deliberately stateless about membership: they are
+handed the *current* enabled backend list on every call and must stay
+well-behaved when backends are disabled, re-enabled or added mid-stream.
+
+Available policies (selected by name via :func:`create_policy`, which is
+how :class:`~repro.cluster.controller.ControllerConfig` configures them):
+
+- ``round_robin`` — rotate over the enabled backends with an unbounded
+  cursor, so the rotation stays uniform across membership changes,
+- ``least_pending`` — pick the backend with the fewest in-flight
+  statements (per-backend counters on :class:`~repro.cluster.backend.Backend`),
+  breaking ties round-robin,
+- ``weighted`` — smooth weighted round-robin over per-backend weights
+  (either configured by name or taken from ``Backend.weight``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.backend import Backend
+from repro.errors import DriverError
+
+
+class ReadPolicy:
+    """Strategy interface: choose one backend from a non-empty list."""
+
+    name = "abstract"
+
+    def choose(self, backends: List[Backend]) -> Backend:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(ReadPolicy):
+    """Rotate over the enabled backends.
+
+    The cursor grows without bound and is reduced modulo the *current*
+    backend count only at selection time, so disabling or re-enabling a
+    backend shifts the rotation by at most one slot instead of resetting
+    it (the original scheduler stored the cursor already modded, which
+    skewed the distribution on every membership change).
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def choose(self, backends: List[Backend]) -> Backend:
+        with self._lock:
+            choice = backends[self._cursor % len(backends)]
+            self._cursor += 1
+            return choice
+
+
+class LeastPendingPolicy(ReadPolicy):
+    """Pick the backend with the fewest in-flight statements."""
+
+    name = "least_pending"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def choose(self, backends: List[Backend]) -> Backend:
+        with self._lock:
+            # Snapshot the counters once: they move concurrently, and a
+            # re-read between min() and the filter could leave no candidate.
+            pairs = [(backend.pending, backend) for backend in backends]
+            least = min(pending for pending, _ in pairs)
+            candidates = [backend for pending, backend in pairs if pending == least]
+            choice = candidates[self._cursor % len(candidates)]
+            self._cursor += 1
+            return choice
+
+
+class WeightedPolicy(ReadPolicy):
+    """Smooth weighted round-robin (the nginx algorithm).
+
+    Each round every backend's running score grows by its weight; the
+    highest score wins and is debited by the total weight. Over time each
+    backend serves a share of reads proportional to its weight, without
+    bursts. Scores are keyed by backend name, so membership changes only
+    affect the backends that actually came or went.
+    """
+
+    name = "weighted"
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
+        self._weights = dict(weights or {})
+        self._scores: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def _weight_of(self, backend: Backend) -> float:
+        weight = self._weights.get(backend.name, getattr(backend, "weight", 1.0))
+        return max(float(weight), 0.0)
+
+    def choose(self, backends: List[Backend]) -> Backend:
+        with self._lock:
+            total = 0.0
+            best: Optional[Backend] = None
+            best_score = float("-inf")
+            for backend in backends:
+                weight = self._weight_of(backend)
+                total += weight
+                score = self._scores.get(backend.name, 0.0) + weight
+                self._scores[backend.name] = score
+                if score > best_score:
+                    best = backend
+                    best_score = score
+            assert best is not None  # backends is non-empty
+            self._scores[best.name] = best_score - (total if total > 0 else 1.0)
+            return best
+
+
+_POLICIES: Dict[str, Callable[..., ReadPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastPendingPolicy.name: LeastPendingPolicy,
+    WeightedPolicy.name: WeightedPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    return sorted(_POLICIES)
+
+
+def create_policy(name: str, **options: Any) -> ReadPolicy:
+    """Instantiate a read policy by name (``ControllerConfig.read_policy``)."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise DriverError(
+            f"unknown read policy {name!r} (available: {', '.join(available_policies())})"
+        ) from None
+    return factory(**options)

@@ -1,0 +1,170 @@
+"""Query-result cache with table-accurate invalidation.
+
+SELECT results are cached keyed by ``(sql, params)`` together with the
+set of tables the statement reads (as extracted by
+:mod:`repro.cluster.classifier`). A write invalidates exactly the cached
+entries that read one of the tables it touches — a write to table A never
+evicts a SELECT that only reads table B. A write whose table set is
+unknown (unparseable statement) flushes the whole cache.
+
+Reads race with writes: a read may execute on a backend, then a write
+commits and invalidates, and only then does the read try to store its —
+now stale — result. Every lookup therefore starts with :meth:`stamp`,
+and :meth:`put` refuses results whose stamp predates an invalidation of
+any table they read.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+CacheKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+QueryResult = Tuple[List[str], List[Any], int]
+
+
+@dataclass
+class _Entry:
+    result: QueryResult
+    tables: FrozenSet[str]
+
+
+class QueryCache:
+    """Bounded LRU cache of SELECT results, invalidated by table."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._by_table: Dict[str, Set[CacheKey]] = {}
+        self._lock = threading.Lock()
+        # Monotonic invalidation clock: bumped on every invalidation, with
+        # per-table floors so late put()s of stale results are rejected.
+        self._version = 0
+        self._table_floor: Dict[str, int] = {}
+        self._global_floor = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @staticmethod
+    def make_key(sql: str, params: Optional[Dict[str, Any]] = None) -> CacheKey:
+        # Values come straight off the wire and may be unhashable (lists,
+        # dicts); key on their repr so a weird parameter degrades to a
+        # cache miss instead of a TypeError killing the session thread.
+        items = tuple(
+            (name, repr(value)) for name, value in sorted((params or {}).items())
+        )
+        return (sql, items)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def stamp(self) -> int:
+        """Current invalidation clock; capture *before* executing the read."""
+        with self._lock:
+            return self._version
+
+    def get(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Optional[QueryResult]:
+        key = self.make_key(sql, params)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            columns, rows, rowcount = entry.result
+            return list(columns), list(rows), rowcount
+
+    def put(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        tables: Iterable[str],
+        result: QueryResult,
+        stamp: Optional[int] = None,
+    ) -> bool:
+        """Store one result; returns False if it was stale (see module doc)."""
+        key = self.make_key(sql, params)
+        table_set = frozenset(table.lower() for table in tables)
+        with self._lock:
+            if stamp is not None:
+                if stamp < self._global_floor:
+                    return False
+                if any(self._table_floor.get(table, 0) > stamp for table in table_set):
+                    return False
+            if key in self._entries:
+                self._unlink_locked(key)
+            columns, rows, rowcount = result
+            self._entries[key] = _Entry((list(columns), list(rows), rowcount), table_set)
+            for table in table_set:
+                self._by_table.setdefault(table, set()).add(key)
+            while len(self._entries) > self._max_entries:
+                self._unlink_locked(next(iter(self._entries)))
+                self.evictions += 1
+            return True
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate_tables(self, tables: Iterable[str]) -> int:
+        """Evict entries reading any of ``tables``; empty ⇒ flush everything."""
+        table_set = frozenset(table.lower() for table in tables)
+        with self._lock:
+            self._version += 1
+            if not table_set:
+                return self._clear_locked()
+            evicted = 0
+            for table in table_set:
+                self._table_floor[table] = self._version
+                for key in list(self._by_table.get(table, ())):
+                    self._unlink_locked(key)
+                    evicted += 1
+            self.invalidations += evicted
+            return evicted
+
+    def clear(self) -> int:
+        with self._lock:
+            self._version += 1
+            return self._clear_locked()
+
+    def _clear_locked(self) -> int:
+        evicted = len(self._entries)
+        self._entries.clear()
+        self._by_table.clear()
+        self._global_floor = self._version
+        self.invalidations += evicted
+        return evicted
+
+    def _unlink_locked(self, key: CacheKey) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for table in entry.tables:
+            keys = self._by_table.get(table)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    self._by_table.pop(table, None)
+
+    # -- observability ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }

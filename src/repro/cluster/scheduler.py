@@ -1,35 +1,50 @@
-"""Request scheduling: write broadcast and read load balancing."""
+"""Request scheduling: the controller's routing hot path.
+
+The scheduler is a thin orchestrator over four pluggable layers:
+
+1. :mod:`repro.cluster.classifier` — token-level statement classification
+   (read/write/transaction-control) and read/written table extraction,
+2. :mod:`repro.cluster.loadbalancer` — the read policy choosing one
+   enabled backend per read (round-robin, least-pending, weighted),
+3. :mod:`repro.cluster.broadcaster` — thread-pooled parallel execution of
+   writes on every enabled backend with per-backend failure aggregation,
+4. :mod:`repro.cluster.querycache` — an optional SELECT-result cache
+   invalidated by the tables each write touches.
+
+Replication semantics are unchanged from the original single-class
+scheduler: reads go to one enabled backend, writes (and any statement
+inside an explicit transaction) go to all of them, genuine writes are
+appended to the recovery log for backend resync, and a write that fails
+on one backend marks that backend FAILED while the statement still
+succeeds if any replica accepted it. Writes are serialised so the
+recovery-log order equals the execution order on every backend; the
+parallelism is *across backends within one write*.
+"""
 
 from __future__ import annotations
 
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.cluster.backend import Backend
+from repro.cluster.backend import Backend, STATEMENT_FAULTS
+from repro.cluster.broadcaster import WriteBroadcaster
+from repro.cluster.classifier import (
+    ClassifiedStatement,
+    classify,
+    is_transaction_control,
+    is_write_statement,
+)
+from repro.cluster.loadbalancer import ReadPolicy, RoundRobinPolicy
+from repro.cluster.querycache import QueryCache
 from repro.cluster.recovery_log import RecoveryLog
 from repro.errors import DriverError
 
-#: Statements treated as reads; everything else is broadcast as a write.
-_READ_PREFIXES = ("SELECT",)
-#: Transaction-control statements are broadcast but not logged for resync
-#: (replaying a bare COMMIT against a recovered backend is meaningless).
-_TRANSACTION_PREFIXES = ("BEGIN", "COMMIT", "ROLLBACK", "START")
-
-
-def is_write_statement(sql: str) -> bool:
-    """Whether ``sql`` modifies state and must be broadcast to all replicas."""
-    head = sql.lstrip().split(None, 1)
-    if not head:
-        return False
-    keyword = head[0].upper()
-    return not keyword.startswith(_READ_PREFIXES)
-
-
-def is_transaction_control(sql: str) -> bool:
-    head = sql.lstrip().split(None, 1)
-    if not head:
-        return False
-    return head[0].upper() in _TRANSACTION_PREFIXES
+__all__ = [
+    "RequestScheduler",
+    "SchedulerError",
+    "is_write_statement",
+    "is_transaction_control",
+]
 
 
 class SchedulerError(DriverError):
@@ -37,20 +52,93 @@ class SchedulerError(DriverError):
 
 
 class RequestScheduler:
-    """Routes statements to backends (RAIDb-1: full replication).
+    """Routes statements to backends (RAIDb-1: full replication)."""
 
-    Reads go to one enabled backend, chosen round-robin. Writes go to every
-    enabled backend and are appended to the recovery log so that disabled
-    backends can catch up later. Statements executed inside an explicit
-    transaction are pinned to *all* backends (the simple, correct choice
-    for full replication).
-    """
-
-    def __init__(self, backends: List[Backend], recovery_log: RecoveryLog) -> None:
+    def __init__(
+        self,
+        backends: List[Backend],
+        recovery_log: RecoveryLog,
+        read_policy: Optional[ReadPolicy] = None,
+        query_cache: Optional[QueryCache] = None,
+        broadcaster: Optional[WriteBroadcaster] = None,
+    ) -> None:
         self._backends = list(backends)
         self._recovery_log = recovery_log
-        self._round_robin = 0
+        self._policy = read_policy or RoundRobinPolicy()
+        self._cache = query_cache
+        self._broadcaster = broadcaster or WriteBroadcaster(parallel=True)
         self._lock = threading.Lock()
+        # Writes are totally ordered: log append + broadcast happen under
+        # this lock so every backend applies writes in log order.
+        self._write_lock = threading.Lock()
+        # Tables written inside open transactions (guarded by _write_lock).
+        # A concurrent autocommit read can cache the uncommitted state, and
+        # a later ROLLBACK would leave that entry stale forever — so every
+        # COMMIT/ROLLBACK flushes these from the cache. The set is only
+        # cleared once *no* transaction remains open: the scheduler cannot
+        # tell whose transaction just ended, so it over-invalidates rather
+        # than let one session's COMMIT erase another session's tracking.
+        self._tx_dirty_tables: set = set()
+        self._tx_dirty_all = False
+        self._open_transactions = 0
+        # Writes executed inside the open transaction, deferred from the
+        # recovery log until COMMIT: a rolled-back write must never be
+        # replayed into a recovering backend, and a backend that failed
+        # mid-transaction must replay the whole transaction at resync.
+        # A single buffer is sound because the engine admits one open
+        # transaction at a time (a second BEGIN is rejected); if backends
+        # ever gain per-session connections this needs keying by session.
+        self._tx_buffer: List[Tuple[str, Dict[str, Any]]] = []
+
+    # -- configuration -----------------------------------------------------------
+
+    @property
+    def open_transactions(self) -> int:
+        """Transactions currently open somewhere on the cluster."""
+        with self._write_lock:
+            return self._open_transactions
+
+    def checkpoint_and_disable(self, backend: Backend) -> int:
+        """Disable a backend around a consistent checkpoint, atomically
+        with respect to the write path: no broadcast is in flight while
+        the checkpoint is recorded, so it reflects exactly the writes the
+        backend has applied."""
+        with self._write_lock:
+            checkpoint = self._recovery_log.last_index
+            backend.disable(checkpoint)
+            return checkpoint
+
+    def resync_and_enable(self, backend: Backend) -> int:
+        """Replay a disabled backend's missed writes and re-enable it,
+        atomically with respect to the write path.
+
+        Holding the write lock for the whole snapshot+replay+enable means
+        no write can land between the log snapshot and the ENABLED flip
+        (it would be applied to the other replicas only and never
+        replayed), and no transaction can open mid-resync — a backend
+        joining mid-transaction would apply the transaction's remaining
+        writes as autocommit, beyond ROLLBACK's reach.
+        """
+        with self._write_lock:
+            if self._open_transactions:
+                raise SchedulerError(
+                    f"cannot enable backend {backend.name!r} while a transaction "
+                    "is open; retry after it ends"
+                )
+            entries = self._recovery_log.entries_after(backend.checkpoint_index)
+            return backend.resync(entries)
+
+    @property
+    def read_policy(self) -> ReadPolicy:
+        return self._policy
+
+    @property
+    def query_cache(self) -> Optional[QueryCache]:
+        return self._cache
+
+    @property
+    def broadcaster(self) -> WriteBroadcaster:
+        return self._broadcaster
 
     # -- backend set -------------------------------------------------------------
 
@@ -65,7 +153,7 @@ class RequestScheduler:
         with self._lock:
             self._backends.append(backend)
 
-    # -- routing -----------------------------------------------------------------------
+    # -- routing -----------------------------------------------------------------
 
     def execute(
         self, sql: str, params: Optional[Dict[str, Any]] = None, in_transaction: bool = False
@@ -74,32 +162,195 @@ class RequestScheduler:
         enabled = self.enabled_backends()
         if not enabled:
             raise SchedulerError("no enabled backend available")
-        write = is_write_statement(sql)
-        if not write and not in_transaction:
-            backend = self._pick_read_backend(enabled)
-            return backend.execute(sql, params)
-        # Writes (and anything inside a transaction) go everywhere.
-        if write and not is_transaction_control(sql):
-            self._recovery_log.append(sql, params)
-        result: Optional[Tuple[List[str], List[Any], int]] = None
-        failures: List[str] = []
-        for backend in enabled:
-            try:
-                outcome = backend.execute(sql, params)
-            except DriverError as exc:
-                backend.mark_failed()
-                failures.append(f"{backend.name}: {exc}")
-                continue
-            if result is None:
-                result = outcome
-            backend.checkpoint_index = self._recovery_log.last_index
+        statement = classify(sql)
+        if statement.is_read and not in_transaction:
+            return self._execute_read(enabled, sql, params, statement)
+        return self._execute_broadcast(enabled, sql, params, statement, in_transaction)
+
+    def _execute_read(
+        self,
+        enabled: List[Backend],
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        statement: ClassifiedStatement,
+    ) -> Tuple[List[str], List[Any], int]:
+        cache = self._cache
+        use_cache = cache is not None and statement.cacheable
+        if use_cache:
+            cached = cache.get(sql, params)
+            if cached is not None:
+                return cached
+            stamp = cache.stamp()
+            # Re-snapshot *after* taking the stamp: a backend that failed
+            # (and so missed) a concurrent write is excluded here, and one
+            # that fails later implies the write's post-broadcast
+            # invalidation postdates our stamp — either way pre-write data
+            # cannot be cached as fresh.
+            enabled = self.enabled_backends()
+            if not enabled:
+                raise SchedulerError("no enabled backend available")
+        backend = self._policy.choose(enabled)
+        backend.begin_request()
+        try:
+            result = backend.execute(sql, params)
+        finally:
+            backend.finish_request()
+        if use_cache:
+            cache.put(sql, params, statement.read_tables, result, stamp=stamp)
+        return result
+
+    def _execute_broadcast(
+        self,
+        enabled: List[Backend],
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        statement: ClassifiedStatement,
+        in_transaction: bool = False,
+    ) -> Tuple[List[str], List[Any], int]:
+        # Anything reaching this path that is not a genuine read is
+        # replicated; only genuine writes are logged for resync —
+        # transaction control and in-transaction reads are not.
+        log_it = not statement.is_read and not statement.is_transaction_control
+        with self._write_lock:
+            # Re-snapshot the membership under the lock: a backend enabled
+            # by a resync that this write waited out must be included, or
+            # it silently misses the write with no resync left to replay it.
+            enabled = self.enabled_backends()
+            if not enabled:
+                raise SchedulerError("no enabled backend available")
+            if log_it and self._cache is not None:
+                # Invalidate before execution as well: entries cached
+                # against the pre-write state must not survive the write.
+                self._cache.invalidate_tables(statement.write_tables)
+            outcome = self._broadcaster.broadcast(enabled, sql, params)
+            # A statement fault on *every* backend blames the statement —
+            # the replicas agree and stay healthy. A fault on a strict
+            # subset while others accepted the write is divergence: the
+            # minority is missing a committed write and must leave the
+            # read rotation until resynced. Replica faults (connection
+            # died) always mark the backend failed.
+            any_succeeded = bool(outcome.succeeded)
+            for failure in outcome.failed:
+                if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
+                    failure.backend.mark_failed()
+            result = outcome.result
+            if log_it and any_succeeded:
+                # Logged only after at least one replica accepted it: a
+                # statement every backend rejected must not sit in the log
+                # and poison future resyncs. The write lock keeps log
+                # order equal to execution order regardless.
+                if self._open_transactions > 0:
+                    # Deferred until COMMIT (discarded on ROLLBACK) so the
+                    # log only ever holds committed writes. The engine has
+                    # one transaction cluster-wide on the shared backend
+                    # connections, so while *any* transaction is open even
+                    # an autocommit write executes — and rolls back —
+                    # inside it; defer those too. Keyed on the scheduler's
+                    # own accounting, not the caller's in_transaction flag:
+                    # the flag can go stale (e.g. another session closed
+                    # the transaction), and a write the engine autocommits
+                    # must be logged immediately, never left in the buffer.
+                    self._tx_buffer.append((sql, dict(params or {})))
+                    if statement.write_tables:
+                        self._tx_dirty_tables.update(statement.write_tables)
+                    else:
+                        self._tx_dirty_all = True
+                else:
+                    self._recovery_log.append(sql, params)
+            if statement.is_transaction_control:
+                if statement.command in ("BEGIN", "START"):
+                    # Count every BEGIN the engine accepted — the engine
+                    # rejects nested BEGINs, so acceptance *is* the ground
+                    # truth that a transaction opened (the caller's
+                    # in_transaction flag can be stale). One rejected by
+                    # every backend opened nothing and counting it would
+                    # pin the dirty set.
+                    if result is not None:
+                        self._open_transactions += 1
+                elif statement.command in ("COMMIT", "ROLLBACK") and (
+                    in_transaction or self._open_transactions > 0
+                ):
+                    # Keyed on the scheduler's own accounting as well as the
+                    # caller's flag: on the shared backend connections a
+                    # COMMIT closes the open transaction no matter which
+                    # session sends it, and a caller that doesn't thread
+                    # in_transaction must not pin the counter forever.
+                    #
+                    # A close rejected as bad SQL anywhere (e.g. an
+                    # unsupported COMMIT variant) changed nothing on that
+                    # still-ENABLED replica: the transaction remains open
+                    # there, so keep the buffer and the accounting.
+                    statement_rejected = result is None and any(
+                        isinstance(failure.error, STATEMENT_FAULTS)
+                        for failure in outcome.failed
+                    )
+                    if not statement_rejected:
+                        if statement.command == "COMMIT" and result is not None:
+                            for buffered_sql, buffered_params in self._tx_buffer:
+                                self._recovery_log.append(buffered_sql, buffered_params)
+                        # ROLLBACK — or a close no backend could run (those
+                        # replicas are FAILED and their aborted server
+                        # sessions rolled the transaction back) — discards
+                        # the buffer; either way the accounting must not
+                        # stay pinned.
+                        self._tx_buffer = []
+                        self._open_transactions = max(0, self._open_transactions - 1)
+                        self._flush_tx_dirty_locked()
+            last_index = self._recovery_log.last_index
+            for success in outcome.succeeded:
+                success.backend.checkpoint_index = last_index
+            if log_it and self._cache is not None:
+                # Invalidate again now that every backend applied the write:
+                # evicts results a concurrent read cached from a backend the
+                # broadcast had not reached yet, and bumps the floor so any
+                # still-in-flight read cannot store a pre-write result.
+                self._cache.invalidate_tables(statement.write_tables)
         if result is None:
             raise SchedulerError(
-                f"statement failed on every backend: {'; '.join(failures)}"
+                f"statement failed on every backend: {'; '.join(outcome.failure_messages())}"
             )
         return result
 
-    def _pick_read_backend(self, enabled: List[Backend]) -> Backend:
-        with self._lock:
-            self._round_robin = (self._round_robin + 1) % len(enabled)
-            return enabled[self._round_robin]
+    def _flush_tx_dirty_locked(self) -> None:
+        """Evict cache entries that may have observed uncommitted state.
+
+        Runs on every COMMIT/ROLLBACK (the scheduler does not track which
+        session's transaction just ended, so it over-invalidates rather
+        than serve data from a rolled-back transaction forever). The dirty
+        set survives until no transaction remains open, so an unrelated
+        session's commit cannot erase the tracking of one still in flight.
+        Caller holds ``_write_lock``.
+        """
+        if self._cache is not None:
+            if self._tx_dirty_all:
+                self._cache.invalidate_tables(())
+            elif self._tx_dirty_tables:
+                self._cache.invalidate_tables(self._tx_dirty_tables)
+        if self._open_transactions == 0:
+            self._tx_dirty_all = False
+            self._tx_dirty_tables = set()
+
+    # -- lifecycle / observability ------------------------------------------------
+
+    def close(self) -> None:
+        self._broadcaster.close()
+
+    def stats(self) -> Dict[str, Any]:
+        cache = self._cache
+        return {
+            "read_policy": self._policy.name,
+            "parallel_writes": self._broadcaster.parallel,
+            "query_cache": cache.stats() if cache is not None else None,
+            "recovery_log_entries": self._recovery_log.last_index,
+            "backends": [
+                {
+                    "name": backend.name,
+                    "state": backend.state.value,
+                    "statements_executed": backend.statements_executed,
+                    "pending": backend.pending,
+                    "checkpoint_index": backend.checkpoint_index,
+                    "weight": backend.weight,
+                }
+                for backend in self.backends()
+            ],
+        }

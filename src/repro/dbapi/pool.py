@@ -64,6 +64,26 @@ class ConnectionPool:
         now = self._clock()
         return PooledConnection(connection=connection, created_at=now, last_used_at=now)
 
+    def _replenish_locked(self) -> None:
+        """Top the pool back up to ``min_size`` live connections.
+
+        Closed connections dropped from the idle set used to silently
+        shrink the pool below its floor; every code path that discards a
+        connection calls this to restore the minimum.
+        """
+        if self._closed:
+            return
+        while len(self._idle) + len(self._busy) < self._min_size:
+            try:
+                self._idle.append(self._create())
+            except Exception:
+                # Best-effort: release()/invalidate_idle() never raised
+                # before and must not start; the floor is restored by a
+                # later call once the factory recovers (acquire() still
+                # surfaces factory errors through its own _create path).
+                return
+            self._lock.notify()
+
     # -- pool API ------------------------------------------------------------
 
     def acquire(self, timeout: Optional[float] = 5.0) -> Connection:
@@ -73,15 +93,22 @@ class ConnectionPool:
             while True:
                 if self._closed:
                     raise InterfaceError("connection pool is closed")
-                # Prefer a live idle connection.
+                # Prefer a live idle connection; dead ones are dropped and
+                # replaced so the pool never shrinks below min_size.
+                dropped_dead = False
                 while self._idle:
                     pooled = self._idle.pop()
                     if pooled.closed:
+                        dropped_dead = True
                         continue
                     pooled.checkouts += 1
                     pooled.last_used_at = self._clock()
                     self._busy.append(pooled)
                     return pooled.connection
+                if dropped_dead:
+                    self._replenish_locked()
+                    if self._idle:
+                        continue
                 if len(self._busy) < self._max_size:
                     pooled = self._create()
                     pooled.checkouts += 1
@@ -104,15 +131,21 @@ class ConnectionPool:
                 self._idle.append(pooled)
             else:
                 self._safe_close(pooled)
+                self._replenish_locked()
             self._lock.notify()
 
     def invalidate_idle(self) -> int:
-        """Close all idle connections (returns how many were closed)."""
+        """Close all idle connections (returns how many were closed).
+
+        The pool is immediately replenished back to ``min_size`` with fresh
+        connections from the factory, so invalidation swaps stale
+        connections for new ones instead of shrinking the pool."""
         with self._lock:
             count = len(self._idle)
             for pooled in self._idle:
                 self._safe_close(pooled)
             self._idle.clear()
+            self._replenish_locked()
             self._lock.notify_all()
         return count
 
@@ -140,6 +173,7 @@ class ConnectionPool:
             return {
                 "idle": len(self._idle),
                 "busy": len(self._busy),
+                "min_size": self._min_size,
                 "max_size": self._max_size,
                 "closed": self._closed,
             }

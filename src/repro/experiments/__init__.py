@@ -23,6 +23,8 @@ E9    Section 5.4.1 (custom driver delivery)      :mod:`repro.experiments.custom
 E10   Section 5.4.2 (license server)              :mod:`repro.experiments.license_server_exp`
 E11   Tables 3/4 + Section 3.3 (policies, leases) :mod:`repro.experiments.policy_matrix`
 E12   Section 3.1.1 (bootloader overhead)         :mod:`repro.experiments.overhead`
+E13   Request-scheduling subsystem (policy matrix :mod:`repro.experiments.policy_matrix`
+      + parallel write broadcast; docs/scheduling.md)
 ====  ==========================================  =================================
 """
 

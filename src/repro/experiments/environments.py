@@ -133,12 +133,15 @@ def build_cluster(
     embedded_drivolution: bool = False,
     standalone_drivolution: bool = False,
     drivolution_address: str = "drivolution:8000",
+    controller_options: Optional[Dict[str, Any]] = None,
 ) -> ClusterEnvironment:
     """Build a Sequoia-like cluster.
 
     ``embedded_drivolution`` embeds one Drivolution server per controller
     (Figure 6); ``standalone_drivolution`` starts a single standalone
     distribution service on its own address (Figure 5).
+    ``controller_options`` are extra :class:`ControllerConfig` fields, e.g.
+    ``{"read_policy": "least_pending", "query_cache_enabled": True}``.
     """
     index = next(_env_counter)
     clock = SimulatedClock()
@@ -167,6 +170,7 @@ def build_cluster(
             ControllerConfig(
                 controller_id=f"controller{controller_index + 1}",
                 virtual_database=virtual_database,
+                **dict(controller_options or {}),
             ),
             network,
             f"cluster{index}-controller{controller_index + 1}:25322",

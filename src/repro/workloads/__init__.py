@@ -7,13 +7,14 @@ package provides the client-application simulator and the metrics
 collector that turn those arguments into measured numbers.
 """
 
-from repro.workloads.metrics import MetricsCollector, RequestRecord, MetricsSummary
+from repro.workloads.metrics import MetricsCollector, RequestRecord, MetricsSummary, percentile
 from repro.workloads.client_app import ClientApplication, WorkloadSpec
 
 __all__ = [
     "MetricsCollector",
     "RequestRecord",
     "MetricsSummary",
+    "percentile",
     "ClientApplication",
     "WorkloadSpec",
 ]

@@ -9,6 +9,7 @@ upgrade).
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -27,6 +28,17 @@ class RequestRecord:
     tag: str = ""
 
 
+def percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty list)."""
+    if not values:
+        return 0.0
+    if pct <= 0:
+        return min(values)
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
+
+
 @dataclass
 class MetricsSummary:
     """Aggregate view of a metrics collector."""
@@ -39,6 +51,10 @@ class MetricsSummary:
     max_latency: float
     drivers_seen: Dict[str, int]
     errors_by_type: Dict[str, int]
+    #: Tail-latency percentiles over successful requests (seconds).
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
     @property
     def availability(self) -> float:
@@ -119,4 +135,7 @@ class MetricsCollector:
             max_latency=max(latencies) if latencies else 0.0,
             drivers_seen=self.drivers_seen(),
             errors_by_type=errors_by_type,
+            latency_p50=percentile(latencies, 50),
+            latency_p95=percentile(latencies, 95),
+            latency_p99=percentile(latencies, 99),
         )

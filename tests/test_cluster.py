@@ -1,8 +1,11 @@
 """Tests for the Sequoia-like cluster middleware."""
 
+import time
+
 import pytest
 
 from repro.cluster import Backend, is_write_statement
+from repro.errors import DriverError
 from repro.cluster.recovery_log import RecoveryLog
 from repro.cluster.scheduler import RequestScheduler, SchedulerError
 from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION
@@ -34,6 +37,13 @@ class TestStatementClassification:
         assert is_write_statement("CREATE TABLE t (x INTEGER)")
         assert is_write_statement("BEGIN")
         assert not is_write_statement("")
+
+    def test_complex_reads_no_longer_misclassified(self):
+        # These used to be prefix-sniffed as writes, broadcast everywhere
+        # and appended to the recovery log.
+        assert not is_write_statement("WITH recent AS (SELECT id FROM t) SELECT * FROM recent")
+        assert not is_write_statement("(SELECT 1)")
+        assert not is_write_statement("EXPLAIN SELECT * FROM t")
 
 
 class TestSchedulerAndBackends:
@@ -173,6 +183,104 @@ class TestClusterDriver:
         connection.close()
 
 
+class TestControllerSessions:
+    def test_session_contexts_and_stats(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        driver = ClusterDriverRuntime()
+        connection = driver.connect(
+            f"sequoia://{controller.address}/vdb", network=cluster_env.network
+        )
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE sess_t (id INTEGER PRIMARY KEY)")
+        stats = controller.stats()
+        assert stats["controller_id"] == controller.config.controller_id
+        assert stats["active_sessions"] == 1
+        assert stats["statements_served"] >= 1
+        assert stats["scheduler"]["read_policy"] == "round_robin"
+        assert stats["scheduler"]["parallel_writes"] is True
+        assert stats["scheduler"]["query_cache"] is None
+        assert {b["name"] for b in stats["scheduler"]["backends"]} == {"db1", "db2"}
+        connection.begin()
+        cursor.execute("INSERT INTO sess_t (id) VALUES (1)")
+        sessions = list(controller._sessions.values())
+        assert len(sessions) == 1 and sessions[0].in_transaction
+        connection.commit()
+        assert not sessions[0].in_transaction
+        connection.close()
+
+    def test_disconnect_mid_transaction_rolls_back(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        driver = ClusterDriverRuntime()
+        url = f"sequoia://{controller.address}/vdb"
+        setup = driver.connect(url, network=cluster_env.network)
+        setup.cursor().execute("CREATE TABLE dc_t (id INTEGER PRIMARY KEY)")
+        vanishing = driver.connect(url, network=cluster_env.network)
+        vanishing.begin()
+        vanishing.cursor().execute("INSERT INTO dc_t (id) VALUES (1)")
+        vanishing.close()
+        # The controller rolls the abandoned transaction back on its own
+        # session thread; wait for that cleanup to land. Afterwards the
+        # row is gone, the scheduler's transaction accounting is released,
+        # and a new session can open a transaction of its own.
+        deadline = time.time() + 5.0
+        while controller.scheduler._open_transactions != 0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert controller.scheduler._open_transactions == 0
+        cursor = setup.cursor()
+        cursor.execute("SELECT COUNT(*) FROM dc_t")
+        assert cursor.fetchone() == (0,)
+        setup.begin()
+        cursor.execute("INSERT INTO dc_t (id) VALUES (2)")
+        setup.commit()
+        cursor.execute("SELECT COUNT(*) FROM dc_t")
+        assert cursor.fetchone() == (1,)
+        setup.close()
+
+    def test_enable_backend_refused_while_transaction_open(self, cluster_env):
+        controller = cluster_env.controllers[0]
+        driver = ClusterDriverRuntime()
+        connection = driver.connect(
+            f"sequoia://{controller.address}/vdb", network=cluster_env.network
+        )
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE eb_t (id INTEGER PRIMARY KEY)")
+        controller.disable_backend("db1")
+        connection.begin()
+        cursor.execute("INSERT INTO eb_t (id) VALUES (1)")
+        # Joining mid-transaction would commit the in-flight write on the
+        # newcomer where a ROLLBACK could never undo it.
+        with pytest.raises(DriverError):
+            controller.enable_backend("db1")
+        connection.rollback()
+        assert controller.enable_backend("db1") == 0
+        assert controller.backend("db1").enabled
+        connection.close()
+
+    def test_read_only_cte_not_logged_for_resync(self, cluster_env):
+        # The seed scheduler prefix-sniffed WITH/(SELECT/EXPLAIN as writes:
+        # they were broadcast to every backend and appended to the recovery
+        # log, so they got replayed (and failed again) during resync. They
+        # are reads now: routed to one backend and never logged — even
+        # though the SQL engine itself cannot execute them yet.
+        controller = cluster_env.controllers[0]
+        scheduler = controller.scheduler
+        scheduler.execute("CREATE TABLE cte_t (id INTEGER PRIMARY KEY)")
+        scheduler.execute("INSERT INTO cte_t (id) VALUES (1)")
+        log_before = controller.recovery_log.last_index
+        for sql in (
+            "WITH c AS (SELECT id FROM cte_t) SELECT COUNT(*) FROM c",
+            "(SELECT COUNT(*) FROM cte_t)",
+            "EXPLAIN SELECT * FROM cte_t",
+        ):
+            with pytest.raises(DriverError):
+                scheduler.execute(sql)
+        assert controller.recovery_log.last_index == log_before
+        # And a disabled backend resyncs cleanly, replaying only real writes.
+        controller.disable_backend("db1")
+        scheduler.execute("INSERT INTO cte_t (id) VALUES (2)")
+        assert controller.enable_backend("db1") == 1
+
+
 class TestControllerGroupReplication:
     def test_driver_install_replicated_to_peers(self, cluster_env):
         from repro.dbapi.driver_factory import build_sequoia_driver
@@ -191,6 +299,22 @@ class TestControllerGroupReplication:
         primary.disable_backend_cluster_wide("db1")
         for controller in cluster_env.controllers:
             assert not controller.backend("db1").enabled
+        primary.enable_backend_cluster_wide("db1")
+        for controller in cluster_env.controllers:
+            assert controller.backend("db1").enabled
+
+    def test_cluster_wide_enable_surfaces_peer_refusal(self, cluster_env):
+        primary, peer = cluster_env.controllers
+        primary.scheduler.execute("CREATE TABLE cwr_t (id INTEGER PRIMARY KEY)")
+        primary.disable_backend_cluster_wide("db1")
+        # The peer has a transaction open: its open-transaction gate
+        # refuses the enable, and the primary must not report success.
+        peer.scheduler.execute("BEGIN")
+        with pytest.raises(DriverError, match="refused by peers"):
+            primary.enable_backend_cluster_wide("db1")
+        assert primary.backend("db1").enabled
+        assert not peer.backend("db1").enabled
+        peer.scheduler.execute("ROLLBACK")
         primary.enable_backend_cluster_wide("db1")
         for controller in cluster_env.controllers:
             assert controller.backend("db1").enabled

@@ -185,10 +185,54 @@ class TestConnectionPool:
         foreign.close()
         pool.close()
 
-    def test_invalidate_idle(self, db):
+    def test_invalidate_idle_replenishes_to_min_size(self, db):
         pool = ConnectionPool(self._factory(db), min_size=2, max_size=4)
+        stale = pool.acquire()
+        pool.release(stale)
         assert pool.invalidate_idle() == 2
+        # The floor is maintained with fresh connections, not left empty.
+        assert pool.stats()["idle"] == 2
+        fresh = pool.acquire()
+        assert fresh is not stale
+        assert not fresh.closed
+        pool.release(fresh)
+        pool.close()
+
+    def test_invalidate_idle_without_floor_leaves_pool_empty(self, db):
+        pool = ConnectionPool(self._factory(db), min_size=0, max_size=4)
+        pool.release(pool.acquire())
+        assert pool.invalidate_idle() == 1
         assert pool.stats()["idle"] == 0
+        pool.close()
+
+    def test_pool_never_shrinks_below_min_size(self, db):
+        pool = ConnectionPool(self._factory(db), min_size=2, max_size=4)
+        # Kill the idle connections behind the pool's back.
+        first = pool.acquire()
+        second = pool.acquire()
+        first.close()
+        second.close()
+        pool.release(first)
+        pool.release(second)
+        stats = pool.stats()
+        assert stats["idle"] + stats["busy"] == 2
+        # Acquiring still works and hands out live connections.
+        replacement = pool.acquire()
+        assert not replacement.closed
+        pool.release(replacement)
+        pool.close()
+
+    def test_acquire_replaces_dead_idle_connections(self, db):
+        pool = ConnectionPool(self._factory(db), min_size=1, max_size=2)
+        victim = pool.acquire()
+        victim.close()
+        pool.release(victim)  # dropped: closed connections never go idle
+        connection = pool.acquire()
+        assert not connection.closed
+        stats = pool.stats()
+        assert stats["idle"] + stats["busy"] >= 1
+        assert stats["min_size"] == 1
+        pool.release(connection)
         pool.close()
 
     def test_pool_close_rejects_acquire(self, db):

@@ -1,0 +1,699 @@
+"""Unit tests for the scheduling subsystem: classifier, load-balancing
+policies, query cache and write broadcaster."""
+
+import pytest
+
+from repro.cluster.backend import Backend, BackendState
+from repro.cluster.broadcaster import WriteBroadcaster
+from repro.cluster.classifier import (
+    StatementKind,
+    classify,
+    is_transaction_control,
+    is_write_statement,
+)
+from repro.cluster.loadbalancer import (
+    LeastPendingPolicy,
+    RoundRobinPolicy,
+    WeightedPolicy,
+    available_policies,
+    create_policy,
+)
+from repro.cluster.querycache import QueryCache
+from repro.cluster.recovery_log import RecoveryLog
+from repro.cluster.scheduler import RequestScheduler, SchedulerError
+from repro.errors import DriverError
+
+
+class _FakeCursor:
+    def __init__(self, connection):
+        self._connection = connection
+
+    def execute(self, sql, params=None):
+        if self._connection.fail_with is not None:
+            raise self._connection.fail_with
+        self._connection.executed.append((sql, dict(params or {})))
+
+    @property
+    def description(self):
+        return [("value", None, None, None, None, None, None)]
+
+    def fetchall(self):
+        return [(self._connection.read_value,)]
+
+    rowcount = 1
+
+    def close(self):
+        pass
+
+
+class _FakeConnection:
+    """In-memory backend connection recording executed statements."""
+
+    def __init__(self, read_value=1):
+        self.executed = []
+        self.read_value = read_value
+        self.fail_with = None
+        self.closed = False
+        self.driver_info = {"name": "fake"}
+
+    def cursor(self):
+        return _FakeCursor(self)
+
+    def close(self):
+        self.closed = True
+
+
+def _backend(name, read_value=1, weight=1.0):
+    connection = _FakeConnection(read_value=read_value)
+    backend = Backend(name, lambda: connection, weight=weight)
+    backend.test_connection = connection
+    return backend
+
+
+class TestClassifier:
+    def test_with_select_is_read_with_tables(self):
+        statement = classify("WITH recent AS (SELECT id FROM orders) SELECT * FROM recent")
+        assert statement.kind is StatementKind.READ
+        assert statement.read_tables == frozenset({"orders"})
+        assert not is_write_statement("WITH recent AS (SELECT id FROM orders) SELECT * FROM recent")
+
+    def test_parenthesized_select_is_read(self):
+        assert not is_write_statement("(SELECT 1)")
+        assert classify("(SELECT a FROM t)").read_tables == frozenset({"t"})
+
+    def test_explain_is_read(self):
+        statement = classify("EXPLAIN SELECT * FROM big_table")
+        assert statement.is_read
+        assert statement.read_tables == frozenset({"big_table"})
+
+    def test_explain_over_a_write_is_still_read_only(self):
+        # EXPLAIN only describes the plan: it must never be broadcast,
+        # logged for resync, or cached — whatever statement it wraps.
+        for sql in (
+            "EXPLAIN INSERT INTO t (id) VALUES (1)",
+            "EXPLAIN UPDATE t SET a = 1",
+            "EXPLAIN DELETE FROM t",
+        ):
+            statement = classify(sql)
+            assert statement.is_read, sql
+            assert statement.write_tables == frozenset(), sql
+            assert statement.cacheable is False, sql
+            assert not is_write_statement(sql)
+
+    def test_write_statements_and_tables(self):
+        insert = classify("INSERT INTO orders (id) VALUES ($id)")
+        assert insert.is_write and insert.write_tables == frozenset({"orders"})
+        update = classify("UPDATE users SET name = 'x' WHERE id = 1")
+        assert update.write_tables == frozenset({"users"})
+        delete = classify("DELETE FROM audit WHERE id IN (SELECT id FROM expired)")
+        assert delete.write_tables == frozenset({"audit"})
+        assert delete.read_tables == frozenset({"expired"})
+        create = classify("CREATE TABLE IF NOT EXISTS evt (id INTEGER PRIMARY KEY)")
+        assert create.write_tables == frozenset({"evt"})
+        drop = classify("DROP TABLE IF EXISTS evt")
+        assert drop.write_tables == frozenset({"evt"})
+
+    def test_insert_select_reads_source_writes_target(self):
+        statement = classify("INSERT INTO archive (id) SELECT id FROM live")
+        assert statement.write_tables == frozenset({"archive"})
+        assert statement.read_tables == frozenset({"live"})
+
+    def test_transaction_control(self):
+        for sql in ("BEGIN", "COMMIT", "ROLLBACK", "START TRANSACTION"):
+            statement = classify(sql)
+            assert statement.is_transaction_control
+            assert is_transaction_control(sql)
+            # Transaction control still broadcasts (not a read).
+            assert is_write_statement(sql)
+
+    def test_schema_qualified_tables(self):
+        statement = classify("SELECT * FROM information_schema.drivers")
+        assert statement.read_tables == frozenset({"information_schema.drivers"})
+
+    def test_nondeterministic_select_not_cacheable(self):
+        assert classify("SELECT id FROM t WHERE ts < now()").cacheable is False
+        assert classify("SELECT id FROM t").cacheable is True
+
+    def test_bare_current_timestamp_not_cacheable(self):
+        # The sqlengine evaluates these from the wall clock, parenthesized
+        # or not; a cached result would freeze time forever.
+        assert classify("SELECT CURRENT_TIMESTAMP").cacheable is False
+        assert classify("SELECT CURRENT_DATE").cacheable is False
+        assert classify("SELECT current_date() FROM t").cacheable is False
+
+    def test_unparseable_statement_falls_back_to_write(self):
+        statement = classify("VACUUM %% not-sql @!")
+        assert not statement.is_read
+        assert statement.write_tables == frozenset()
+
+    def test_empty_statement_is_not_a_write(self):
+        assert not is_write_statement("")
+        assert not is_write_statement("   ")
+
+    def test_cte_name_not_reported_as_table(self):
+        statement = classify(
+            "WITH a AS (SELECT x FROM t1), b AS (SELECT y FROM t2) SELECT * FROM a"
+        )
+        assert statement.read_tables == frozenset({"t1", "t2"})
+
+
+class TestLoadBalancerPolicies:
+    def test_round_robin_uniform(self):
+        backends = [_backend(f"b{i}") for i in range(3)]
+        policy = RoundRobinPolicy()
+        counts = {backend.name: 0 for backend in backends}
+        for _ in range(30):
+            counts[policy.choose(backends).name] += 1
+        assert set(counts.values()) == {10}
+
+    def test_round_robin_stable_under_membership_changes(self):
+        backends = [_backend(f"b{i}") for i in range(3)]
+        policy = RoundRobinPolicy()
+        for _ in range(9):
+            policy.choose(backends)
+        # One backend leaves: the remaining two still split reads evenly.
+        reduced = backends[:2]
+        counts = {backend.name: 0 for backend in reduced}
+        for _ in range(10):
+            counts[policy.choose(reduced).name] += 1
+        assert sorted(counts.values()) == [5, 5]
+        # It comes back: the rotation covers all three again, evenly.
+        counts = {backend.name: 0 for backend in backends}
+        for _ in range(9):
+            counts[policy.choose(backends).name] += 1
+        assert set(counts.values()) == {3}
+
+    def test_least_pending_prefers_idle_backend(self):
+        busy, idle = _backend("busy"), _backend("idle")
+        busy.begin_request()
+        busy.begin_request()
+        idle.begin_request()
+        policy = LeastPendingPolicy()
+        assert policy.choose([busy, idle]).name == "idle"
+        idle.finish_request()
+        busy.finish_request()
+        busy.finish_request()
+        # Ties break round-robin instead of always picking the first.
+        chosen = {policy.choose([busy, idle]).name for _ in range(2)}
+        assert chosen == {"busy", "idle"}
+
+    def test_weighted_respects_weights(self):
+        heavy = _backend("heavy", weight=3.0)
+        light = _backend("light", weight=1.0)
+        policy = WeightedPolicy()
+        counts = {"heavy": 0, "light": 0}
+        for _ in range(40):
+            counts[policy.choose([heavy, light]).name] += 1
+        assert counts["heavy"] == 30
+        assert counts["light"] == 10
+
+    def test_weighted_explicit_weights_override_backend_weight(self):
+        a, b = _backend("a"), _backend("b")
+        policy = WeightedPolicy(weights={"a": 1.0, "b": 0.0})
+        assert all(policy.choose([a, b]).name == "a" for _ in range(5))
+
+    def test_create_policy_factory(self):
+        assert create_policy("round_robin").name == "round_robin"
+        assert create_policy("least_pending").name == "least_pending"
+        assert create_policy("weighted", weights={"x": 2}).name == "weighted"
+        assert available_policies() == ["least_pending", "round_robin", "weighted"]
+        with pytest.raises(DriverError):
+            create_policy("no_such_policy")
+
+
+class TestQueryCache:
+    RESULT = (["n"], [(1,)], 1)
+
+    def test_hit_and_miss(self):
+        cache = QueryCache()
+        assert cache.get("SELECT 1", {}) is None
+        cache.put("SELECT 1", {}, {"t"}, self.RESULT)
+        assert cache.get("SELECT 1", {}) == (["n"], [(1,)], 1)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_params_are_part_of_the_key(self):
+        cache = QueryCache()
+        cache.put("SELECT * FROM t WHERE id = $id", {"id": 1}, {"t"}, self.RESULT)
+        assert cache.get("SELECT * FROM t WHERE id = $id", {"id": 2}) is None
+        assert cache.get("SELECT * FROM t WHERE id = $id", {"id": 1}) is not None
+
+    def test_invalidation_is_table_accurate(self):
+        cache = QueryCache()
+        cache.put("SELECT * FROM a", {}, {"a"}, self.RESULT)
+        cache.put("SELECT * FROM b", {}, {"b"}, self.RESULT)
+        evicted = cache.invalidate_tables({"a"})
+        assert evicted == 1
+        # The write to table a must not evict the SELECT reading only b.
+        assert cache.get("SELECT * FROM a", {}) is None
+        assert cache.get("SELECT * FROM b", {}) is not None
+
+    def test_unknown_write_tables_flush_everything(self):
+        cache = QueryCache()
+        cache.put("SELECT * FROM a", {}, {"a"}, self.RESULT)
+        cache.put("SELECT * FROM b", {}, {"b"}, self.RESULT)
+        assert cache.invalidate_tables(set()) == 2
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = QueryCache(max_entries=2)
+        cache.put("q1", {}, {"t"}, self.RESULT)
+        cache.put("q2", {}, {"t"}, self.RESULT)
+        cache.get("q1", {})  # refresh q1 so q2 is the eviction victim
+        cache.put("q3", {}, {"t"}, self.RESULT)
+        assert cache.get("q1", {}) is not None
+        assert cache.get("q2", {}) is None
+        assert cache.stats()["evictions"] == 1
+
+    def test_stale_put_rejected_after_invalidation(self):
+        cache = QueryCache()
+        stamp = cache.stamp()
+        cache.invalidate_tables({"t"})
+        # A read that started before the write may not store its result.
+        assert cache.put("SELECT * FROM t", {}, {"t"}, self.RESULT, stamp=stamp) is False
+        assert cache.get("SELECT * FROM t", {}) is None
+        # A read started after the invalidation may.
+        assert cache.put("SELECT * FROM t", {}, {"t"}, self.RESULT, stamp=cache.stamp())
+
+    def test_unhashable_params_degrade_to_normal_caching(self):
+        cache = QueryCache()
+        # List-valued params arrive straight off the wire; they must not
+        # raise, and equal values must still hit.
+        assert cache.get("SELECT * FROM t WHERE id IN $ids", {"ids": [1, 2]}) is None
+        cache.put("SELECT * FROM t WHERE id IN $ids", {"ids": [1, 2]}, {"t"}, self.RESULT)
+        assert cache.get("SELECT * FROM t WHERE id IN $ids", {"ids": [1, 2]}) is not None
+        assert cache.get("SELECT * FROM t WHERE id IN $ids", {"ids": [1, 3]}) is None
+
+    def test_stale_put_rejected_after_full_flush(self):
+        cache = QueryCache()
+        stamp = cache.stamp()
+        cache.invalidate_tables(set())
+        assert cache.put("SELECT 1", {}, set(), self.RESULT, stamp=stamp) is False
+
+
+class TestWriteBroadcaster:
+    def test_parallel_broadcast_aggregates_failures(self):
+        good, bad = _backend("good"), _backend("bad")
+        bad.test_connection.fail_with = DriverError("replica down")
+        broadcaster = WriteBroadcaster(parallel=True)
+        try:
+            outcome = broadcaster.broadcast([good, bad], "INSERT INTO t VALUES (1)")
+        finally:
+            broadcaster.close()
+        assert outcome.result is not None
+        assert [o.backend.name for o in outcome.succeeded] == ["good"]
+        assert [o.backend.name for o in outcome.failed] == ["bad"]
+        assert "replica down" in outcome.failure_messages()[0]
+
+    def test_broadcast_after_close_runs_sequentially_without_leaking(self):
+        backends = [_backend("a"), _backend("b")]
+        broadcaster = WriteBroadcaster(parallel=True)
+        broadcaster.close()
+        # An in-flight write after shutdown still completes, but must not
+        # resurrect the thread pool.
+        outcome = broadcaster.broadcast(backends, "INSERT INTO t VALUES (1)")
+        assert len(outcome.succeeded) == 2
+        assert broadcaster._executor is None
+        broadcaster.reopen()
+        outcome = broadcaster.broadcast(backends, "INSERT INTO t VALUES (2)")
+        assert len(outcome.succeeded) == 2
+        assert broadcaster._executor is not None
+        broadcaster.close()
+
+    def test_first_backend_result_is_primary(self):
+        first, second = _backend("first", read_value=10), _backend("second", read_value=20)
+        broadcaster = WriteBroadcaster(parallel=True)
+        try:
+            outcome = broadcaster.broadcast([first, second], "SELECT value FROM t")
+        finally:
+            broadcaster.close()
+        assert outcome.result == (["value"], [(10,)], 1)
+
+
+class TestSchedulerRouting:
+    def _scheduler(self, backends, **kwargs):
+        return RequestScheduler(backends, RecoveryLog(), **kwargs)
+
+    def test_read_only_statements_not_logged_for_resync(self):
+        backends = [_backend("b1"), _backend("b2")]
+        log = RecoveryLog()
+        scheduler = RequestScheduler(backends, log)
+        scheduler.execute("WITH c AS (SELECT value FROM t) SELECT * FROM c")
+        scheduler.execute("EXPLAIN SELECT * FROM t")
+        scheduler.execute("(SELECT 1)")
+        assert log.last_index == 0
+        # Reads went to exactly one backend each.
+        total = sum(backend.statements_executed for backend in backends)
+        assert total == 3
+        scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert log.last_index == 1
+        scheduler.close()
+
+    def test_transaction_control_broadcast_but_not_logged(self):
+        backends = [_backend("b1"), _backend("b2")]
+        log = RecoveryLog()
+        scheduler = RequestScheduler(backends, log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("COMMIT")
+        assert log.last_index == 0
+        assert all(backend.statements_executed == 2 for backend in backends)
+        scheduler.close()
+
+    def test_failed_backends_excluded_from_reads(self):
+        healthy, failed = _backend("healthy"), _backend("failed")
+        failed.mark_failed()
+        scheduler = self._scheduler([healthy, failed])
+        for _ in range(4):
+            scheduler.execute("SELECT value FROM t")
+        assert healthy.statements_executed == 4
+        assert failed.statements_executed == 0
+        assert failed.state is BackendState.FAILED
+        scheduler.close()
+
+    def test_no_enabled_backends_raises(self):
+        backend = _backend("b1")
+        backend.disable(0)
+        scheduler = self._scheduler([backend])
+        with pytest.raises(SchedulerError):
+            scheduler.execute("SELECT 1")
+        scheduler.close()
+
+    def test_cached_read_skips_backends_until_invalidated(self):
+        backend = _backend("b1")
+        cache = QueryCache()
+        scheduler = self._scheduler([backend], query_cache=cache)
+        scheduler.execute("SELECT value FROM t")
+        scheduler.execute("SELECT value FROM t")
+        scheduler.execute("SELECT value FROM t")
+        assert backend.statements_executed == 1
+        assert cache.stats()["hits"] == 2
+        # A write to an unrelated table keeps the entry (only the write ran).
+        scheduler.execute("INSERT INTO other (id) VALUES (1)")
+        scheduler.execute("SELECT value FROM t")
+        assert backend.statements_executed == 2
+        # ...a write to t evicts it, so the next read goes back to a backend.
+        scheduler.execute("INSERT INTO t (id) VALUES (2)")
+        scheduler.execute("SELECT value FROM t")
+        assert backend.statements_executed == 4
+        scheduler.close()
+
+    def test_rollback_evicts_reads_cached_during_the_transaction(self):
+        backend = _backend("b1")
+        cache = QueryCache()
+        scheduler = self._scheduler([backend], query_cache=cache)
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (99)", in_transaction=True)
+        # A concurrent autocommit read observes (and caches) the
+        # uncommitted state — its stamp is fresher than the write's
+        # invalidations, so the entry is accepted.
+        scheduler.execute("SELECT COUNT(*) FROM t")
+        assert cache.get("SELECT COUNT(*) FROM t", {}) is not None
+        # ROLLBACK reverts the backends; the dirty entry must go too.
+        scheduler.execute("ROLLBACK", in_transaction=True)
+        assert cache.get("SELECT COUNT(*) FROM t", {}) is None
+        # Unrelated cached reads survive the flush.
+        scheduler.execute("SELECT COUNT(*) FROM other")
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (100)", in_transaction=True)
+        scheduler.execute("COMMIT", in_transaction=True)
+        assert cache.get("SELECT COUNT(*) FROM other", {}) is not None
+        scheduler.close()
+
+    def test_unrelated_sessions_commit_does_not_erase_dirty_tracking(self):
+        backend = _backend("b1")
+        cache = QueryCache()
+        scheduler = self._scheduler([backend], query_cache=cache)
+        # Session A opens a transaction and writes t.
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        # Session B runs a complete unrelated transaction meanwhile.
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO other (id) VALUES (1)", in_transaction=True)
+        scheduler.execute("COMMIT", in_transaction=True)
+        # An autocommit read caches t's (still uncommitted) state.
+        scheduler.execute("SELECT COUNT(*) FROM t")
+        assert cache.get("SELECT COUNT(*) FROM t", {}) is not None
+        # A's ROLLBACK must still evict it: B's COMMIT may not have
+        # cleared the dirty tracking while A's transaction was open.
+        scheduler.execute("ROLLBACK", in_transaction=True)
+        assert cache.get("SELECT COUNT(*) FROM t", {}) is None
+        scheduler.close()
+
+    def test_in_transaction_reads_bypass_cache_and_broadcast(self):
+        backends = [_backend("b1"), _backend("b2")]
+        cache = QueryCache()
+        scheduler = self._scheduler(backends, query_cache=cache)
+        scheduler.execute("SELECT value FROM t", in_transaction=True)
+        assert all(backend.statements_executed == 1 for backend in backends)
+        assert len(cache) == 0
+        scheduler.close()
+
+    def test_write_failure_on_one_backend_marks_it_failed(self):
+        good, bad = _backend("good"), _backend("bad")
+        bad.test_connection.fail_with = DriverError("disk on fire")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([good, bad], log)
+        columns, rows, rowcount = scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert rowcount == 1
+        assert bad.state is BackendState.FAILED
+        assert good.checkpoint_index == log.last_index == 1
+        scheduler.close()
+
+    def test_sql_error_does_not_mark_backends_failed(self):
+        from repro.dbapi.exceptions import ProgrammingError
+
+        backends = [_backend("b1"), _backend("b2")]
+        for backend in backends:
+            backend.test_connection.fail_with = ProgrammingError("duplicate primary key")
+        scheduler = self._scheduler(backends)
+        # The statement is at fault, not the replicas: the client gets the
+        # error but the cluster stays fully enabled.
+        with pytest.raises(SchedulerError):
+            scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert all(backend.enabled for backend in backends)
+        # The connection survives too: dropping it would roll back any
+        # open server-side transaction out from under other sessions.
+        assert all(not backend.test_connection.closed for backend in backends)
+        for backend in backends:
+            backend.test_connection.fail_with = None
+        columns, rows, rowcount = scheduler.execute("INSERT INTO t (id) VALUES (2)")
+        assert rowcount == 1
+        scheduler.close()
+
+    def test_rolled_back_writes_never_enter_the_recovery_log(self):
+        backends = [_backend("b1"), _backend("b2")]
+        log = RecoveryLog()
+        scheduler = RequestScheduler(backends, log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        # Not logged yet: the transaction may still roll back.
+        assert log.last_index == 0
+        scheduler.execute("ROLLBACK", in_transaction=True)
+        assert log.last_index == 0
+        # A committed transaction's writes land in the log in order.
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (2)", in_transaction=True)
+        scheduler.execute("INSERT INTO t (id) VALUES (3)", in_transaction=True)
+        scheduler.execute("COMMIT", in_transaction=True)
+        assert [entry.sql for entry in log.entries_after(0)] == [
+            "INSERT INTO t (id) VALUES (2)",
+            "INSERT INTO t (id) VALUES (3)",
+        ]
+        assert all(backend.checkpoint_index == 2 for backend in backends)
+        scheduler.close()
+
+    def test_autocommit_write_during_open_transaction_is_deferred_too(self):
+        # The engine runs one transaction cluster-wide on the shared
+        # backend connections, so a write from *another* session executes
+        # inside the open transaction and rolls back with it — it must not
+        # reach the recovery log unless that transaction commits.
+        backends = [_backend("b1")]
+        log = RecoveryLog()
+        scheduler = RequestScheduler(backends, log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        scheduler.execute("INSERT INTO t (id) VALUES (99)")  # other session
+        assert log.last_index == 0
+        scheduler.execute("ROLLBACK", in_transaction=True)
+        assert log.last_index == 0
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (2)", in_transaction=True)
+        scheduler.execute("INSERT INTO t (id) VALUES (98)")  # other session
+        scheduler.execute("COMMIT", in_transaction=True)
+        assert log.last_index == 2
+        scheduler.close()
+
+    def test_rejected_commit_variant_keeps_transaction_buffer(self):
+        from repro.dbapi.exceptions import ProgrammingError
+
+        backend = _backend("b1")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([backend], log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        # The engine rejects the COMMIT variant as bad SQL: the transaction
+        # is still open server-side, so the buffer and accounting survive.
+        backend.test_connection.fail_with = ProgrammingError("unexpected trailing token")
+        with pytest.raises(SchedulerError):
+            scheduler.execute("COMMIT WORK", in_transaction=True)
+        backend.test_connection.fail_with = None
+        assert scheduler._open_transactions == 1
+        assert log.last_index == 0
+        scheduler.execute("COMMIT", in_transaction=True)
+        assert log.last_index == 1
+        assert scheduler._open_transactions == 0
+        scheduler.close()
+
+    def test_stale_in_transaction_flag_does_not_trap_writes_in_buffer(self):
+        # Another session's rogue COMMIT closed the transaction; the
+        # owner's in_transaction flag is now stale. Its next write is
+        # autocommitted by the engine, so it must reach the log
+        # immediately — the scheduler's own accounting wins over the flag.
+        backend = _backend("b1")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([backend], log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("COMMIT")  # rogue session, no in_transaction flag
+        assert scheduler._open_transactions == 0
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        assert log.last_index == 1
+        scheduler.close()
+
+    def test_flagless_begin_commit_does_not_pin_accounting(self):
+        # Callers driving the scheduler directly may not thread the
+        # in_transaction flag; the scheduler's own accounting must still
+        # close the transaction on COMMIT.
+        backend = _backend("b1")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([backend], log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("COMMIT")
+        assert scheduler._open_transactions == 0
+        scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert log.last_index == 1
+        scheduler.close()
+
+    def test_begin_with_stale_flag_still_counted(self):
+        # A rogue COMMIT closed session A's transaction; A's next BEGIN
+        # arrives with a stale in_transaction=True flag but the engine
+        # accepts it — it must be counted, or A's subsequent writes would
+        # be logged immediately and survive A's ROLLBACK in the log.
+        backend = _backend("b1")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([backend], log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("COMMIT")  # rogue session
+        scheduler.execute("BEGIN", in_transaction=True)  # stale flag
+        assert scheduler._open_transactions == 1
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        assert log.last_index == 0  # buffered, not logged
+        scheduler.execute("ROLLBACK", in_transaction=True)
+        assert log.last_index == 0
+        assert scheduler._open_transactions == 0
+        scheduler.close()
+
+    def test_mixed_fault_commit_keeps_buffer_until_a_replica_commits(self):
+        from repro.dbapi.exceptions import OperationalError, ProgrammingError
+
+        alive, dying = _backend("alive"), _backend("dying")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([alive, dying], log)
+        scheduler.execute("BEGIN")
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        # COMMIT is rejected as bad SQL on the live replica and dies with a
+        # connection fault on the other: the transaction is still open on
+        # the live one, so the buffer and accounting must survive.
+        alive.test_connection.fail_with = ProgrammingError("rejected")
+        dying.test_connection.fail_with = OperationalError("connection lost")
+        with pytest.raises(SchedulerError):
+            scheduler.execute("COMMIT", in_transaction=True)
+        assert alive.enabled
+        assert dying.state is BackendState.FAILED
+        assert scheduler._open_transactions == 1
+        assert log.last_index == 0
+        # The retried COMMIT succeeds on the live replica: the buffered
+        # write finally reaches the log, ready for the failed replica's
+        # resync.
+        alive.test_connection.fail_with = None
+        scheduler.execute("COMMIT", in_transaction=True)
+        assert scheduler._open_transactions == 0
+        assert log.last_index == 1
+        scheduler.close()
+
+    def test_backend_failing_mid_transaction_resyncs_committed_writes(self):
+        good, flaky = _backend("good"), _backend("flaky")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([good, flaky], log)
+        scheduler.execute("BEGIN")
+        flaky.test_connection.fail_with = DriverError("connection lost")
+        scheduler.execute("INSERT INTO t (id) VALUES (1)", in_transaction=True)
+        assert flaky.state is BackendState.FAILED
+        flaky.test_connection.fail_with = None
+        scheduler.execute("COMMIT", in_transaction=True)
+        # The failed replica's checkpoint predates the transaction, so a
+        # resync replays exactly the committed write it missed.
+        entries = log.entries_after(flaky.checkpoint_index)
+        assert [entry.sql for entry in entries] == ["INSERT INTO t (id) VALUES (1)"]
+        assert flaky.resync(entries) == 1
+        assert flaky.enabled
+        scheduler.close()
+
+    def test_partial_statement_fault_marks_diverged_backend_failed(self):
+        from repro.dbapi.exceptions import IntegrityError
+
+        good, diverged = _backend("good"), _backend("diverged")
+        diverged.test_connection.fail_with = IntegrityError("duplicate primary key")
+        scheduler = self._scheduler([good, diverged])
+        # One replica accepted the write, the other refused it: the
+        # refusing replica is now missing a committed row and must leave
+        # the read rotation (statement faults only exonerate the backend
+        # when every replica agrees).
+        columns, rows, rowcount = scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert rowcount == 1
+        assert good.enabled
+        assert diverged.state is BackendState.FAILED
+        scheduler.close()
+
+    def test_write_failing_everywhere_raises(self):
+        bad = _backend("bad")
+        bad.test_connection.fail_with = DriverError("nope")
+        scheduler = self._scheduler([bad])
+        with pytest.raises(SchedulerError):
+            scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        scheduler.close()
+
+    def test_write_rejected_everywhere_not_logged_for_resync(self):
+        from repro.dbapi.exceptions import IntegrityError
+
+        backends = [_backend("b1"), _backend("b2")]
+        log = RecoveryLog()
+        scheduler = RequestScheduler(backends, log)
+        scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        for backend in backends:
+            backend.test_connection.fail_with = IntegrityError("duplicate primary key")
+        # Every replica rejected it: the statement must not enter the
+        # recovery log, or resync would replay it (failing again) and
+        # wedge the recovering backend forever.
+        with pytest.raises(SchedulerError):
+            scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert log.last_index == 1
+        for backend in backends:
+            backend.test_connection.fail_with = None
+        backends[0].disable(log.last_index)
+        scheduler.execute("INSERT INTO t (id) VALUES (2)")
+        replayed = backends[0].resync(log.entries_after(backends[0].checkpoint_index))
+        assert replayed == 1
+        assert backends[0].enabled
+        scheduler.close()
+
+    def test_stats_shape(self):
+        backend = _backend("b1")
+        scheduler = self._scheduler([backend], query_cache=QueryCache())
+        scheduler.execute("SELECT value FROM t")
+        stats = scheduler.stats()
+        assert stats["read_policy"] == "round_robin"
+        assert stats["parallel_writes"] is True
+        assert stats["query_cache"]["misses"] == 1
+        assert stats["backends"][0]["name"] == "b1"
+        assert stats["backends"][0]["pending"] == 0
+        scheduler.close()

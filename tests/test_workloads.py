@@ -3,7 +3,7 @@
 from repro.core.clock import SimulatedClock
 from repro.dbapi import legacy_driver
 from repro.dbapi.driver_factory import build_pydb_driver
-from repro.workloads import ClientApplication, MetricsCollector, WorkloadSpec
+from repro.workloads import ClientApplication, MetricsCollector, WorkloadSpec, percentile
 
 
 class TestMetricsCollector:
@@ -33,6 +33,29 @@ class TestMetricsCollector:
         assert summary.total == 0
         assert summary.availability == 1.0
         assert summary.error_window_seconds == 0.0
+        assert summary.latency_p50 == 0.0
+        assert summary.latency_p99 == 0.0
+
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile(values, 0) == 1.0
+        assert percentile([], 95) == 0.0
+        assert percentile([7.0], 50) == 7.0
+
+    def test_summary_latency_percentiles(self):
+        metrics = MetricsCollector(clock=SimulatedClock())
+        for latency_ms in range(1, 21):
+            metrics.record_success(latency=latency_ms / 1000.0)
+        summary = metrics.summary()
+        assert summary.latency_p50 == 0.010
+        assert summary.latency_p95 == 0.019
+        assert summary.latency_p99 == 0.020
+        assert summary.latency_p50 <= summary.latency_p95 <= summary.latency_p99
+        assert summary.latency_p99 <= summary.max_latency
 
 
 class TestClientApplication:
