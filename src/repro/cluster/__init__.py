@@ -10,8 +10,12 @@ This package implements the pieces those case studies exercise:
 
 - :mod:`repro.cluster.wire` — the versioned controller wire protocol
   (drivers are backward compatible with older controllers),
-- :mod:`repro.cluster.recovery_log` — the write-ahead recovery log used to
-  resynchronise backends,
+- :mod:`repro.cluster.recovery` — the durable recovery subsystem:
+  pluggable log stores (in-memory / segmented JSONL files), named
+  checkpoints with compaction, dump-based backend cold start and the
+  heartbeat failure detector (see docs/recovery.md);
+  :mod:`repro.cluster.recovery_log` remains as the compatibility import
+  path for the log itself,
 - :mod:`repro.cluster.backend` — backend management (enable / disable /
   checkpoint / resync), with a pluggable connection factory so backends
   can be reached through a legacy driver *or* through a Drivolution
@@ -33,7 +37,19 @@ This package implements the pieces those case studies exercise:
 """
 
 from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION
-from repro.cluster.recovery_log import RecoveryLog, LogEntry
+from repro.cluster.recovery import (
+    Checkpoint,
+    CheckpointRegistry,
+    DatabaseDump,
+    DatabaseDumper,
+    FailureDetector,
+    FileLogStore,
+    LogCompactedError,
+    LogEntry,
+    LogStore,
+    MemoryLogStore,
+    RecoveryLog,
+)
 from repro.cluster.backend import Backend, BackendState
 from repro.cluster.classifier import ClassifiedStatement, StatementKind, classify
 from repro.cluster.loadbalancer import (
@@ -59,6 +75,15 @@ __all__ = [
     "CLUSTER_PROTOCOL_VERSION",
     "RecoveryLog",
     "LogEntry",
+    "LogStore",
+    "MemoryLogStore",
+    "FileLogStore",
+    "LogCompactedError",
+    "Checkpoint",
+    "CheckpointRegistry",
+    "DatabaseDump",
+    "DatabaseDumper",
+    "FailureDetector",
     "Backend",
     "BackendState",
     "ClassifiedStatement",

@@ -17,7 +17,8 @@ import enum
 import threading
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.cluster.recovery_log import LogEntry
+from repro.cluster.recovery.dumper import DatabaseDump, DatabaseDumper
+from repro.cluster.recovery.logstore import LogEntry
 from repro.dbapi.exceptions import (
     DataError,
     IntegrityError,
@@ -63,6 +64,8 @@ class Backend:
         self._lock = threading.RLock()
         #: Statements executed against this backend (observability).
         self.statements_executed = 0
+        #: When the failure detector last saw this backend answer a ping.
+        self.last_heartbeat_at: float = 0.0
         self._pending = 0
         self._pending_lock = threading.Lock()
 
@@ -140,6 +143,31 @@ class Backend:
             self.statements_executed += 1
             return columns, rows, rowcount
 
+    def ping(self) -> bool:
+        """Liveness probe: can the replica still answer?
+
+        Uses the connection's own PING exchange when the driver offers
+        one, otherwise a trivial SELECT. A failed probe drops the cached
+        connection so the next probe (or statement) reconnects fresh."""
+        with self._lock:
+            try:
+                connection = self._ensure_connection()
+            except Exception:
+                self.close_connection()
+                return False
+            probe = getattr(connection, "ping", None)
+            try:
+                if callable(probe):
+                    alive = bool(probe())
+                else:
+                    connection.cursor().execute("SELECT 1")
+                    alive = True
+            except Exception:
+                alive = False
+            if not alive:
+                self.close_connection()
+            return alive
+
     # -- lifecycle ---------------------------------------------------------------------
 
     @property
@@ -158,6 +186,27 @@ class Backend:
             self.state = BackendState.FAILED
             self.close_connection()
 
+    def initialize_from_dump(self, dump: DatabaseDump, dumper: Optional[DatabaseDumper] = None) -> int:
+        """Cold-start this backend from a database dump.
+
+        Wipes the replica's user tables, replays the dump's schema and
+        rows, and records the dump's checkpoint so a subsequent
+        :meth:`resync` replays only the log tail written after the dump.
+        The backend stays DISABLED — the scheduler's resync path flips it
+        to ENABLED atomically with the write path. Returns the number of
+        statements the restore executed."""
+        dumper = dumper or DatabaseDumper()
+        with self._lock:
+            self.state = BackendState.RECOVERING
+            try:
+                statements = dumper.restore(dump, self.execute)
+            except Exception:
+                self.state = BackendState.FAILED
+                raise
+            self.checkpoint_index = dump.checkpoint_index
+            self.state = BackendState.DISABLED
+            return statements
+
     def resync(self, entries: List[LogEntry]) -> int:
         """Replay missed writes and re-enable the backend.
 
@@ -166,11 +215,17 @@ class Backend:
         with self._lock:
             self.state = BackendState.RECOVERING
             replayed = 0
-            for entry in entries:
-                if entry.index <= self.checkpoint_index:
-                    continue
-                self.execute(entry.sql, entry.params)
-                self.checkpoint_index = entry.index
-                replayed += 1
+            try:
+                for entry in entries:
+                    if entry.index <= self.checkpoint_index:
+                        continue
+                    self.execute(entry.sql, entry.params)
+                    self.checkpoint_index = entry.index
+                    replayed += 1
+            except Exception:
+                # A replay that stops half-way leaves the replica behind
+                # its peers; it must not re-enter the read rotation.
+                self.state = BackendState.FAILED
+                raise
             self.state = BackendState.ENABLED
             return replayed

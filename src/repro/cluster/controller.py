@@ -18,6 +18,7 @@ the request scheduler. It supports:
 
 from __future__ import annotations
 
+import os
 import threading
 import uuid
 from dataclasses import dataclass, field
@@ -28,8 +29,17 @@ from repro.cluster.broadcaster import WriteBroadcaster
 from repro.cluster.classifier import classify
 from repro.cluster.loadbalancer import create_policy
 from repro.cluster.querycache import QueryCache
-from repro.cluster.recovery_log import RecoveryLog
+from repro.cluster.recovery import (
+    CheckpointRegistry,
+    DatabaseDump,
+    DatabaseDumper,
+    FailureDetector,
+    FileLogStore,
+    MemoryLogStore,
+    RecoveryLog,
+)
 from repro.cluster.scheduler import RequestScheduler, SchedulerError
+from repro.core.clock import Clock, wall_clock
 from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
     ClusterMessageType,
@@ -71,6 +81,29 @@ class ControllerConfig:
     #: not invalidate this controller's cache.
     query_cache_enabled: bool = False
     query_cache_size: int = 256
+    #: Directory for the durable recovery log (segmented JSONL) and the
+    #: persisted checkpoint registry. None keeps the log in memory. Each
+    #: controller needs its own directory: it replays *its* write order.
+    log_dir: Optional[str] = None
+    #: fsync every appended log entry (durability over latency).
+    log_fsync: bool = False
+    #: Entries per log segment before rolling a new file.
+    log_segment_entries: int = 256
+    #: Compact the log every N appends (0 = only on demand). Compaction
+    #: truncates entries older than the oldest live named checkpoint.
+    auto_compact_every: int = 0
+    #: Run the heartbeat failure detector from a background thread while
+    #: the controller is started. ``Controller.heartbeat()`` can always be
+    #: called manually (experiments drive it from a simulated clock).
+    failure_detector_enabled: bool = False
+    #: Seconds between background heartbeat rounds.
+    heartbeat_interval: float = 1.0
+    #: Consecutive missed heartbeats before a backend is auto-disabled.
+    heartbeat_misses: int = 2
+    #: Automatically resync auto-disabled/failed backends that answer
+    #: pings again (falls back to a dump-based cold start when the log
+    #: was compacted past their checkpoint).
+    auto_resync: bool = True
 
 
 @dataclass
@@ -105,11 +138,28 @@ class Controller:
         network: Network,
         address: Address,
         backends: Optional[List[Backend]] = None,
+        clock: Clock = wall_clock,
     ) -> None:
         self.config = config
         self.network = network
         self.address = address
-        self.recovery_log = RecoveryLog()
+        self.clock = clock
+        if config.log_dir is not None:
+            os.makedirs(config.log_dir, exist_ok=True)
+            store = FileLogStore(
+                config.log_dir,
+                segment_max_entries=config.log_segment_entries,
+                fsync_on_append=config.log_fsync,
+            )
+            checkpoints = CheckpointRegistry(os.path.join(config.log_dir, "checkpoints.json"))
+        else:
+            store = MemoryLogStore()
+            checkpoints = CheckpointRegistry()
+        self.recovery_log = RecoveryLog(
+            store=store,
+            checkpoints=checkpoints,
+            auto_compact_every=config.auto_compact_every,
+        )
         self.scheduler = RequestScheduler(
             backends or [],
             self.recovery_log,
@@ -123,6 +173,18 @@ class Controller:
                 parallel=config.parallel_writes, max_workers=config.write_concurrency
             ),
         )
+        self.failure_detector = FailureDetector(
+            self.scheduler,
+            clock=clock,
+            max_misses=config.heartbeat_misses,
+            auto_resync=config.auto_resync,
+            dumper_factory=DatabaseDumper,
+        )
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._heartbeat_stop = threading.Event()
+        #: Background detection rounds that raised (kept alive regardless).
+        self.heartbeat_errors = 0
+        self.last_heartbeat_error: Optional[str] = None
         self._sessions: Dict[str, SessionContext] = {}
         self._extensions: Dict[str, ExtensionHandler] = {}
         self._channel_server: Optional[ChannelServer] = None
@@ -144,13 +206,50 @@ class Controller:
             listener, self._handle_channel, name=self.config.controller_id
         )
         self._channel_server.start()
+        if self.config.failure_detector_enabled and self.config.heartbeat_interval > 0:
+            self._heartbeat_stop.clear()
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"{self.config.controller_id}-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
         return self
 
     def stop(self) -> None:
+        if self._heartbeat_thread is not None:
+            self._heartbeat_stop.set()
+            self._heartbeat_thread.join(timeout=5.0)
+            self._heartbeat_thread = None
         if self._channel_server is not None:
             self._channel_server.stop()
             self._channel_server = None
         self.scheduler.close()
+        # Make the durable log safe against the process dying right after
+        # (a controller restarted on the same log_dir resumes at this
+        # index) and release the segment file handle — a later start()
+        # reopens it lazily on the next append.
+        self.recovery_log.flush()
+        self.recovery_log.close()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._heartbeat_stop.wait(self.config.heartbeat_interval):
+            try:
+                self.heartbeat()
+            except Exception as exc:  # noqa: BLE001 - detection must outlive any round
+                # A detection round must never kill the thread — not even
+                # on non-ReproError surprises (disk-full during checkpoint
+                # persistence, a buggy pluggable store). Dead backends
+                # would otherwise go undetected for the controller's
+                # remaining lifetime with no visible signal.
+                self.heartbeat_errors += 1
+                self.last_heartbeat_error = str(exc)
+                continue
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """Run one failure-detection round (ping every backend,
+        auto-disable dead ones, auto-resync recovered ones)."""
+        return self.failure_detector.check()
 
     @property
     def running(self) -> bool:
@@ -168,6 +267,14 @@ class Controller:
             "failed_statements": self.failed_statements,
             "active_sessions": active_sessions,
             "scheduler": self.scheduler.stats(),
+            "recovery": {
+                "log": self.recovery_log.stats(),
+                "failure_detector": self.failure_detector.stats(),
+                "cold_starts": self.scheduler.cold_starts,
+                "durable": self.config.log_dir is not None,
+                "heartbeat_errors": self.heartbeat_errors,
+                "last_heartbeat_error": self.last_heartbeat_error,
+            },
         }
 
     # -- backends ----------------------------------------------------------------
@@ -186,16 +293,72 @@ class Controller:
 
     def disable_backend(self, name: str) -> int:
         """Disable a backend around a consistent checkpoint; returns the
-        checkpoint index it will resync from."""
-        return self.scheduler.checkpoint_and_disable(self.backend(name))
+        checkpoint index it will resync from.
+
+        Clears any failure-detector claim on the backend: an explicit
+        disable is operator intent, and the detector must not auto-resync
+        the backend behind the operator's back when it answers pings."""
+        checkpoint = self.scheduler.checkpoint_and_disable(self.backend(name))
+        self.failure_detector.forget(name)
+        return checkpoint
 
     def enable_backend(self, name: str) -> int:
         """Re-enable a backend, replaying missed writes; returns how many
         log entries were replayed.
 
         Refused while a transaction is open, and atomic with respect to
-        concurrent writes (see RequestScheduler.resync_and_enable)."""
-        return self.scheduler.resync_and_enable(self.backend(name))
+        concurrent writes (see RequestScheduler.resync_and_enable). When
+        log compaction already truncated the backend's replay range, the
+        resync falls back to a dump-based cold start from a healthy
+        sibling. The query cache is flushed so no entry cached while the
+        backend was out of rotation can be served stale."""
+        replayed = self.scheduler.resync_and_enable(self.backend(name), dumper=DatabaseDumper())
+        self.failure_detector.forget(name)
+        return replayed
+
+    # -- dumps and cold start ---------------------------------------------------
+
+    def dump_database(self, checkpoint_name: Optional[str] = None) -> DatabaseDump:
+        """Snapshot one healthy backend, consistent with the log head.
+
+        The snapshot's position is pinned under a named checkpoint
+        (``dump-<index>`` by default) so compaction keeps the tail a
+        consumer will replay; release it with :meth:`release_checkpoint`
+        once every consumer has cold-started."""
+        return self.scheduler.create_dump(checkpoint_name=checkpoint_name)
+
+    def add_backend_from_dump(
+        self, backend: Backend, dump: DatabaseDump, release_checkpoint: bool = True
+    ) -> int:
+        """Bring a brand-new backend online from ``dump`` + tail replay.
+
+        The dump's rows are restored outside the write path (the backend
+        is not in the rotation yet, so writes keep flowing), then the log
+        tail after the dump's checkpoint is replayed and the backend
+        enabled atomically with the write path. Returns the number of
+        tail entries replayed. ``release_checkpoint=False`` keeps the
+        dump's pinned position for further backends started off the same
+        snapshot."""
+        backend.initialize_from_dump(dump)
+        self.scheduler.add_backend(backend)
+        replayed = self.scheduler.resync_and_enable(backend, dumper=DatabaseDumper())
+        if release_checkpoint and dump.checkpoint_name:
+            self.recovery_log.release_checkpoint(dump.checkpoint_name)
+        return replayed
+
+    def provision_backend(self, backend: Backend) -> int:
+        """One-call cold start: dump a healthy sibling into ``backend``
+        and add it to the rotation, all atomically with the write path.
+        Returns the number of restore statements executed."""
+        return self.scheduler.bootstrap_backend(backend, DatabaseDumper())
+
+    def compact_recovery_log(self) -> int:
+        """Truncate log entries no live checkpoint still pins; returns
+        how many entries were dropped."""
+        return self.recovery_log.compact()
+
+    def release_checkpoint(self, name: str) -> bool:
+        return self.recovery_log.release_checkpoint(name)
 
     def disable_backend_cluster_wide(self, name: str) -> int:
         """Disable ``name`` on this controller and every peer.
@@ -433,6 +596,25 @@ class Controller:
             sql = str(message.get("sql", ""))
             params = dict(message.get("params") or {})
             statement = classify(sql)
+            if (
+                self.scheduler.resync_in_progress
+                and self.peers()
+                and not (statement.is_read and not session.in_transaction)
+            ):
+                # A resync replay holds the write path, possibly for a long
+                # log tail. Instead of queueing the write behind it, tell
+                # the driver — it retries transparently against a sibling
+                # controller (reads keep being served locally). Without
+                # peers there is nowhere to send the client: writes simply
+                # queue on the write lock until the replay finishes.
+                channel.send(
+                    make_error(
+                        "controller_recovering",
+                        f"controller {self.config.controller_id} is replaying its "
+                        "recovery log; retry on another controller",
+                    )
+                )
+                continue
             try:
                 columns, rows, rowcount = self.scheduler.execute(
                     sql, params, in_transaction=session.in_transaction

@@ -116,6 +116,16 @@ class ClusterConnection(Connection):
     # -- connection establishment with failover -----------------------------------
 
     def _connect_to_any(self, exclude: Optional[str] = None) -> None:
+        # Abandoning the current channel either way: close it so the
+        # controller's session ends too. A failover away from a *healthy*
+        # controller (e.g. one answering controller_recovering) would
+        # otherwise leak its server-side session for the process lifetime.
+        if self._channel is not None:
+            try:
+                self._channel.close()
+            except Exception:
+                pass
+            self._channel = None
         hosts = list(self._url.hosts)
         start = self._driver._next_start_index(len(hosts))
         ordered = hosts[start:] + hosts[:start]
@@ -160,16 +170,29 @@ class ClusterConnection(Connection):
         if self._closed:
             raise InterfaceError("connection is closed")
         with self._lock:
-            try:
-                return self._execute_once(sql, params)
-            except OperationalError:
-                # Transparent failover: only safe outside a transaction.
-                if self._in_transaction:
-                    self._closed = True
-                    raise
-                self.failovers += 1
-                self._connect_to_any(exclude=getattr(self, "_current_host", None))
-                return self._execute_once(sql, params)
+            # One attempt per configured controller: a dead controller and
+            # a sibling busy replaying its recovery log (error code
+            # ``controller_recovering``) both push the statement to the
+            # next host. ``failovers`` counts *successful* reconnects —
+            # a reconnect that fails raises without bumping the counter.
+            attempts = max(2, len(self._url.hosts))
+            for attempt in range(attempts):
+                try:
+                    return self._execute_once(sql, params)
+                except OperationalError:
+                    # Transparent failover: only safe outside a transaction
+                    # — mid-transaction the controller's session (and the
+                    # transaction it owns) is gone, so surface the error
+                    # rather than silently retrying against a sibling that
+                    # never saw the transaction's earlier statements.
+                    if self._in_transaction:
+                        self._closed = True
+                        raise
+                    if attempt + 1 >= attempts:
+                        raise
+                    self._connect_to_any(exclude=getattr(self, "_current_host", None))
+                    self.failovers += 1
+            raise OperationalError("unreachable")  # pragma: no cover
 
     def _execute_once(self, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
         assert self._channel is not None

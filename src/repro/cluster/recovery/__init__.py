@@ -1,0 +1,58 @@
+"""Durable recovery subsystem for the cluster middleware.
+
+The paper keeps replicas consistent by disabling/enabling backends
+"around a consistent checkpoint" and replaying a recovery log. This
+package is the production-shaped version of that mechanism:
+
+- :mod:`repro.cluster.recovery.logstore` — the pluggable ``LogStore``
+  interface with an in-memory store and a segmented, file-backed JSONL
+  store that survives controller restarts (crash recovery on open,
+  optional fsync-on-append),
+- :mod:`repro.cluster.recovery.checkpoints` — named checkpoints
+  (``CheckpointRegistry``) replacing the bare integer checkpoint; live
+  checkpoints pin log entries against compaction,
+- :mod:`repro.cluster.recovery.log` — the :class:`RecoveryLog` facade
+  combining a store and a registry, with compaction that truncates
+  segments older than the oldest live checkpoint,
+- :mod:`repro.cluster.recovery.dumper` — :class:`DatabaseDumper`, which
+  snapshots a healthy backend through plain SQL (via the sqlengine's
+  ``information_schema``) so a brand-new backend can cold-start from
+  dump + tail replay instead of a full-history replay,
+- :mod:`repro.cluster.recovery.failure_detector` — a heartbeat-driven
+  detector that auto-disables dead backends at a checkpoint and
+  auto-resyncs them when they come back.
+
+See docs/recovery.md for the full walkthrough.
+"""
+
+from repro.cluster.recovery.logstore import (
+    FileLogStore,
+    LogEntry,
+    LogStore,
+    MemoryLogStore,
+)
+from repro.cluster.recovery.checkpoints import Checkpoint, CheckpointRegistry
+from repro.cluster.recovery.log import LogCompactedError, RecoveryLog
+from repro.cluster.recovery.dumper import (
+    ColumnDump,
+    DatabaseDump,
+    DatabaseDumper,
+    TableDump,
+)
+from repro.cluster.recovery.failure_detector import FailureDetector
+
+__all__ = [
+    "LogEntry",
+    "LogStore",
+    "MemoryLogStore",
+    "FileLogStore",
+    "Checkpoint",
+    "CheckpointRegistry",
+    "RecoveryLog",
+    "LogCompactedError",
+    "ColumnDump",
+    "TableDump",
+    "DatabaseDump",
+    "DatabaseDumper",
+    "FailureDetector",
+]

@@ -1,0 +1,136 @@
+"""Named checkpoints over the recovery log.
+
+The original implementation recorded a backend's checkpoint as a bare
+integer on the backend object. That breaks down as soon as anything else
+needs to pin a log position: a disabled backend, a database dump a new
+backend will cold-start from, an operator snapshot. A
+:class:`CheckpointRegistry` names each pinned position; the oldest live
+checkpoint is the compaction floor — entries at or below every live
+checkpoint can never be needed for a replay and may be truncated.
+
+With a ``path`` the registry persists itself as JSON next to a
+:class:`~repro.cluster.recovery.logstore.FileLogStore`'s segments, so a
+restarted controller still knows which positions are pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.recovery.logstore import atomic_write_json
+from repro.errors import DriverError
+
+
+class CheckpointError(DriverError):
+    """Invalid checkpoint operation (duplicate name, unknown name...)."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One named, pinned log position."""
+
+    name: str
+    index: int
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"name": self.name, "index": self.index}
+
+
+class CheckpointRegistry:
+    """Named log positions; live ones pin entries against compaction."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._path = path
+        self._checkpoints: Dict[str, Checkpoint] = {}
+        self._lock = threading.Lock()
+        if path is not None and os.path.exists(path):
+            self._load()
+
+    # -- persistence -------------------------------------------------------------
+
+    def _load(self) -> None:
+        assert self._path is not None
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (ValueError, OSError) as exc:
+            raise CheckpointError(f"corrupt checkpoint registry {self._path!r}: {exc}") from exc
+        for item in payload.get("checkpoints", []):
+            checkpoint = Checkpoint(name=str(item["name"]), index=int(item["index"]))
+            self._checkpoints[checkpoint.name] = checkpoint
+
+    def _save_locked(self) -> None:
+        if self._path is None:
+            return
+        atomic_write_json(
+            self._path,
+            {"checkpoints": [cp.to_wire() for cp in self._checkpoints.values()]},
+        )
+
+    # -- checkpoint lifecycle -----------------------------------------------------
+
+    def create(self, name: str, index: int, overwrite: bool = False) -> Checkpoint:
+        if index < 0:
+            raise CheckpointError(f"checkpoint index must be >= 0, got {index}")
+        with self._lock:
+            if not overwrite and name in self._checkpoints:
+                raise CheckpointError(f"checkpoint {name!r} already exists")
+            checkpoint = Checkpoint(name=name, index=index)
+            self._checkpoints[name] = checkpoint
+            self._save_locked()
+            return checkpoint
+
+    def release(self, name: str) -> bool:
+        """Drop a checkpoint; returns whether it existed."""
+        with self._lock:
+            existed = self._checkpoints.pop(name, None) is not None
+            if existed:
+                self._save_locked()
+            return existed
+
+    def get(self, name: str) -> Checkpoint:
+        with self._lock:
+            checkpoint = self._checkpoints.get(name)
+        if checkpoint is None:
+            raise CheckpointError(f"unknown checkpoint {name!r}")
+        return checkpoint
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._checkpoints)
+
+    def live(self) -> List[Checkpoint]:
+        with self._lock:
+            return sorted(self._checkpoints.values(), key=lambda cp: (cp.index, cp.name))
+
+    def oldest_live_index(self) -> Optional[int]:
+        """The compaction floor, or None when nothing is pinned."""
+        with self._lock:
+            if not self._checkpoints:
+                return None
+            return min(cp.index for cp in self._checkpoints.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._checkpoints)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._checkpoints
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": len(self._checkpoints),
+                "oldest_live_index": (
+                    min(cp.index for cp in self._checkpoints.values())
+                    if self._checkpoints
+                    else None
+                ),
+                "names": sorted(self._checkpoints),
+                "persisted": self._path is not None,
+            }

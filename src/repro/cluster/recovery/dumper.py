@@ -1,0 +1,238 @@
+"""Dump-based cold start for brand-new (or hopelessly stale) backends.
+
+Replaying the full write history from index 0 to bring a backend online
+stops being an option the moment the log is compacted — and was never a
+good one for a cluster with millions of historical writes. The
+:class:`DatabaseDumper` instead snapshots a *healthy* backend through
+plain SQL: it reads ``information_schema.columns`` (exposed by the
+sqlengine for exactly this purpose) to reconstruct each table's DDL, and
+``SELECT * FROM ...`` to capture the rows. The resulting
+:class:`DatabaseDump` carries the log index it is consistent with, so a
+new backend applies ``dump + tail replay``: restore the snapshot, then
+replay only the entries after ``checkpoint_index``.
+
+Everything goes through the DB-API ``execute`` callable the backend
+already has — no private engine access, so a dump works across the wire
+against any replica the controller can reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import DriverError
+
+#: ``execute(sql, params) -> (columns, rows, rowcount)`` — the shape of
+#: :meth:`repro.cluster.backend.Backend.execute`.
+ExecuteFn = Callable[[str, Optional[Dict[str, Any]]], Tuple[List[str], List[Any], int]]
+
+
+class DumpError(DriverError):
+    """A dump could not be taken or restored."""
+
+
+@dataclass(frozen=True)
+class ColumnDump:
+    """One column definition, enough to regenerate its DDL clause."""
+
+    name: str
+    data_type: str
+    not_null: bool = False
+    primary_key: bool = False
+    references_table: Optional[str] = None
+    references_column: Optional[str] = None
+
+    def ddl(self) -> str:
+        clause = f"{self.name} {self.data_type}"
+        if self.not_null and not self.primary_key:
+            clause += " NOT NULL"
+        if self.primary_key:
+            clause += " PRIMARY KEY"
+        if self.references_table and self.references_column:
+            clause += f" REFERENCES {self.references_table}({self.references_column})"
+        return clause
+
+
+@dataclass
+class TableDump:
+    """One table: schema + rows (row values ordered like ``columns``)."""
+
+    name: str
+    columns: List[ColumnDump] = field(default_factory=list)
+    rows: List[List[Any]] = field(default_factory=list)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class DatabaseDump:
+    """A consistent snapshot of one backend at ``checkpoint_index``."""
+
+    tables: List[TableDump] = field(default_factory=list)
+    #: Recovery-log index this snapshot is consistent with: a restored
+    #: backend replays only entries strictly after this index.
+    checkpoint_index: int = 0
+    #: Named checkpoint pinning ``checkpoint_index`` against compaction
+    #: (released once every consumer has cold-started).
+    checkpoint_name: Optional[str] = None
+    #: Which backend the snapshot was taken from (observability).
+    source: Optional[str] = None
+
+    @property
+    def table_count(self) -> int:
+        return len(self.tables)
+
+    @property
+    def row_count(self) -> int:
+        return sum(table.row_count for table in self.tables)
+
+
+class DatabaseDumper:
+    """Takes and restores :class:`DatabaseDump` snapshots over DB-API."""
+
+    #: Schemas that belong to the engine, never to the application.
+    _SYSTEM_SCHEMAS = ("information_schema",)
+
+    @staticmethod
+    def _qualified(table_name: Any, table_schema: Any) -> str:
+        """Schema-qualified name as the engine (and its DDL) spells it:
+        two same-named tables in different schemas stay distinct."""
+        if table_schema:
+            return f"{table_schema}.{table_name}"
+        return str(table_name)
+
+    # -- taking a dump ------------------------------------------------------------
+
+    def dump(
+        self,
+        execute: ExecuteFn,
+        checkpoint_index: int = 0,
+        checkpoint_name: Optional[str] = None,
+        source: Optional[str] = None,
+    ) -> DatabaseDump:
+        """Snapshot every user table reachable through ``execute``.
+
+        The caller is responsible for consistency: take the dump while no
+        write can land (the scheduler holds its write lock), and pass the
+        recovery-log index the snapshot corresponds to."""
+        _, column_rows, _ = execute(
+            "SELECT table_name, table_schema, column_name, ordinal_position, data_type, "
+            "is_nullable, is_primary_key, references_table, references_column "
+            "FROM information_schema.columns",
+            None,
+        )
+        tables: Dict[str, TableDump] = {}
+        ordered: List[Tuple[str, int, ColumnDump]] = []
+        for row in column_rows:
+            (table_name, table_schema, column_name, ordinal, data_type,
+             is_nullable, is_primary_key, ref_table, ref_column) = row
+            if table_schema in self._SYSTEM_SCHEMAS:
+                continue
+            ordered.append(
+                (
+                    self._qualified(table_name, table_schema),
+                    int(ordinal),
+                    ColumnDump(
+                        name=str(column_name),
+                        data_type=str(data_type),
+                        not_null=not bool(is_nullable),
+                        primary_key=bool(is_primary_key),
+                        references_table=ref_table,
+                        references_column=ref_column,
+                    ),
+                )
+            )
+        ordered.sort(key=lambda item: (item[0], item[1]))
+        for table_name, _, column in ordered:
+            tables.setdefault(table_name, TableDump(name=table_name)).columns.append(column)
+        for table in tables.values():
+            columns, rows, _ = execute(f"SELECT * FROM {table.name}", None)
+            # Reorder result columns into schema order so restores are
+            # deterministic regardless of the SELECT * projection order.
+            schema_order = [column.name for column in table.columns]
+            positions = {name.lower(): i for i, name in enumerate(columns)}
+            try:
+                mapping = [positions[name.lower()] for name in schema_order]
+            except KeyError as exc:
+                raise DumpError(
+                    f"table {table.name!r} is missing column {exc} in its SELECT * result"
+                ) from exc
+            table.rows = [[row[i] for i in mapping] for row in rows]
+        return DatabaseDump(
+            tables=self._topological(tables),
+            checkpoint_index=checkpoint_index,
+            checkpoint_name=checkpoint_name,
+            source=source,
+        )
+
+    def _topological(self, tables: Dict[str, TableDump]) -> List[TableDump]:
+        """Order tables so REFERENCES targets restore before referrers."""
+        remaining = dict(tables)
+        ordered: List[TableDump] = []
+        placed: set = set()
+        while remaining:
+            progressed = False
+            for name in sorted(remaining):
+                table = remaining[name]
+                deps = {
+                    column.references_table.lower()
+                    for column in table.columns
+                    if column.references_table
+                    and column.references_table.lower() != name.lower()
+                    and column.references_table.lower() in {k.lower() for k in tables}
+                }
+                if deps <= placed:
+                    ordered.append(table)
+                    placed.add(name.lower())
+                    del remaining[name]
+                    progressed = True
+            if not progressed:
+                # Reference cycle: fall back to name order for the rest.
+                for name in sorted(remaining):
+                    ordered.append(remaining[name])
+                break
+        return ordered
+
+    # -- restoring a dump ----------------------------------------------------------
+
+    def statements(self, dump: DatabaseDump) -> Iterator[Tuple[str, Optional[Dict[str, Any]]]]:
+        """The (sql, params) sequence that recreates the dump's state."""
+        for table in dump.tables:
+            ddl = ", ".join(column.ddl() for column in table.columns)
+            yield (f"CREATE TABLE {table.name} ({ddl})", None)
+            if not table.columns:
+                continue
+            column_list = ", ".join(column.name for column in table.columns)
+            placeholders = ", ".join(f"$c{i}" for i in range(len(table.columns)))
+            insert = f"INSERT INTO {table.name} ({column_list}) VALUES ({placeholders})"
+            for row in table.rows:
+                yield (insert, {f"c{i}": value for i, value in enumerate(row)})
+
+    def restore(self, dump: DatabaseDump, execute: ExecuteFn, wipe: bool = True) -> int:
+        """Replay the dump through ``execute``; returns statements run.
+
+        ``wipe`` first drops every user table the target currently has, so
+        a stale backend converges to exactly the dump's state instead of
+        failing on ``CREATE TABLE`` collisions."""
+        statements = 0
+        if wipe:
+            statements += self._wipe(execute)
+        for sql, params in self.statements(dump):
+            execute(sql, params)
+            statements += 1
+        return statements
+
+    def _wipe(self, execute: ExecuteFn) -> int:
+        _, rows, _ = execute(
+            "SELECT table_name, table_schema FROM information_schema.tables", None
+        )
+        dropped = 0
+        for table_name, table_schema in rows:
+            if table_schema in self._SYSTEM_SCHEMAS:
+                continue
+            execute(f"DROP TABLE {self._qualified(table_name, table_schema)}", None)
+            dropped += 1
+        return dropped

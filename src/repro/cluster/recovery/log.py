@@ -1,0 +1,170 @@
+"""The recovery log facade: ordered history + named checkpoints + compaction.
+
+The controller appends every committed write it broadcasts. A backend
+that was disabled records the log index of its last applied write — its
+*checkpoint* — and is resynchronised on re-enable by replaying everything
+after that index. Unlike the original in-memory list, this log:
+
+- delegates persistence to a pluggable :class:`LogStore` (a restarted
+  controller on a :class:`FileLogStore` resumes with its pre-crash
+  ``last_index``),
+- names checkpoints through a :class:`CheckpointRegistry` instead of a
+  bare integer, so several consumers (disabled backends, dumps,
+  operator snapshots) can pin positions independently,
+- compacts: entries at or below the oldest live checkpoint are
+  truncated from the store, bounding memory and disk under heavy write
+  traffic. Asking for entries older than the compaction floor raises
+  :class:`LogCompactedError` — the caller must cold-start from a dump
+  instead of replaying history that no longer exists.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.recovery.checkpoints import Checkpoint, CheckpointRegistry
+from repro.cluster.recovery.logstore import LogEntry, LogStore, MemoryLogStore
+from repro.errors import DriverError
+
+
+class LogCompactedError(DriverError):
+    """The requested replay range was truncated by compaction."""
+
+
+class RecoveryLog:
+    """Append-only log of write statements with monotonically growing indexes."""
+
+    def __init__(
+        self,
+        store: Optional[LogStore] = None,
+        checkpoints: Optional[CheckpointRegistry] = None,
+        auto_compact_every: int = 0,
+    ) -> None:
+        self._store = store if store is not None else MemoryLogStore()
+        # Explicit None check: an *empty* registry is falsy (len == 0) but
+        # may still be the persisted one the caller wants used.
+        self.checkpoints = checkpoints if checkpoints is not None else CheckpointRegistry()
+        #: Compact automatically every N appends (0 disables).
+        self.auto_compact_every = auto_compact_every
+        self._appends_since_compact = 0
+        self.compactions = 0
+        self.entries_compacted = 0
+        self._lock = threading.Lock()
+
+    @property
+    def store(self) -> LogStore:
+        return self._store
+
+    # -- appends -----------------------------------------------------------------
+
+    def append(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]] = None,
+        transaction_id: Optional[str] = None,
+    ) -> LogEntry:
+        """Append one write; returns the entry with its assigned index."""
+        with self._lock:
+            entry = LogEntry(
+                index=self._store.last_index + 1,
+                sql=sql,
+                params=dict(params or {}),
+                transaction_id=transaction_id,
+            )
+            self._store.append(entry)
+            self._appends_since_compact += 1
+            if self.auto_compact_every and self._appends_since_compact >= self.auto_compact_every:
+                self._compact_locked()
+            return entry
+
+    # -- reads -------------------------------------------------------------------
+
+    @property
+    def last_index(self) -> int:
+        with self._lock:
+            return self._store.last_index
+
+    @property
+    def first_index(self) -> int:
+        """Index of the oldest entry still replayable."""
+        with self._lock:
+            return self._store.truncated_through + 1
+
+    def entries_after(self, index: int) -> List[LogEntry]:
+        """Entries with index strictly greater than ``index`` (for resync).
+
+        Raises :class:`LogCompactedError` when compaction already dropped
+        part of the requested range — the caller needs a dump-based
+        cold start, a replay would silently skip writes."""
+        if index < 0:
+            index = 0
+        with self._lock:
+            if index < self._store.truncated_through:
+                raise LogCompactedError(
+                    f"log entries after {index} were compacted away "
+                    f"(oldest retained index is {self._store.truncated_through + 1}); "
+                    "cold-start from a database dump instead"
+                )
+            return self._store.entries_after(index)
+
+    def __len__(self) -> int:
+        return self.last_index
+
+    # -- checkpoints ----------------------------------------------------------------
+
+    def checkpoint(
+        self, name: str, index: Optional[int] = None, overwrite: bool = False
+    ) -> Checkpoint:
+        """Pin ``index`` (default: the current head) under ``name``."""
+        if index is None:
+            index = self.last_index
+        return self.checkpoints.create(name, index, overwrite=overwrite)
+
+    def release_checkpoint(self, name: str) -> bool:
+        return self.checkpoints.release(name)
+
+    # -- compaction -------------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Truncate entries no live checkpoint (nor any future replay
+        from one) can need: everything at or below the oldest live
+        checkpoint, or the whole retained history when nothing is
+        pinned. Returns how many entries the store dropped."""
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        floor = self.checkpoints.oldest_live_index()
+        if floor is None:
+            floor = self._store.last_index
+        dropped = self._store.truncate_through(floor)
+        self._appends_since_compact = 0
+        if dropped:
+            self.compactions += 1
+            self.entries_compacted += dropped
+        return dropped
+
+    # -- lifecycle / observability ------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            self._store.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._store.close()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            store_stats = self._store.stats()
+        return {
+            "last_index": store_stats["last_index"],
+            "first_index": store_stats["truncated_through"] + 1,
+            "retained_entries": store_stats["entry_count"],
+            "compactions": self.compactions,
+            "entries_compacted": self.entries_compacted,
+            "auto_compact_every": self.auto_compact_every,
+            "store": store_stats,
+            "checkpoints": self.checkpoints.stats(),
+        }

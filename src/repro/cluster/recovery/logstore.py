@@ -1,0 +1,420 @@
+"""Pluggable persistence for the recovery log.
+
+A :class:`LogStore` holds the ordered history of committed write
+statements. The :class:`RecoveryLog` facade assigns indexes and enforces
+compaction policy; stores only persist and retrieve entries.
+
+Two implementations:
+
+- :class:`MemoryLogStore` — a list, the behaviour of the original
+  58-line ``RecoveryLog`` (nothing survives a restart),
+- :class:`FileLogStore` — segmented JSONL files. Appends go to the
+  current segment, which rolls over after ``segment_max_entries``
+  entries; compaction deletes whole segments from disk and memory, so
+  both the directory and the in-memory mirror stay bounded. Opening a
+  directory recovers from a crash mid-append by truncating a partial
+  trailing line, and resumes ``last_index`` where the previous process
+  stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional
+
+from repro.errors import DriverError
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged write statement."""
+
+    index: int
+    sql: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    transaction_id: Optional[str] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "sql": self.sql,
+            "params": _encode_params(self.params),
+            "transaction_id": self.transaction_id,
+        }
+
+    @staticmethod
+    def from_wire(payload: Dict[str, Any]) -> "LogEntry":
+        return LogEntry(
+            index=int(payload["index"]),
+            sql=str(payload["sql"]),
+            params=_decode_params(dict(payload.get("params") or {})),
+            transaction_id=payload.get("transaction_id"),
+        )
+
+
+def _encode_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Make statement parameters JSON-safe (BLOB values become hex)."""
+    encoded: Dict[str, Any] = {}
+    for name, value in params.items():
+        if isinstance(value, bytes):
+            encoded[name] = {"__blob__": value.hex()}
+        else:
+            encoded[name] = value
+    return encoded
+
+
+def _decode_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    decoded: Dict[str, Any] = {}
+    for name, value in params.items():
+        if isinstance(value, dict) and "__blob__" in value:
+            decoded[name] = bytes.fromhex(value["__blob__"])
+        else:
+            decoded[name] = value
+    return decoded
+
+
+def atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    """Durably replace ``path`` with ``payload`` as JSON: tmp-file write,
+    fsync, then atomic rename — a crash leaves either the old file or the
+    new one, never a torn mix. Shared by the log store's metadata and the
+    checkpoint registry."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class LogStoreError(DriverError):
+    """A log store could not persist or retrieve entries."""
+
+
+class LogStore:
+    """Interface every log store implements.
+
+    Entries arrive in strictly increasing index order (the
+    :class:`RecoveryLog` facade serialises appends). ``truncated_through``
+    is the highest index dropped by compaction (0 when nothing was ever
+    dropped): entries with index > ``truncated_through`` are retrievable.
+    """
+
+    def append(self, entry: LogEntry) -> None:
+        raise NotImplementedError
+
+    def entries_after(self, index: int) -> List[LogEntry]:
+        """Entries with index strictly greater than ``index``.
+
+        Callers must not ask below ``truncated_through`` (the facade
+        raises ``LogCompactedError`` first)."""
+        raise NotImplementedError
+
+    @property
+    def last_index(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def truncated_through(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def entry_count(self) -> int:
+        """Entries currently retained (bounded by compaction)."""
+        raise NotImplementedError
+
+    def truncate_through(self, index: int) -> int:
+        """Drop entries with index <= ``index`` where cheap to do so;
+        returns how many were dropped. Stores may retain more than asked
+        (e.g. only whole segments are dropped) but never less than the
+        caller allows."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make appended entries durable (no-op for volatile stores)."""
+
+    def close(self) -> None:
+        """Release file handles; the store may be reopened by a new
+        instance on the same directory."""
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "kind": type(self).__name__,
+            "last_index": self.last_index,
+            "truncated_through": self.truncated_through,
+            "entry_count": self.entry_count,
+        }
+
+
+class MemoryLogStore(LogStore):
+    """Volatile store: the original in-memory list, plus compaction."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self._truncated_through = 0
+
+    def append(self, entry: LogEntry) -> None:
+        self._entries.append(entry)
+
+    def entries_after(self, index: int) -> List[LogEntry]:
+        offset = max(index, self._truncated_through) - self._truncated_through
+        return list(self._entries[offset:])
+
+    @property
+    def last_index(self) -> int:
+        if self._entries:
+            return self._entries[-1].index
+        return self._truncated_through
+
+    @property
+    def truncated_through(self) -> int:
+        return self._truncated_through
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def truncate_through(self, index: int) -> int:
+        if index <= self._truncated_through:
+            return 0
+        drop = min(index - self._truncated_through, len(self._entries))
+        self._entries = self._entries[drop:]
+        self._truncated_through += drop
+        return drop
+
+
+class FileLogStore(LogStore):
+    """Segmented JSONL store surviving process restarts.
+
+    Layout of ``directory``::
+
+        segment-00000001.jsonl   entries 1..N, one JSON object per line
+        segment-00000N.jsonl     current segment, appended to
+        logmeta.json             {"truncated_through": n}
+
+    Segment files are named after the index of their first entry. A crash
+    mid-append leaves a partial trailing line in the *last* segment only;
+    :meth:`_recover` truncates it so the next append continues cleanly.
+    Compaction removes whole segments (disk and memory), so retained
+    entries round up to the segment boundary above the requested floor.
+    """
+
+    _SEGMENT_PREFIX = "segment-"
+    _SEGMENT_SUFFIX = ".jsonl"
+    _META_FILE = "logmeta.json"
+
+    def __init__(
+        self,
+        directory: str,
+        segment_max_entries: int = 256,
+        fsync_on_append: bool = False,
+    ) -> None:
+        if segment_max_entries <= 0:
+            raise ValueError("segment_max_entries must be positive")
+        self.directory = directory
+        self.segment_max_entries = segment_max_entries
+        self.fsync_on_append = fsync_on_append
+        os.makedirs(directory, exist_ok=True)
+        #: Retained entries, grouped per segment in index order.
+        self._segments: List[List[LogEntry]] = []
+        self._segment_paths: List[str] = []
+        self._truncated_through = 0
+        self._last_index = 0
+        self._handle: Optional[IO[str]] = None
+        self.recovered_partial_lines = 0
+        self._load()
+
+    # -- opening / crash recovery ------------------------------------------------
+
+    def _segment_path(self, first_index: int) -> str:
+        return os.path.join(
+            self.directory, f"{self._SEGMENT_PREFIX}{first_index:08d}{self._SEGMENT_SUFFIX}"
+        )
+
+    def _meta_path(self) -> str:
+        return os.path.join(self.directory, self._META_FILE)
+
+    def _load(self) -> None:
+        meta_path = self._meta_path()
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    self._truncated_through = int(json.load(handle).get("truncated_through", 0))
+            except (ValueError, OSError) as exc:
+                raise LogStoreError(f"corrupt log metadata {meta_path!r}: {exc}") from exc
+        names = sorted(
+            name
+            for name in os.listdir(self.directory)
+            if name.startswith(self._SEGMENT_PREFIX) and name.endswith(self._SEGMENT_SUFFIX)
+        )
+        expected_next = self._truncated_through + 1
+        for position, name in enumerate(names):
+            path = os.path.join(self.directory, name)
+            entries = self._read_segment(path, is_last=(position == len(names) - 1))
+            if not entries:
+                # A segment created right before a crash, no entry made it
+                # to disk; reuse its slot.
+                os.remove(path)
+                continue
+            if entries[-1].index <= self._truncated_through:
+                # Compaction persisted the floor but crashed before
+                # removing this segment's file; finish the job now.
+                os.remove(path)
+                continue
+            if entries[0].index != expected_next:
+                raise LogStoreError(
+                    f"log segment {path!r} starts at index {entries[0].index}, "
+                    f"expected {expected_next}"
+                )
+            self._segments.append(entries)
+            self._segment_paths.append(path)
+            expected_next = entries[-1].index + 1
+        self._last_index = expected_next - 1
+
+    def _read_segment(self, path: str, is_last: bool) -> List[LogEntry]:
+        entries: List[LogEntry] = []
+        with open(path, "rb") as handle:
+            data = handle.read()
+        good_offset = 0
+        previous = None
+        for raw_line in data.splitlines(keepends=True):
+            line = raw_line.decode("utf-8", errors="replace")
+            stripped = line.strip()
+            complete = raw_line.endswith(b"\n")
+            if not stripped:
+                good_offset += len(raw_line)
+                continue
+            try:
+                if not complete:
+                    # No trailing newline: the append was cut mid-line.
+                    raise ValueError("partial trailing line")
+                entry = LogEntry.from_wire(json.loads(stripped))
+            except (ValueError, KeyError) as exc:
+                if is_last:
+                    # Crash mid-append: truncate the partial/corrupt tail
+                    # so the next append continues from the last good line.
+                    self.recovered_partial_lines += 1
+                    with open(path, "r+b") as handle:
+                        handle.seek(good_offset)
+                        handle.truncate()
+                    break
+                raise LogStoreError(f"corrupt log segment {path!r}: {exc}") from exc
+            if previous is not None and entry.index != previous + 1:
+                raise LogStoreError(
+                    f"log segment {path!r} skips from index {previous} to {entry.index}"
+                )
+            previous = entry.index
+            entries.append(entry)
+            good_offset += len(raw_line)
+        return entries
+
+    # -- appends -------------------------------------------------------------------
+
+    def append(self, entry: LogEntry) -> None:
+        if not self._segments or len(self._segments[-1]) >= self.segment_max_entries:
+            self._roll_segment(entry.index)
+        handle = self._ensure_handle()
+        handle.write(json.dumps(entry.to_wire(), separators=(",", ":")) + "\n")
+        handle.flush()
+        if self.fsync_on_append:
+            os.fsync(handle.fileno())
+        self._segments[-1].append(entry)
+        self._last_index = entry.index
+
+    def _roll_segment(self, first_index: int) -> None:
+        self._close_handle()
+        path = self._segment_path(first_index)
+        self._segments.append([])
+        self._segment_paths.append(path)
+
+    def _ensure_handle(self) -> IO[str]:
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self._segment_paths[-1], "a", encoding="utf-8")
+        return self._handle
+
+    def _close_handle(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    # -- reads ---------------------------------------------------------------------
+
+    def entries_after(self, index: int) -> List[LogEntry]:
+        result: List[LogEntry] = []
+        for segment in self._segments:
+            if not segment or segment[-1].index <= index:
+                continue
+            for entry in segment:
+                if entry.index > index:
+                    result.append(entry)
+        return result
+
+    @property
+    def last_index(self) -> int:
+        return self._last_index
+
+    @property
+    def truncated_through(self) -> int:
+        return self._truncated_through
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(segment) for segment in self._segments)
+
+    # -- compaction ------------------------------------------------------------------
+
+    def truncate_through(self, index: int) -> int:
+        """Delete whole segments whose newest entry is <= ``index``.
+
+        The current (last) segment is never deleted, so appends continue
+        in place. The new floor is persisted *before* any file is
+        removed: a crash between the two leaves stale segments below the
+        floor, which :meth:`_load` recognises and deletes — never a store
+        that cannot be reopened."""
+        droppable = 0
+        while (
+            len(self._segments) - droppable > 1
+            and self._segments[droppable]
+            and self._segments[droppable][-1].index <= index
+        ):
+            droppable += 1
+        if not droppable:
+            return 0
+        dropped = sum(len(segment) for segment in self._segments[:droppable])
+        doomed_paths = self._segment_paths[:droppable]
+        self._truncated_through = self._segments[droppable - 1][-1].index
+        self._segments = self._segments[droppable:]
+        self._segment_paths = self._segment_paths[droppable:]
+        self._write_meta()
+        for path in doomed_paths:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        return dropped
+
+    def _write_meta(self) -> None:
+        atomic_write_json(self._meta_path(), {"truncated_through": self._truncated_through})
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._close_handle()
+
+    def stats(self) -> Dict[str, Any]:
+        base = super().stats()
+        base.update(
+            {
+                "directory": self.directory,
+                "segments": len(self._segments),
+                "segment_max_entries": self.segment_max_entries,
+                "fsync_on_append": self.fsync_on_append,
+            }
+        )
+        return base

@@ -1,58 +1,25 @@
-"""Recovery log: the ordered history of write statements.
+"""Backward-compatible import path for the recovery log.
 
-The controller appends every write it broadcasts to this log. A backend
-that was disabled (for maintenance, driver upgrade, or because it failed)
-records the log index of its last applied write — its *checkpoint* — and
-is resynchronised on re-enable by replaying everything after that index.
+The recovery log grew into the :mod:`repro.cluster.recovery` package:
+pluggable log stores (memory / segmented JSONL files), named checkpoints,
+compaction and dump-based cold start. This module keeps the original
+import path working; new code should import from
+``repro.cluster.recovery`` directly.
 """
 
-from __future__ import annotations
+from repro.cluster.recovery.log import LogCompactedError, RecoveryLog
+from repro.cluster.recovery.logstore import (
+    FileLogStore,
+    LogEntry,
+    LogStore,
+    MemoryLogStore,
+)
 
-import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
-
-
-@dataclass(frozen=True)
-class LogEntry:
-    """One logged write statement."""
-
-    index: int
-    sql: str
-    params: Dict[str, Any] = field(default_factory=dict)
-    transaction_id: Optional[str] = None
-
-
-class RecoveryLog:
-    """Append-only log of write statements with monotonically growing indexes."""
-
-    def __init__(self) -> None:
-        self._entries: List[LogEntry] = []
-        self._lock = threading.Lock()
-
-    def append(self, sql: str, params: Optional[Dict[str, Any]] = None, transaction_id: Optional[str] = None) -> LogEntry:
-        """Append one write; returns the entry with its assigned index."""
-        with self._lock:
-            entry = LogEntry(
-                index=len(self._entries) + 1,
-                sql=sql,
-                params=dict(params or {}),
-                transaction_id=transaction_id,
-            )
-            self._entries.append(entry)
-            return entry
-
-    @property
-    def last_index(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def entries_after(self, index: int) -> List[LogEntry]:
-        """Entries with index strictly greater than ``index`` (for resync)."""
-        with self._lock:
-            if index < 0:
-                index = 0
-            return list(self._entries[index:])
-
-    def __len__(self) -> int:
-        return self.last_index
+__all__ = [
+    "RecoveryLog",
+    "LogEntry",
+    "LogStore",
+    "MemoryLogStore",
+    "FileLogStore",
+    "LogCompactedError",
+]

@@ -36,7 +36,7 @@ from repro.cluster.classifier import (
 )
 from repro.cluster.loadbalancer import ReadPolicy, RoundRobinPolicy
 from repro.cluster.querycache import QueryCache
-from repro.cluster.recovery_log import RecoveryLog
+from repro.cluster.recovery import DatabaseDumper, LogCompactedError, RecoveryLog
 from repro.errors import DriverError
 
 __all__ = [
@@ -89,6 +89,12 @@ class RequestScheduler:
         # transaction at a time (a second BEGIN is rejected); if backends
         # ever gain per-session connections this needs keying by session.
         self._tx_buffer: List[Tuple[str, Dict[str, Any]]] = []
+        # True while a resync replay or dump restore holds the write lock:
+        # the controller answers write traffic with ``controller_recovering``
+        # so failover-capable drivers retry on a sibling instead of
+        # queueing behind the replay.
+        self._resyncing = False
+        self.cold_starts = 0
 
     # -- configuration -----------------------------------------------------------
 
@@ -98,17 +104,37 @@ class RequestScheduler:
         with self._write_lock:
             return self._open_transactions
 
+    @property
+    def resync_in_progress(self) -> bool:
+        """Whether a resync/cold-start currently holds the write path."""
+        return self._resyncing
+
+    @staticmethod
+    def _backend_checkpoint_name(backend: Backend) -> str:
+        return f"backend:{backend.name}"
+
     def checkpoint_and_disable(self, backend: Backend) -> int:
         """Disable a backend around a consistent checkpoint, atomically
         with respect to the write path: no broadcast is in flight while
         the checkpoint is recorded, so it reflects exactly the writes the
-        backend has applied."""
+        backend has applied. The checkpoint is registered by name so log
+        compaction keeps the entries this backend still needs to replay."""
         with self._write_lock:
-            checkpoint = self._recovery_log.last_index
+            if backend.enabled:
+                checkpoint = self._recovery_log.last_index
+            else:
+                # Already DISABLED/FAILED: the backend stopped applying
+                # writes at its *existing* checkpoint. Re-recording the
+                # current head would skip every write it missed since —
+                # the next resync would silently leave it diverged.
+                checkpoint = backend.checkpoint_index
             backend.disable(checkpoint)
+            self._recovery_log.checkpoint(
+                self._backend_checkpoint_name(backend), checkpoint, overwrite=True
+            )
             return checkpoint
 
-    def resync_and_enable(self, backend: Backend) -> int:
+    def resync_and_enable(self, backend: Backend, dumper: Optional[DatabaseDumper] = None) -> int:
         """Replay a disabled backend's missed writes and re-enable it,
         atomically with respect to the write path.
 
@@ -118,6 +144,11 @@ class RequestScheduler:
         replayed), and no transaction can open mid-resync — a backend
         joining mid-transaction would apply the transaction's remaining
         writes as autocommit, beyond ROLLBACK's reach.
+
+        When compaction already truncated entries this backend needs, a
+        ``dumper`` turns the replay into a dump-based cold start from a
+        healthy sibling; without one the caller gets a SchedulerError.
+        Returns how many log entries were replayed.
         """
         with self._write_lock:
             if self._open_transactions:
@@ -125,8 +156,102 @@ class RequestScheduler:
                     f"cannot enable backend {backend.name!r} while a transaction "
                     "is open; retry after it ends"
                 )
-            entries = self._recovery_log.entries_after(backend.checkpoint_index)
-            return backend.resync(entries)
+            self._resyncing = True
+            try:
+                try:
+                    entries = self._recovery_log.entries_after(backend.checkpoint_index)
+                except LogCompactedError as exc:
+                    if dumper is None:
+                        raise SchedulerError(
+                            f"cannot resync backend {backend.name!r}: {exc}"
+                        ) from exc
+                    replayed = self._cold_start_locked(backend, dumper)
+                else:
+                    replayed = backend.resync(entries)
+            finally:
+                self._resyncing = False
+            self._recovery_log.release_checkpoint(self._backend_checkpoint_name(backend))
+            if self._cache is not None:
+                # The re-enabled backend immediately serves reads, and its
+                # rows were written by replay/restore — never observed by
+                # the cache's invalidation clock. Flush so no entry cached
+                # while it was out of rotation survives as stale.
+                self._cache.clear()
+            return replayed
+
+    def bootstrap_backend(self, backend: Backend, dumper: Optional[DatabaseDumper] = None) -> int:
+        """Add a brand-new backend to the running cluster by cold-starting
+        it from a dump of a healthy sibling (no full-history replay).
+
+        Atomic with the write path: the dump, the restore and the ENABLED
+        flip happen under the write lock, so the new replica joins exactly
+        at the log head. Returns the number of restore statements run."""
+        dumper = dumper or DatabaseDumper()
+        with self._write_lock:
+            if self._open_transactions:
+                raise SchedulerError(
+                    f"cannot bootstrap backend {backend.name!r} while a transaction "
+                    "is open; retry after it ends"
+                )
+            self._resyncing = True
+            try:
+                statements = self._cold_start_locked(backend, dumper, count_statements=True)
+            finally:
+                self._resyncing = False
+            with self._lock:
+                if backend not in self._backends:
+                    self._backends.append(backend)
+            if self._cache is not None:
+                self._cache.clear()
+            return statements
+
+    def _cold_start_locked(
+        self, backend: Backend, dumper: DatabaseDumper, count_statements: bool = False
+    ) -> int:
+        """Dump a healthy sibling into ``backend`` and enable it.
+
+        Caller holds the write lock, so the dump is consistent and the
+        tail replay after it is empty by construction — the machinery
+        still runs so offline dumps (taken earlier, with writes landing
+        since) follow the exact same path."""
+        source = next(
+            (candidate for candidate in self.enabled_backends() if candidate is not backend),
+            None,
+        )
+        if source is None:
+            raise SchedulerError(
+                f"no healthy backend available to dump for cold-starting {backend.name!r}"
+            )
+        dump = dumper.dump(
+            source.execute,
+            checkpoint_index=self._recovery_log.last_index,
+            source=source.name,
+        )
+        statements = backend.initialize_from_dump(dump, dumper)
+        replayed = backend.resync(self._recovery_log.entries_after(backend.checkpoint_index))
+        self.cold_starts += 1
+        return statements if count_statements else replayed
+
+    def create_dump(
+        self,
+        checkpoint_name: Optional[str] = None,
+        dumper: Optional[DatabaseDumper] = None,
+    ):
+        """Snapshot one healthy backend under the write lock and pin the
+        snapshot's log position under a named checkpoint, so compaction
+        cannot truncate the tail a consumer will replay after restoring
+        the dump. Release the checkpoint once every consumer cold-started."""
+        dumper = dumper or DatabaseDumper()
+        with self._write_lock:
+            source = next(iter(self.enabled_backends()), None)
+            if source is None:
+                raise SchedulerError("no enabled backend available to dump")
+            index = self._recovery_log.last_index
+            name = checkpoint_name or f"dump-{index}"
+            self._recovery_log.checkpoint(name, index, overwrite=True)
+            return dumper.dump(
+                source.execute, checkpoint_index=index, checkpoint_name=name, source=source.name
+            )
 
     @property
     def read_policy(self) -> ReadPolicy:
@@ -342,6 +467,9 @@ class RequestScheduler:
             "parallel_writes": self._broadcaster.parallel,
             "query_cache": cache.stats() if cache is not None else None,
             "recovery_log_entries": self._recovery_log.last_index,
+            "recovery_log": self._recovery_log.stats(),
+            "cold_starts": self.cold_starts,
+            "resync_in_progress": self.resync_in_progress,
             "backends": [
                 {
                     "name": backend.name,
@@ -350,6 +478,7 @@ class RequestScheduler:
                     "pending": backend.pending,
                     "checkpoint_index": backend.checkpoint_index,
                     "weight": backend.weight,
+                    "last_heartbeat_at": backend.last_heartbeat_at,
                 }
                 for backend in self.backends()
             ],

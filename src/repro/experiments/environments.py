@@ -117,6 +117,28 @@ class ClusterEnvironment:
     def new_bootloader(self, config: Optional[BootloaderConfig] = None) -> Bootloader:
         return Bootloader(config or BootloaderConfig(api_name="SEQUOIA"), network=self.network, clock=self.clock)
 
+    def new_replica(self, name: Optional[str] = None) -> Backend:
+        """Provision a brand-new, *empty* replica (engine + server) and
+        return a Backend for it — not yet attached to any controller.
+
+        This is the raw material for dump-based cold start: hand the
+        backend to ``controller.provision_backend`` or
+        ``controller.add_backend_from_dump`` to bring it into the
+        rotation without replaying the full write history."""
+        replica_index = len(self.replica_engines) + 1
+        engine = Engine(name=name or f"extra-db{replica_index}-{next(_env_counter)}", clock=self.clock)
+        engine.create_database(self.database_name)
+        address = f"{engine.name}:5432"
+        server = DatabaseServer(engine, self.network, address, ServerConfig(name=engine.name)).start()
+        self.replica_engines.append(engine)
+        self.replica_servers.append(server)
+        self.replica_addresses.append(address)
+        url = f"pydb://{address}/{self.database_name}"
+        return Backend(
+            f"db{replica_index}",
+            lambda: legacy_driver.connect(url, network=self.network),
+        )
+
     def close(self) -> None:
         self.group.stop()
         for server in self.replica_servers:
@@ -178,6 +200,7 @@ def build_cluster(
                 Backend(f"db{replica_index + 1}", backend_factory(address))
                 for replica_index, address in enumerate(replica_addresses)
             ],
+            clock=clock,
         )
         if embedded_drivolution:
             embedded = DrivolutionServer(

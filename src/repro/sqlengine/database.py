@@ -31,6 +31,9 @@ class Database:
 
     # -- catalog -------------------------------------------------------------
 
+    #: Built-in catalogs, refreshed on demand and hidden from themselves.
+    _BUILTIN_CATALOGS = ("information_schema.tables", "information_schema.columns")
+
     def _create_tables_catalog(self) -> None:
         schema = TableSchema(
             name="information_schema.tables",
@@ -40,6 +43,28 @@ class Database:
             ],
         )
         self._tables["information_schema.tables"] = Table(schema)
+        columns_schema = TableSchema(
+            name="information_schema.columns",
+            columns=[
+                Column("table_name", SqlType.VARCHAR, not_null=True),
+                Column("table_schema", SqlType.VARCHAR),
+                Column("column_name", SqlType.VARCHAR, not_null=True),
+                Column("ordinal_position", SqlType.INTEGER, not_null=True),
+                Column("data_type", SqlType.VARCHAR, not_null=True),
+                Column("is_nullable", SqlType.BOOLEAN),
+                Column("is_primary_key", SqlType.BOOLEAN),
+                Column("references_table", SqlType.VARCHAR),
+                Column("references_column", SqlType.VARCHAR),
+            ],
+        )
+        self._tables["information_schema.columns"] = Table(columns_schema)
+
+    @staticmethod
+    def _split_key(key: str):
+        if "." in key:
+            schema_name, _, table_name = key.partition(".")
+            return schema_name, table_name
+        return None, key
 
     def _refresh_tables_catalog(self) -> None:
         catalog = self._tables["information_schema.tables"]
@@ -47,19 +72,46 @@ class Database:
         for index, _row in list(catalog.enumerate_rows()):
             catalog.delete_at(index)
         for key in sorted(self._tables):
-            if key == "information_schema.tables":
+            if key in self._BUILTIN_CATALOGS:
                 continue
-            if "." in key:
-                schema_name, _, table_name = key.partition(".")
-            else:
-                schema_name, table_name = None, key
+            schema_name, table_name = self._split_key(key)
             catalog.insert({"table_name": table_name, "table_schema": schema_name})
+
+    def _refresh_columns_catalog(self) -> None:
+        """Column-level introspection: enough detail to reconstruct every
+        user table's DDL (types, NOT NULL, PRIMARY KEY, REFERENCES) —
+        this is what the cluster's DatabaseDumper reads to snapshot a
+        backend through plain SQL."""
+        catalog = self._tables["information_schema.columns"]
+        for index, _row in list(catalog.enumerate_rows()):
+            catalog.delete_at(index)
+        for key in sorted(self._tables):
+            if key in self._BUILTIN_CATALOGS:
+                continue
+            schema_name, table_name = self._split_key(key)
+            table = self._tables[key]
+            for position, column in enumerate(table.schema.columns, start=1):
+                catalog.insert(
+                    {
+                        "table_name": table_name,
+                        "table_schema": schema_name,
+                        "column_name": column.name,
+                        "ordinal_position": position,
+                        "data_type": column.sql_type.value,
+                        "is_nullable": not column.not_null,
+                        "is_primary_key": column.primary_key,
+                        "references_table": column.references.table if column.references else None,
+                        "references_column": column.references.column if column.references else None,
+                    }
+                )
 
     def lookup_table(self, key: str) -> Optional[Table]:
         """Resolve a canonical lowercase table key to its table."""
         with self._lock:
             if key == "information_schema.tables":
                 self._refresh_tables_catalog()
+            elif key == "information_schema.columns":
+                self._refresh_columns_catalog()
             return self._tables.get(key.lower())
 
     def create_table(self, key: str, table: Table) -> None:

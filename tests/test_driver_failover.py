@@ -1,0 +1,113 @@
+"""Driver failover semantics: what ClusterConnection promises when a
+controller dies or is busy replaying its recovery log."""
+
+import pytest
+
+from repro.cluster.driver import ClusterDriverRuntime
+from repro.dbapi import OperationalError
+
+
+@pytest.fixture
+def cluster_env():
+    from repro.experiments.environments import build_cluster
+
+    env = build_cluster(replicas=2, controllers=2)
+    yield env
+    env.close()
+
+
+def _controller_by_id(env, controller_id):
+    for controller in env.controllers:
+        if controller.config.controller_id == controller_id:
+            return controller
+    raise AssertionError(f"no controller {controller_id!r}")
+
+
+def _kill_controller(env, controller):
+    controller.stop()
+    env.network.kill_endpoint(controller.address)
+
+
+class TestTransparentFailover:
+    def test_failover_outside_transaction_counts_one_reconnect(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="fo-driver")
+        connection = driver.connect(env.client_url(), network=env.network)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE fo_t (id INTEGER PRIMARY KEY)")
+        _kill_controller(env, _controller_by_id(env, connection.controller_id))
+        cursor.execute("SELECT COUNT(*) FROM fo_t")
+        assert cursor.fetchone() == (0,)
+        assert connection.failovers == 1
+        connection.close()
+
+    def test_mid_transaction_controller_death_surfaces_error(self, cluster_env):
+        # A sibling controller never saw the transaction's earlier
+        # statements: silently retrying there would commit half a
+        # transaction. The driver must surface the failure and close.
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="tx-driver")
+        connection = driver.connect(env.client_url(), network=env.network)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE tx_fo_t (id INTEGER PRIMARY KEY)")
+        connection.begin()
+        cursor.execute("INSERT INTO tx_fo_t (id) VALUES (1)")
+        _kill_controller(env, _controller_by_id(env, connection.controller_id))
+        with pytest.raises(OperationalError):
+            cursor.execute("INSERT INTO tx_fo_t (id) VALUES (2)")
+        assert connection.failovers == 0  # no silent retry happened
+        assert connection.closed
+
+    def test_all_controllers_dead_raises_without_counting_failovers(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="dead-driver")
+        connection = driver.connect(env.client_url(), network=env.network)
+        for controller in env.controllers:
+            _kill_controller(env, controller)
+        cursor = connection.cursor()
+        with pytest.raises(OperationalError):
+            cursor.execute("SELECT 1")
+        # The reconnect never succeeded, so no failover was recorded.
+        assert connection.failovers == 0
+        connection.close()
+
+
+class TestRecoveringControllerRetry:
+    def test_write_bounces_to_sibling_while_primary_replays_log(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="rec-driver")
+        connection = driver.connect(env.client_url(), network=env.network)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE rec_t (id INTEGER PRIMARY KEY)")
+        primary = _controller_by_id(env, connection.controller_id)
+        # Freeze the primary in "replaying its log" state (what a long
+        # resync holds while owning the write path).
+        primary.scheduler._resyncing = True
+        try:
+            cursor.execute("INSERT INTO rec_t (id) VALUES (1)")
+        finally:
+            primary.scheduler._resyncing = False
+        assert connection.failovers == 1
+        assert connection.controller_id != primary.config.controller_id
+        # The abandoned channel to the (healthy, just recovering) primary
+        # was closed: its server-side session must not leak.
+        for _ in range(200):
+            if primary.stats()["active_sessions"] == 0:
+                break
+            import time
+
+            time.sleep(0.005)
+        assert primary.stats()["active_sessions"] == 0
+        # Reads are still served locally by a recovering controller.
+        other = ClusterDriverRuntime(name="rec-reader").connect(
+            f"sequoia://{primary.address}/vdb", network=env.network
+        )
+        primary.scheduler._resyncing = True
+        try:
+            read_cursor = other.cursor()
+            read_cursor.execute("SELECT COUNT(*) FROM rec_t")
+            assert read_cursor.fetchone() is not None
+        finally:
+            primary.scheduler._resyncing = False
+        other.close()
+        connection.close()

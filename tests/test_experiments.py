@@ -78,6 +78,18 @@ class TestFailoverAndCluster:
         assert manual["per_client_operations"] == 9
         assert manual["failed_requests"] > drivolution["failed_requests"]
 
+    def test_e6b_backend_recovery(self):
+        result = fig4_failover.run_recovery_experiment(writes_per_phase=5)
+        automatic = result.find_row(approach="recovery subsystem")
+        assert automatic["failed_requests"] == 0
+        assert automatic["admin_operations"] == 0
+        assert automatic["replicas_identical"] is True
+        assert automatic["entries_replayed"] > 0
+        assert automatic["detector_disables"] == 1
+        assert automatic["detector_resyncs"] == 1
+        manual = result.find_row(approach="manual operation")
+        assert manual["admin_operations"] == 3
+
     @pytest.mark.slow
     def test_e7_legacy_cluster(self):
         result = fig5_legacy_cluster.run_experiment(client_count=2, requests_per_phase=4)
