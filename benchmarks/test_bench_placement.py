@@ -1,0 +1,83 @@
+"""Placement benchmarks (E14): RAIDb-1 vs hash-2 vs RAIDb-0 write
+throughput and per-backend load, plus partial-replica recovery from a
+table-subset dump with placement-filtered replay.
+
+The interesting shape: write fan-out is the whole cluster under full
+replication and exactly the hosting subset under partial placement, so
+aggregate write capacity grows with cluster size instead of being
+cloned. Results are written to ``BENCH_placement.json`` so CI can
+archive them next to the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import partial_replication
+
+BACKENDS = 4
+
+
+def test_bench_placement(benchmark):
+    result = run_and_report(
+        benchmark,
+        partial_replication.run_experiment,
+        backends=BACKENDS,
+        tables=8,
+        writes_per_table=25,
+    )
+    full = result.find_row(placement="full")
+    hash2 = result.find_row(placement="hash:2")
+    raidb0 = result.find_row(placement="raidb0")
+    # RAIDb-1 broadcasts every write to the whole cluster…
+    assert full["write_fanout_avg"] == float(BACKENDS)
+    assert full["storage_amplification"] == float(BACKENDS)
+    # …hash-2 touches exactly the two hosting backends per write…
+    assert hash2["write_fanout_avg"] == 2.0
+    assert hash2["storage_amplification"] == 2.0
+    # …and RAIDb-0 exactly one, with every table pinned.
+    assert raidb0["write_fanout_avg"] == 1.0
+    assert raidb0["storage_amplification"] == 1.0
+    assert hash2["pinned_tables"] == raidb0["pinned_tables"] == 8
+    assert full["pinned_tables"] == 0
+
+    recovery = run_and_report(benchmark=_NullBenchmark(), run_experiment=partial_replication.run_recovery_experiment)
+    row = recovery.rows[0]
+    # The partial replica cold-started from a table-subset dump: it holds
+    # exactly its hosted tables, the filtered tail replay skipped foreign
+    # entries, and the cross-backend checksum agrees everywhere.
+    assert row["cold_starts"] == 1
+    assert row["victim_tables_match_placement"] is True
+    assert row["replicas_converged"] is True
+    assert row["hosts_match_placement"] is True
+    assert row["victim_restored_tables"] < row["total_tables"]
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "parameters": result.parameters,
+        "rows": result.rows,
+        "notes": result.notes,
+        "recovery": {
+            "experiment_id": recovery.experiment_id,
+            "parameters": recovery.parameters,
+            "rows": recovery.rows,
+            "notes": recovery.notes,
+        },
+    }
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_placement.json"
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+class _NullBenchmark:
+    """Runs the target once without pytest-benchmark accounting (the
+    module's single `benchmark` fixture is already consumed by the
+    throughput comparison above)."""
+
+    def pedantic(self, target, rounds=1, iterations=1):
+        return target()

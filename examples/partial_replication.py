@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Partial replication (RAIDb-2) surviving a backend failure.
+
+Builds a 3-backend cluster with a ``hash:2`` placement — every table
+lives on exactly two of the three backends — runs traffic over a handful
+of tables, then kills one backend and shows that:
+
+- tables the dead backend does **not** host are completely unaffected,
+- tables it does host keep serving reads and writes from their surviving
+  replica,
+- when the backend is re-enabled, it is cold-started from a *table-subset*
+  dump (only the tables it hosts) plus a placement-filtered replay of the
+  recovery log, and every replica converges.
+
+Run with ``python examples/partial_replication.py``.
+"""
+
+from repro.experiments.environments import build_cluster
+from repro.experiments.partial_replication import cluster_checksums
+
+TABLES = [f"shard_t{i}" for i in range(6)]
+
+
+def main() -> None:
+    env = build_cluster(replicas=3, controllers=1, controller_options={"placement": "hash:2"})
+    try:
+        controller = env.controllers[0]
+        scheduler = controller.scheduler
+        for table in TABLES:
+            scheduler.execute(f"CREATE TABLE {table} (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)")
+            scheduler.execute(f"INSERT INTO {table} (id, v) VALUES (1, 0)")
+
+        placement = controller.placement
+        print("placement mode:", placement.stats()["mode"])
+        for table in TABLES:
+            print(f"  {table} -> {sorted(placement.hosts(table))}")
+
+        victim = "db3"
+        hosted = sorted(placement.tables_hosted_by(victim))
+        print(f"\nkilling {victim} (hosts {hosted})")
+        controller.disable_backend(victim)
+
+        served = failed = 0
+        for round_index in range(5):
+            for table in TABLES:
+                try:
+                    scheduler.execute(f"UPDATE {table} SET v = $v WHERE id = 1", {"v": round_index})
+                    scheduler.execute(f"SELECT * FROM {table}")
+                    served += 2
+                except Exception:  # noqa: BLE001 - demo accounting
+                    failed += 1
+        print(f"while {victim} was down: {served} statements served, {failed} failed")
+        print("(every table kept its surviving replica — nothing was lost)")
+
+        # Compact the log past the victim's checkpoint so recovery must
+        # take the interesting path: a table-subset dump assembled from
+        # the hosting peers (without this, a plain filtered replay of the
+        # missed entries would suffice).
+        controller.recovery_log.release_checkpoint(f"backend:{victim}")
+        compacted = controller.compact_recovery_log()
+        replayed = controller.enable_backend(victim)
+        print(f"\n{victim} re-enabled after {compacted} log entries were compacted away: "
+              f"cold-started from a table-subset dump of its hosted tables "
+              f"({controller.scheduler.cold_starts} cold start, {replayed} entries replayed)")
+        checksums = cluster_checksums(env)
+        converged = all(len(set(copies.values())) == 1 for copies in checksums.values())
+        print("replicas converged:", converged)
+        print(f"{victim} now holds exactly:", sorted(
+            table for table, copies in checksums.items() if victim in copies
+        ))
+    finally:
+        env.close()
+
+
+if __name__ == "__main__":
+    main()

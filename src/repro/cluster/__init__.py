@@ -21,9 +21,15 @@ This package implements the pieces those case studies exercise:
   can be reached through a legacy driver *or* through a Drivolution
   bootloader (the hybrid deployment of Section 5.3.2),
 - :mod:`repro.cluster.classifier` — SQL-aware statement classification on
-  the sqlengine token stream, extracting read/written table names,
+  the sqlengine token stream, extracting read/written table names
+  (canonicalised so quoting and schema qualification don't split keys),
+- :mod:`repro.cluster.placement` — table placement across the RAIDb
+  spectrum: full replication (RAIDb-1, default), hash-spread partial
+  replication (RAIDb-2), pure partitioning (RAIDb-0) and explicit
+  per-table assignment (see docs/placement.md),
 - :mod:`repro.cluster.loadbalancer` — pluggable read policies
-  (round-robin, least-pending, weighted),
+  (round-robin, least-pending, weighted) over the placement's
+  per-statement candidate set,
 - :mod:`repro.cluster.broadcaster` — thread-pooled parallel write
   broadcast with per-backend failure aggregation,
 - :mod:`repro.cluster.querycache` — SELECT-result cache invalidated by
@@ -51,7 +57,23 @@ from repro.cluster.recovery import (
     RecoveryLog,
 )
 from repro.cluster.backend import Backend, BackendState
-from repro.cluster.classifier import ClassifiedStatement, StatementKind, classify
+from repro.cluster.classifier import (
+    ClassifiedStatement,
+    StatementKind,
+    classify,
+    normalize_table_name,
+)
+from repro.cluster.placement import (
+    ExplicitPolicy,
+    FullReplicationPolicy,
+    HashSpreadPolicy,
+    NoHostingBackendError,
+    PlacementMap,
+    PlacementPolicy,
+    Raidb0Policy,
+    available_placements,
+    create_placement,
+)
 from repro.cluster.loadbalancer import (
     LeastPendingPolicy,
     ReadPolicy,
@@ -89,6 +111,16 @@ __all__ = [
     "ClassifiedStatement",
     "StatementKind",
     "classify",
+    "normalize_table_name",
+    "PlacementMap",
+    "PlacementPolicy",
+    "FullReplicationPolicy",
+    "HashSpreadPolicy",
+    "Raidb0Policy",
+    "ExplicitPolicy",
+    "NoHostingBackendError",
+    "available_placements",
+    "create_placement",
     "ReadPolicy",
     "RoundRobinPolicy",
     "LeastPendingPolicy",

@@ -186,10 +186,17 @@ class Backend:
             self.state = BackendState.FAILED
             self.close_connection()
 
-    def initialize_from_dump(self, dump: DatabaseDump, dumper: Optional[DatabaseDumper] = None) -> int:
+    def initialize_from_dump(
+        self,
+        dump: DatabaseDump,
+        dumper: Optional[DatabaseDumper] = None,
+        wipe_filter: Optional[Callable[[str], bool]] = None,
+    ) -> int:
         """Cold-start this backend from a database dump.
 
-        Wipes the replica's user tables, replays the dump's schema and
+        Wipes the replica's user tables (all of them, or only those
+        ``wipe_filter`` returns True for — a partial replica keeps local
+        tables no sibling can re-supply), replays the dump's schema and
         rows, and records the dump's checkpoint so a subsequent
         :meth:`resync` replays only the log tail written after the dump.
         The backend stays DISABLED — the scheduler's resync path flips it
@@ -199,7 +206,7 @@ class Backend:
         with self._lock:
             self.state = BackendState.RECOVERING
             try:
-                statements = dumper.restore(dump, self.execute)
+                statements = dumper.restore(dump, self.execute, wipe_filter=wipe_filter)
             except Exception:
                 self.state = BackendState.FAILED
                 raise
@@ -207,10 +214,18 @@ class Backend:
             self.state = BackendState.DISABLED
             return statements
 
-    def resync(self, entries: List[LogEntry]) -> int:
+    def resync(
+        self,
+        entries: List[LogEntry],
+        entry_filter: Optional[Callable[[LogEntry], bool]] = None,
+    ) -> int:
         """Replay missed writes and re-enable the backend.
 
-        Returns the number of log entries replayed.
+        ``entry_filter`` (partial replication) decides per entry whether
+        this replica must apply it; filtered-out entries still advance
+        the checkpoint — the replica is *consistent* with them by virtue
+        of not hosting the tables they touch. Returns the number of log
+        entries actually executed.
         """
         with self._lock:
             self.state = BackendState.RECOVERING
@@ -219,9 +234,10 @@ class Backend:
                 for entry in entries:
                     if entry.index <= self.checkpoint_index:
                         continue
-                    self.execute(entry.sql, entry.params)
+                    if entry_filter is None or entry_filter(entry):
+                        self.execute(entry.sql, entry.params)
+                        replayed += 1
                     self.checkpoint_index = entry.index
-                    replayed += 1
             except Exception:
                 # A replay that stops half-way leaves the replica behind
                 # its peers; it must not re-enter the read rotation.

@@ -1,11 +1,14 @@
 """Write broadcast across the replicated backends.
 
-Writes under RAIDb-1 must reach every enabled backend. The original
-scheduler executed them one backend after another, so the wall-clock cost
-of a write grew linearly with the replica count. The broadcaster runs the
-statement on all backends concurrently on a shared thread pool and
-aggregates the per-backend outcomes; the scheduler then decides what a
-partial failure means (mark the backend failed, keep the first success).
+A write must reach every backend hosting the tables it touches — all of
+them under RAIDb-1, the placement map's hosting subset under RAIDb-0/2
+(the scheduler computes the target list; this layer executes on whatever
+it is handed). The original scheduler executed them one backend after
+another, so the wall-clock cost of a write grew linearly with the
+replica count. The broadcaster runs the statement on all target backends
+concurrently on a shared thread pool and aggregates the per-backend
+outcomes; the scheduler then decides what a partial failure means (mark
+the backend failed, keep the first success).
 
 ``parallel=False`` preserves the sequential behaviour — the benchmarks
 compare both modes on latency-injected backends.

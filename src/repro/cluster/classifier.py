@@ -16,6 +16,13 @@ statement reads and writes. Table sets drive two things downstream:
 Statements the tokenizer cannot understand fall back to conservative
 prefix classification (treated as writes with an unknown table set, which
 invalidates the whole cache).
+
+Table names are *canonicalised* by :func:`normalize_table_name`: quoted
+identifiers lose their quotes, everything is lowercased, and the default
+``public`` schema qualifier is stripped — so ``"Users"``, ``users`` and
+``public.users`` produce the same key. Placement routing and query-cache
+invalidation both key off these names; a spelling-dependent key would
+route (or invalidate) the same table inconsistently.
 """
 
 from __future__ import annotations
@@ -63,6 +70,10 @@ class ClassifiedStatement:
     command: str = ""
     read_tables: FrozenSet[str] = frozenset()
     write_tables: FrozenSet[str] = frozenset()
+    #: Tables named as ``REFERENCES`` targets (DDL): under partial
+    #: replication every host of the created table must also host these,
+    #: or per-row foreign-key checks fail on some replicas.
+    referenced_tables: FrozenSet[str] = frozenset()
     #: Whether the result may be stored in the query cache.
     cacheable: bool = False
 
@@ -81,6 +92,28 @@ class ClassifiedStatement:
     @property
     def tables(self) -> FrozenSet[str]:
         return self.read_tables | self.write_tables
+
+
+#: Schema qualifier that names the default schema: ``public.users`` and
+#: ``users`` are the same table, so the qualifier is stripped from the
+#: canonical form. Other schemas (``information_schema``, application
+#: schemas) stay qualified — they are genuinely distinct namespaces.
+_DEFAULT_SCHEMA = "public"
+
+
+def normalize_table_name(name: str) -> str:
+    """Canonicalise one (possibly qualified, possibly quoted) table name.
+
+    ``"Users"`` → ``users``, ``Public."Users"`` → ``users``,
+    ``myschema.Orders`` → ``myschema.orders``. This is the form stored in
+    ``read_tables``/``write_tables`` and keyed on by the placement map
+    and the query cache's invalidation index.
+    """
+    parts = [part.strip().strip('"').lower() for part in str(name).split(".")]
+    parts = [part for part in parts if part]
+    if len(parts) > 1 and parts[0] == _DEFAULT_SCHEMA:
+        parts = parts[1:]
+    return ".".join(parts)
 
 
 def classify(sql: str) -> ClassifiedStatement:
@@ -118,7 +151,11 @@ def _classify_by_prefix(sql: str) -> ClassifiedStatement:
 def _is_ident(token: Optional[Token], value: Optional[str] = None) -> bool:
     if token is None or token.kind != "IDENT":
         return False
-    return value is None or str(token.value).upper() == value
+    if value is None:
+        return True
+    # Keyword matching only: a double-quoted identifier is always a name
+    # ("from" is a column called from, never the FROM keyword).
+    return not getattr(token, "quoted", False) and str(token.value).upper() == value
 
 
 def _is_op(token: Optional[Token], value: str) -> bool:
@@ -157,7 +194,11 @@ def _find_command(tokens: List[Token]) -> Tuple[str, int, FrozenSet[str], bool]:
                 index += 1
                 continue
             break
-    if index < length and tokens[index].kind == "IDENT":
+    if (
+        index < length
+        and tokens[index].kind == "IDENT"
+        and not getattr(tokens[index], "quoted", False)
+    ):
         return str(tokens[index].value).upper(), index, frozenset(cte_names), explain
     return "", index, frozenset(cte_names), explain
 
@@ -188,7 +229,7 @@ def _read_table_name(tokens: List[Token], index: int) -> Tuple[Optional[str], in
     ):
         name = f"{name}.{tokens[index + 1].value}"
         index += 2
-    return name.lower(), index
+    return normalize_table_name(name), index
 
 
 def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
@@ -208,12 +249,18 @@ def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
 
     read_tables: set = set()
     write_tables: set = set()
+    referenced_tables: set = set()
     nondeterministic = False
     index = 0
     length = len(tokens)
     while index < length:
         token = tokens[index]
         if token.kind != "IDENT":
+            index += 1
+            continue
+        if getattr(token, "quoted", False):
+            # Quoted identifiers are names, never keywords — a column
+            # called "from" must not start a table-name scan.
             index += 1
             continue
         keyword = str(token.value).upper()
@@ -248,6 +295,12 @@ def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
             name, next_index = _read_table_name(tokens, index + 1)
             if name is not None:
                 write_tables.add(name)
+            index = next_index
+            continue
+        if keyword == "REFERENCES":
+            name, next_index = _read_table_name(tokens, index + 1)
+            if name is not None:
+                referenced_tables.add(name)
             index = next_index
             continue
         if keyword == "UPDATE" and index == cmd_index:
@@ -290,6 +343,7 @@ def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
         command=command,
         read_tables=frozenset(read_tables),
         write_tables=frozenset(write_tables),
+        referenced_tables=frozenset(referenced_tables),
         cacheable=cacheable,
     )
 

@@ -26,8 +26,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.backend import Backend
 from repro.cluster.broadcaster import WriteBroadcaster
-from repro.cluster.classifier import classify
+from repro.cluster.classifier import classify, normalize_table_name
 from repro.cluster.loadbalancer import create_policy
+from repro.cluster.placement import PlacementMap, create_placement
 from repro.cluster.querycache import QueryCache
 from repro.cluster.recovery import (
     CheckpointRegistry,
@@ -81,6 +82,12 @@ class ControllerConfig:
     #: not invalidate this controller's cache.
     query_cache_enabled: bool = False
     query_cache_size: int = 256
+    #: Table placement (RAIDb level) as a spec string — parseable from any
+    #: string-carrying layer (URL options, config files): ``full``
+    #: (RAIDb-1, the default), ``hash:N`` (RAIDb-2, each table on N
+    #: backends), ``raidb0`` (partitioning, no redundancy), or
+    #: ``explicit:users=db1+db2,orders=db3``. None keeps full replication.
+    placement: Optional[str] = None
     #: Directory for the durable recovery log (segmented JSONL) and the
     #: persisted checkpoint registry. None keeps the log in memory. Each
     #: controller needs its own directory: it replays *its* write order.
@@ -172,6 +179,7 @@ class Controller:
             broadcaster=WriteBroadcaster(
                 parallel=config.parallel_writes, max_workers=config.write_concurrency
             ),
+            placement=create_placement(config.placement),
         )
         self.failure_detector = FailureDetector(
             self.scheduler,
@@ -261,12 +269,16 @@ class Controller:
         """Controller-level counters plus the scheduling subsystem's stats."""
         with self._lock:
             active_sessions = len(self._sessions)
+        scheduler_stats = self.scheduler.stats()
         return {
             "controller_id": self.config.controller_id,
             "statements_served": self.statements_served,
             "failed_statements": self.failed_statements,
             "active_sessions": active_sessions,
-            "scheduler": self.scheduler.stats(),
+            # Same object as scheduler["placement"] — surfaced top-level
+            # for operators, computed once.
+            "placement": scheduler_stats["placement"],
+            "scheduler": scheduler_stats,
             "recovery": {
                 "log": self.recovery_log.stats(),
                 "failure_detector": self.failure_detector.stats(),
@@ -316,16 +328,42 @@ class Controller:
         self.failure_detector.forget(name)
         return replayed
 
+    # -- placement (RAIDb level) ------------------------------------------------
+
+    def set_placement(self, placement: Any) -> Dict[str, Any]:
+        """Swap the table-placement map (spec string like ``hash:2``, a
+        policy, or a prebuilt :class:`PlacementMap`); returns the new
+        placement stats. Placement moves no data — set it before the
+        governed tables exist, or cold-start the affected replicas."""
+        return self.scheduler.set_placement(placement).stats()
+
+    @property
+    def placement(self) -> PlacementMap:
+        return self.scheduler.placement
+
     # -- dumps and cold start ---------------------------------------------------
 
-    def dump_database(self, checkpoint_name: Optional[str] = None) -> DatabaseDump:
+    def dump_database(
+        self,
+        checkpoint_name: Optional[str] = None,
+        tables: Optional[List[str]] = None,
+    ) -> DatabaseDump:
         """Snapshot one healthy backend, consistent with the log head.
 
         The snapshot's position is pinned under a named checkpoint
         (``dump-<index>`` by default) so compaction keeps the tail a
         consumer will replay; release it with :meth:`release_checkpoint`
-        once every consumer has cold-started."""
-        return self.scheduler.create_dump(checkpoint_name=checkpoint_name)
+        once every consumer has cold-started. ``tables`` restricts the
+        snapshot to a subset (spelled any way the classifier normalises —
+        ``Users``, ``public.users``...), which is how an operator ships a
+        partial replica just the tables it will host."""
+        table_filter = None
+        if tables is not None:
+            wanted = {normalize_table_name(table) for table in tables}
+            table_filter = lambda qualified: normalize_table_name(qualified) in wanted  # noqa: E731
+        return self.scheduler.create_dump(
+            checkpoint_name=checkpoint_name, table_filter=table_filter
+        )
 
     def add_backend_from_dump(
         self, backend: Backend, dump: DatabaseDump, release_checkpoint: bool = True

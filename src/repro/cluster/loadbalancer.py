@@ -5,6 +5,13 @@ each read. Policies are deliberately stateless about membership: they are
 handed the *current* enabled backend list on every call and must stay
 well-behaved when backends are disabled, re-enabled or added mid-stream.
 
+Policies no longer assume every enabled backend is a valid target: under
+partial replication (see :mod:`repro.cluster.placement`) only the
+backends hosting a statement's tables may serve it, so ``choose`` takes
+an optional *candidate filter* narrowing the enabled list per statement.
+Rotation state (cursors, weighted scores) is keyed so that filtering a
+subset does not reset fairness across the full membership.
+
 Available policies (selected by name via :func:`create_policy`, which is
 how :class:`~repro.cluster.controller.ControllerConfig` configures them):
 
@@ -20,41 +27,83 @@ how :class:`~repro.cluster.controller.ControllerConfig` configures them):
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.backend import Backend
 from repro.errors import DriverError
 
 
+#: Per-statement candidate restriction: True ⇒ the backend may serve it.
+CandidateFilter = Callable[[Backend], bool]
+
+
 class ReadPolicy:
-    """Strategy interface: choose one backend from a non-empty list."""
+    """Strategy interface: choose one backend from a non-empty list.
+
+    ``candidate_filter`` (when given) narrows the list to the backends
+    allowed to serve this particular statement — placement routing under
+    partial replication. The filtered set must be non-empty; the
+    scheduler raises ``NoHostingBackendError`` before ever calling a
+    policy with an unsatisfiable filter."""
 
     name = "abstract"
 
-    def choose(self, backends: List[Backend]) -> Backend:
+    def choose(
+        self, backends: List[Backend], candidate_filter: Optional[CandidateFilter] = None
+    ) -> Backend:
         raise NotImplementedError
+
+    @staticmethod
+    def _candidates(
+        backends: List[Backend], candidate_filter: Optional[CandidateFilter]
+    ) -> List[Backend]:
+        if candidate_filter is None:
+            return backends
+        candidates = [backend for backend in backends if candidate_filter(backend)]
+        if not candidates:
+            raise DriverError("candidate filter excluded every enabled backend")
+        return candidates
 
 
 class RoundRobinPolicy(ReadPolicy):
     """Rotate over the enabled backends.
 
-    The cursor grows without bound and is reduced modulo the *current*
-    backend count only at selection time, so disabling or re-enabling a
-    backend shifts the rotation by at most one slot instead of resetting
-    it (the original scheduler stored the cursor already modded, which
-    skewed the distribution on every membership change).
+    Cursors are kept **per candidate set** (one per distinct filtered
+    backend-name combination — under placement that is one per table
+    host-set, a small number): a single shared cursor interleaved
+    between differently-sized candidate lists can alias (e.g. strict 1:1
+    interleave of a 2-candidate and a 3-candidate workload leaves the
+    2-candidate reads always seeing an even cursor — one backend starves
+    despite hosting the table).
+
+    Each cursor grows without bound and is reduced modulo the candidate
+    count only at selection time, and a newly seen set's cursor is
+    seeded from a shared monotonic tick rather than zero — so a
+    membership change (a backend disabled or re-enabled) shifts the
+    rotation rather than deterministically restarting it at the
+    list-first backend (the original scheduler stored one cursor already
+    modded, which skewed the distribution on every membership change).
     """
 
     name = "round_robin"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        self._cursors: Dict[Tuple[str, ...], int] = {}
+        self._ticks = 0
         self._lock = threading.Lock()
 
-    def choose(self, backends: List[Backend]) -> Backend:
+    def choose(
+        self, backends: List[Backend], candidate_filter: Optional[CandidateFilter] = None
+    ) -> Backend:
+        candidates = self._candidates(backends, candidate_filter)
+        key = tuple(sorted(backend.name for backend in candidates))
         with self._lock:
-            choice = backends[self._cursor % len(backends)]
-            self._cursor += 1
+            self._ticks += 1
+            cursor = self._cursors.get(key)
+            if cursor is None:
+                cursor = self._ticks
+            choice = candidates[cursor % len(candidates)]
+            self._cursors[key] = cursor + 1
             return choice
 
 
@@ -67,11 +116,14 @@ class LeastPendingPolicy(ReadPolicy):
         self._cursor = 0
         self._lock = threading.Lock()
 
-    def choose(self, backends: List[Backend]) -> Backend:
+    def choose(
+        self, backends: List[Backend], candidate_filter: Optional[CandidateFilter] = None
+    ) -> Backend:
+        eligible = self._candidates(backends, candidate_filter)
         with self._lock:
             # Snapshot the counters once: they move concurrently, and a
             # re-read between min() and the filter could leave no candidate.
-            pairs = [(backend.pending, backend) for backend in backends]
+            pairs = [(backend.pending, backend) for backend in eligible]
             least = min(pending for pending, _ in pairs)
             candidates = [backend for pending, backend in pairs if pending == least]
             choice = candidates[self._cursor % len(candidates)]
@@ -100,12 +152,15 @@ class WeightedPolicy(ReadPolicy):
         weight = self._weights.get(backend.name, getattr(backend, "weight", 1.0))
         return max(float(weight), 0.0)
 
-    def choose(self, backends: List[Backend]) -> Backend:
+    def choose(
+        self, backends: List[Backend], candidate_filter: Optional[CandidateFilter] = None
+    ) -> Backend:
+        candidates = self._candidates(backends, candidate_filter)
         with self._lock:
             total = 0.0
             best: Optional[Backend] = None
             best_score = float("-inf")
-            for backend in backends:
+            for backend in candidates:
                 weight = self._weight_of(backend)
                 total += weight
                 score = self._scores.get(backend.name, 0.0) + weight

@@ -1,0 +1,52 @@
+"""Table placement: RAIDb-0/1/2 data distribution for the cluster.
+
+The paper defines a spectrum of RAIDb levels for database clustering:
+
+- **RAIDb-0** — partitioning: every table lives on exactly one backend,
+  aggregate capacity grows with the cluster, no redundancy,
+- **RAIDb-1** — full replication: every table on every backend (what the
+  scheduler hardwired before this subsystem existed),
+- **RAIDb-2** — partial replication: each table on a configurable subset
+  of the backends, trading write fan-out against redundancy.
+
+This package supplies the model the rest of the cluster consults:
+
+- :mod:`repro.cluster.placement.map` — :class:`PlacementMap`, the
+  authoritative table → hosting-backends mapping. Tables the map has
+  never seen are assigned on first reference by the pluggable policy, so
+  ``CREATE TABLE`` pins a new table's hosts the moment it is routed,
+- :mod:`repro.cluster.placement.policies` — the placement policies
+  (``full``, ``explicit``, ``hash:N`` spread, ``raidb0``) and the
+  :func:`create_placement` factory parsing the string specs carried by
+  :class:`~repro.cluster.controller.ControllerConfig` and the URL/config
+  layer.
+
+The scheduler routes reads to backends hosting *all* of a statement's
+read tables (a cross-partition join falls back to any full replica),
+fans writes out to only the backends hosting the written tables, filters
+recovery-log replay per backend, and cold-starts partial replicas from
+table-subset dumps. See docs/placement.md for the full walkthrough.
+"""
+
+from repro.cluster.placement.map import NoHostingBackendError, PlacementMap
+from repro.cluster.placement.policies import (
+    ExplicitPolicy,
+    FullReplicationPolicy,
+    HashSpreadPolicy,
+    PlacementPolicy,
+    Raidb0Policy,
+    available_placements,
+    create_placement,
+)
+
+__all__ = [
+    "PlacementMap",
+    "NoHostingBackendError",
+    "PlacementPolicy",
+    "FullReplicationPolicy",
+    "ExplicitPolicy",
+    "HashSpreadPolicy",
+    "Raidb0Policy",
+    "available_placements",
+    "create_placement",
+]

@@ -1,0 +1,214 @@
+"""Placement policies: how a table it has never seen gets its hosts.
+
+A policy answers one question — ``place(table, backend_names)`` — and the
+:class:`~repro.cluster.placement.map.PlacementMap` records the answer the
+first time a table is referenced, so assignments are stable for the
+table's lifetime no matter how the backend set changes afterwards.
+
+Policies return ``None`` to mean "every backend, dynamically": the map
+does not pin such tables, so backends added later host them too. That is
+how ``full`` keeps exact RAIDb-1 behaviour.
+
+The :func:`create_placement` factory parses the string specs that
+:class:`~repro.cluster.controller.ControllerConfig` (and anything
+carrying options as strings, e.g. the URL layer) uses::
+
+    full                                RAIDb-1, every table everywhere
+    hash:2                              RAIDb-2, each table on 2 backends
+    raidb0                              RAIDb-0, each table on 1 backend
+    explicit:users=db1+db2,orders=db3   fixed per-table assignment
+                                        (unlisted tables stay full)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import DriverError
+
+
+class PlacementPolicy:
+    """Strategy interface: pick the hosting backends for a new table."""
+
+    name = "abstract"
+    #: Whether the policy's host choice is arbitrary (a hash) rather than
+    #: operator intent — arbitrary choices may be re-pointed to satisfy
+    #: REFERENCES colocation (see PlacementMap.ensure_colocated).
+    colocatable = False
+
+    def place(self, table: str, backend_names: Sequence[str]) -> Optional[FrozenSet[str]]:
+        """Hosts for ``table`` given the current backend universe.
+
+        ``None`` means "all backends, unpinned" — the map re-resolves it
+        on every lookup so later-added backends are included."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FullReplicationPolicy(PlacementPolicy):
+    """RAIDb-1: every table on every backend (the historical default)."""
+
+    name = "full"
+
+    def place(self, table: str, backend_names: Sequence[str]) -> Optional[FrozenSet[str]]:
+        return None
+
+
+def _stable_hash(table: str) -> int:
+    """Deterministic across processes — ``hash()`` is salted per run, and
+    a placement that moves between controller restarts would strand every
+    table's data on backends that no longer host it."""
+    return int.from_bytes(hashlib.md5(table.encode("utf-8")).digest()[:8], "big")
+
+
+class HashSpreadPolicy(PlacementPolicy):
+    """RAIDb-2: spread each table over ``replicas`` backends on a ring.
+
+    Backends are sorted by name and the table's stable hash picks a start
+    slot; the table lives on the next ``replicas`` backends around the
+    ring. With fewer backends than replicas the table stays **unpinned**
+    (hosted everywhere, dynamically): pinning the undersized ring would
+    silently leave the table below its configured redundancy forever,
+    since pinned assignments never move. It pins to exactly ``replicas``
+    hosts the first time it is referenced with a big-enough universe —
+    safe, because until then every backend was applying its writes.
+    """
+
+    name = "hash"
+    colocatable = True
+
+    def __init__(self, replicas: int = 2) -> None:
+        if replicas < 1:
+            raise DriverError("hash placement needs at least 1 replica per table")
+        self.replicas = replicas
+
+    def place(self, table: str, backend_names: Sequence[str]) -> Optional[FrozenSet[str]]:
+        ring = sorted(backend_names)
+        if len(ring) < self.replicas:
+            return None
+        start = _stable_hash(table) % len(ring)
+        return frozenset(ring[(start + offset) % len(ring)] for offset in range(self.replicas))
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.replicas}"
+
+
+class Raidb0Policy(HashSpreadPolicy):
+    """RAIDb-0: pure partitioning, one backend per table, no redundancy."""
+
+    name = "raidb0"
+
+    def __init__(self) -> None:
+        super().__init__(replicas=1)
+
+    def describe(self) -> str:
+        return self.name
+
+
+class ExplicitPolicy(PlacementPolicy):
+    """Operator-chosen per-table assignment; unlisted tables stay full.
+
+    The full-replication default for unlisted tables is deliberate: a
+    table the operator forgot keeps RAIDb-1 semantics instead of landing
+    on an arbitrary backend.
+    """
+
+    name = "explicit"
+
+    def __init__(self, assignments: Dict[str, Iterable[str]]) -> None:
+        # Import here: the classifier imports nothing from placement, but
+        # keeping the module-level imports one-directional avoids cycles.
+        from repro.cluster.classifier import normalize_table_name
+
+        self._assignments: Dict[str, FrozenSet[str]] = {}
+        for table, hosts in (assignments or {}).items():
+            host_set = frozenset(str(host) for host in hosts)
+            if not host_set:
+                raise DriverError(f"explicit placement for table {table!r} names no backend")
+            self._assignments[normalize_table_name(str(table))] = host_set
+
+    @property
+    def assignments(self) -> Dict[str, FrozenSet[str]]:
+        return dict(self._assignments)
+
+    def place(self, table: str, backend_names: Sequence[str]) -> Optional[FrozenSet[str]]:
+        return self._assignments.get(table)
+
+    def describe(self) -> str:
+        spec = ",".join(
+            f"{table}={'+'.join(sorted(hosts))}" for table, hosts in sorted(self._assignments.items())
+        )
+        return f"{self.name}:{spec}"
+
+
+_FACTORIES: Dict[str, Callable[..., PlacementPolicy]] = {
+    FullReplicationPolicy.name: FullReplicationPolicy,
+    HashSpreadPolicy.name: HashSpreadPolicy,
+    Raidb0Policy.name: Raidb0Policy,
+    ExplicitPolicy.name: ExplicitPolicy,
+}
+
+
+def available_placements() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def parse_placement_spec(spec: str) -> PlacementPolicy:
+    """Parse one placement spec string (see module docstring for forms)."""
+    text = (spec or "").strip()
+    if not text:
+        return FullReplicationPolicy()
+    head, _, argument = text.partition(":")
+    name = head.strip().lower()
+    if name == FullReplicationPolicy.name:
+        return FullReplicationPolicy()
+    if name == Raidb0Policy.name:
+        return Raidb0Policy()
+    if name == HashSpreadPolicy.name:
+        if not argument:
+            return HashSpreadPolicy()
+        try:
+            replicas = int(argument)
+        except ValueError:
+            raise DriverError(f"bad hash placement replica count {argument!r} in {spec!r}") from None
+        return HashSpreadPolicy(replicas=replicas)
+    if name == ExplicitPolicy.name:
+        assignments: Dict[str, List[str]] = {}
+        for clause in argument.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            table, separator, hosts = clause.partition("=")
+            if not separator or not table.strip():
+                raise DriverError(f"bad explicit placement clause {clause!r} in {spec!r}")
+            assignments[table.strip()] = [
+                host.strip() for host in hosts.split("+") if host.strip()
+            ]
+        if not assignments:
+            raise DriverError(f"explicit placement {spec!r} assigns no tables")
+        return ExplicitPolicy(assignments)
+    raise DriverError(
+        f"unknown placement {name!r} (available: {', '.join(available_placements())})"
+    )
+
+
+def create_placement(
+    spec: Union[None, str, PlacementPolicy, "PlacementMap"] = None,
+    backend_names: Iterable[str] = (),
+) -> "PlacementMap":
+    """Build a :class:`PlacementMap` from a spec string, a policy, an
+    existing map (passed through), or ``None`` (full replication)."""
+    from repro.cluster.placement.map import PlacementMap
+
+    if isinstance(spec, PlacementMap):
+        for name in backend_names:
+            spec.add_backend(name)
+        return spec
+    if isinstance(spec, PlacementPolicy):
+        policy = spec
+    else:
+        policy = parse_placement_spec(spec or "")
+    return PlacementMap(policy=policy, backend_names=backend_names)

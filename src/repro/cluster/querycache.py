@@ -2,10 +2,13 @@
 
 SELECT results are cached keyed by ``(sql, params)`` together with the
 set of tables the statement reads (as extracted by
-:mod:`repro.cluster.classifier`). A write invalidates exactly the cached
-entries that read one of the tables it touches — a write to table A never
-evicts a SELECT that only reads table B. A write whose table set is
-unknown (unparseable statement) flushes the whole cache.
+:mod:`repro.cluster.classifier`, which canonicalises quoted and
+schema-qualified spellings to one key). A write invalidates exactly the
+cached entries that read one of the tables it touches — a write to table
+A never evicts a SELECT that only reads table B. A write whose table set
+is unknown (unparseable statement) flushes the whole cache — and, at the
+scheduler, also bypasses placement routing entirely: it broadcasts to
+every enabled backend no matter the RAIDb level.
 
 Reads race with writes: a read may execute on a backend, then a write
 commits and invalidates, and only then does the read try to store its —

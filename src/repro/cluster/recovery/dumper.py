@@ -18,10 +18,28 @@ against any replica the controller can reach.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import DriverError
+
+#: Identifier part that can be re-emitted bare. Anything else (spaces,
+#: punctuation — creatable via double-quoted identifiers) must be quoted
+#: when the dumper spells it back into SQL, or every wipe/dump/restore
+#: would fail to parse.
+_BARE_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def quote_identifier(name: str) -> str:
+    """Spell a (possibly dotted) identifier so the tokenizer re-reads it:
+    bare when possible, double-quoted (with ``""`` escaping) otherwise."""
+    parts = str(name).split(".")
+    spelled = [
+        part if _BARE_IDENT.match(part) else '"' + part.replace('"', '""') + '"'
+        for part in parts
+    ]
+    return ".".join(spelled)
 
 #: ``execute(sql, params) -> (columns, rows, rowcount)`` — the shape of
 #: :meth:`repro.cluster.backend.Backend.execute`.
@@ -44,13 +62,16 @@ class ColumnDump:
     references_column: Optional[str] = None
 
     def ddl(self) -> str:
-        clause = f"{self.name} {self.data_type}"
+        clause = f"{quote_identifier(self.name)} {self.data_type}"
         if self.not_null and not self.primary_key:
             clause += " NOT NULL"
         if self.primary_key:
             clause += " PRIMARY KEY"
         if self.references_table and self.references_column:
-            clause += f" REFERENCES {self.references_table}({self.references_column})"
+            clause += (
+                f" REFERENCES {quote_identifier(self.references_table)}"
+                f"({quote_identifier(self.references_column)})"
+            )
         return clause
 
 
@@ -104,6 +125,21 @@ class DatabaseDumper:
             return f"{table_schema}.{table_name}"
         return str(table_name)
 
+    # -- catalog ------------------------------------------------------------------
+
+    def list_tables(self, execute: ExecuteFn) -> List[str]:
+        """Qualified user-table names in the catalog behind ``execute``
+        (system schemas excluded), as :meth:`dump`'s ``table_filter``
+        will see them."""
+        _, rows, _ = execute(
+            "SELECT table_name, table_schema FROM information_schema.tables", None
+        )
+        return [
+            self._qualified(table_name, table_schema)
+            for table_name, table_schema in rows
+            if table_schema not in self._SYSTEM_SCHEMAS
+        ]
+
     # -- taking a dump ------------------------------------------------------------
 
     def dump(
@@ -112,8 +148,14 @@ class DatabaseDumper:
         checkpoint_index: int = 0,
         checkpoint_name: Optional[str] = None,
         source: Optional[str] = None,
+        table_filter: Optional[Callable[[str], bool]] = None,
     ) -> DatabaseDump:
         """Snapshot every user table reachable through ``execute``.
+
+        ``table_filter`` restricts the snapshot to a table subset (called
+        with each table's qualified name as the catalog spells it) — how
+        a *partial* replica under RAIDb-0/2 placement is cold-started
+        from just the tables it hosts instead of the whole database.
 
         The caller is responsible for consistency: take the dump while no
         write can land (the scheduler holds its write lock), and pass the
@@ -131,9 +173,12 @@ class DatabaseDumper:
              is_nullable, is_primary_key, ref_table, ref_column) = row
             if table_schema in self._SYSTEM_SCHEMAS:
                 continue
+            qualified = self._qualified(table_name, table_schema)
+            if table_filter is not None and not table_filter(qualified):
+                continue
             ordered.append(
                 (
-                    self._qualified(table_name, table_schema),
+                    qualified,
                     int(ordinal),
                     ColumnDump(
                         name=str(column_name),
@@ -149,7 +194,7 @@ class DatabaseDumper:
         for table_name, _, column in ordered:
             tables.setdefault(table_name, TableDump(name=table_name)).columns.append(column)
         for table in tables.values():
-            columns, rows, _ = execute(f"SELECT * FROM {table.name}", None)
+            columns, rows, _ = execute(f"SELECT * FROM {quote_identifier(table.name)}", None)
             # Reorder result columns into schema order so restores are
             # deterministic regardless of the SELECT * projection order.
             schema_order = [column.name for column in table.columns]
@@ -166,6 +211,26 @@ class DatabaseDumper:
             checkpoint_index=checkpoint_index,
             checkpoint_name=checkpoint_name,
             source=source,
+        )
+
+    def merge(
+        self,
+        pieces: List[DatabaseDump],
+        checkpoint_index: int = 0,
+        source: Optional[str] = None,
+    ) -> DatabaseDump:
+        """Combine several (disjoint) dumps into one, re-running the
+        dependency ordering across the union — a table and its REFERENCES
+        target may have come from different sources. This is how a
+        partial replica's cold-start dump is assembled table by table
+        from the backends hosting each of its tables."""
+        tables = {table.name.lower(): table for piece in pieces for table in piece.tables}
+        return DatabaseDump(
+            tables=self._topological(tables),
+            checkpoint_index=checkpoint_index,
+            source=source
+            or "+".join(sorted({piece.source for piece in pieces if piece.source}))
+            or None,
         )
 
     def _topological(self, tables: Dict[str, TableDump]) -> List[TableDump]:
@@ -201,38 +266,44 @@ class DatabaseDumper:
     def statements(self, dump: DatabaseDump) -> Iterator[Tuple[str, Optional[Dict[str, Any]]]]:
         """The (sql, params) sequence that recreates the dump's state."""
         for table in dump.tables:
+            spelled = quote_identifier(table.name)
             ddl = ", ".join(column.ddl() for column in table.columns)
-            yield (f"CREATE TABLE {table.name} ({ddl})", None)
+            yield (f"CREATE TABLE {spelled} ({ddl})", None)
             if not table.columns:
                 continue
-            column_list = ", ".join(column.name for column in table.columns)
+            column_list = ", ".join(quote_identifier(column.name) for column in table.columns)
             placeholders = ", ".join(f"$c{i}" for i in range(len(table.columns)))
-            insert = f"INSERT INTO {table.name} ({column_list}) VALUES ({placeholders})"
+            insert = f"INSERT INTO {spelled} ({column_list}) VALUES ({placeholders})"
             for row in table.rows:
                 yield (insert, {f"c{i}": value for i, value in enumerate(row)})
 
-    def restore(self, dump: DatabaseDump, execute: ExecuteFn, wipe: bool = True) -> int:
+    def restore(
+        self,
+        dump: DatabaseDump,
+        execute: ExecuteFn,
+        wipe: bool = True,
+        wipe_filter: Optional[Callable[[str], bool]] = None,
+    ) -> int:
         """Replay the dump through ``execute``; returns statements run.
 
         ``wipe`` first drops every user table the target currently has, so
         a stale backend converges to exactly the dump's state instead of
-        failing on ``CREATE TABLE`` collisions."""
+        failing on ``CREATE TABLE`` collisions. ``wipe_filter`` limits
+        the wipe to the tables it returns True for — a partial replica
+        keeps its local copy of tables no sibling can re-supply."""
         statements = 0
         if wipe:
-            statements += self._wipe(execute)
+            statements += self._wipe(execute, wipe_filter)
         for sql, params in self.statements(dump):
             execute(sql, params)
             statements += 1
         return statements
 
-    def _wipe(self, execute: ExecuteFn) -> int:
-        _, rows, _ = execute(
-            "SELECT table_name, table_schema FROM information_schema.tables", None
-        )
+    def _wipe(self, execute: ExecuteFn, wipe_filter: Optional[Callable[[str], bool]] = None) -> int:
         dropped = 0
-        for table_name, table_schema in rows:
-            if table_schema in self._SYSTEM_SCHEMAS:
+        for qualified in self.list_tables(execute):
+            if wipe_filter is not None and not wipe_filter(qualified):
                 continue
-            execute(f"DROP TABLE {self._qualified(table_name, table_schema)}", None)
+            execute(f"DROP TABLE {quote_identifier(qualified)}", None)
             dropped += 1
         return dropped

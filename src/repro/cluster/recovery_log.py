@@ -1,11 +1,20 @@
-"""Backward-compatible import path for the recovery log.
+"""Deprecated import path for the recovery log.
 
 The recovery log grew into the :mod:`repro.cluster.recovery` package:
 pluggable log stores (memory / segmented JSONL files), named checkpoints,
 compaction and dump-based cold start. This module keeps the original
-import path working; new code should import from
-``repro.cluster.recovery`` directly.
+import path working but warns on import; import from
+``repro.cluster.recovery`` instead.
 """
+
+import warnings
+
+warnings.warn(
+    "repro.cluster.recovery_log is deprecated; import from "
+    "repro.cluster.recovery instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.cluster.recovery.log import LogCompactedError, RecoveryLog
 from repro.cluster.recovery.logstore import (

@@ -1,30 +1,44 @@
 """Request scheduling: the controller's routing hot path.
 
-The scheduler is a thin orchestrator over four pluggable layers:
+The scheduler is a thin orchestrator over five pluggable layers:
 
 1. :mod:`repro.cluster.classifier` — token-level statement classification
    (read/write/transaction-control) and read/written table extraction,
-2. :mod:`repro.cluster.loadbalancer` — the read policy choosing one
-   enabled backend per read (round-robin, least-pending, weighted),
-3. :mod:`repro.cluster.broadcaster` — thread-pooled parallel execution of
-   writes on every enabled backend with per-backend failure aggregation,
-4. :mod:`repro.cluster.querycache` — an optional SELECT-result cache
+2. :mod:`repro.cluster.placement` — the table-placement map (RAIDb-0/1/2)
+   deciding which backends host which tables,
+3. :mod:`repro.cluster.loadbalancer` — the read policy choosing one
+   backend per read (round-robin, least-pending, weighted) among the
+   placement's candidates,
+4. :mod:`repro.cluster.broadcaster` — thread-pooled parallel execution of
+   writes on the hosting backends with per-backend failure aggregation,
+5. :mod:`repro.cluster.querycache` — an optional SELECT-result cache
    invalidated by the tables each write touches.
 
-Replication semantics are unchanged from the original single-class
-scheduler: reads go to one enabled backend, writes (and any statement
-inside an explicit transaction) go to all of them, genuine writes are
-appended to the recovery log for backend resync, and a write that fails
-on one backend marks that backend FAILED while the statement still
-succeeds if any replica accepted it. Writes are serialised so the
-recovery-log order equals the execution order on every backend; the
-parallelism is *across backends within one write*.
+Under the default ``full`` placement (RAIDb-1) semantics are unchanged
+from the original single-class scheduler: reads go to one enabled
+backend, writes (and any statement inside an explicit transaction) go to
+all of them. Under a partial placement (RAIDb-0/2) reads go to a backend
+hosting *all* of the statement's read tables (only a full replica can
+serve a cross-partition join — :class:`NoHostingBackendError` when none
+exists), writes fan out to only the backends hosting the written tables,
+and transaction control still broadcasts everywhere so the transaction
+lifecycle stays global while each statement executes partition-local.
+Statements whose table set is unknown (unparseable SQL) bypass placement
+entirely: they broadcast to every enabled backend and flush the whole
+query cache, exactly as under RAIDb-1.
+
+Genuine writes are appended to the recovery log for backend resync
+(replay is filtered per backend by each entry's written tables), and a
+write that fails on one hosting backend marks that backend FAILED while
+the statement still succeeds if any hosting replica accepted it. Writes
+are serialised so the recovery-log order equals the execution order on
+every backend; the parallelism is *across backends within one write*.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.backend import Backend, STATEMENT_FAULTS
 from repro.cluster.broadcaster import WriteBroadcaster
@@ -33,15 +47,24 @@ from repro.cluster.classifier import (
     classify,
     is_transaction_control,
     is_write_statement,
+    normalize_table_name,
 )
 from repro.cluster.loadbalancer import ReadPolicy, RoundRobinPolicy
+from repro.cluster.placement import NoHostingBackendError, PlacementMap, create_placement
 from repro.cluster.querycache import QueryCache
-from repro.cluster.recovery import DatabaseDumper, LogCompactedError, RecoveryLog
+from repro.cluster.recovery import (
+    DatabaseDump,
+    DatabaseDumper,
+    LogCompactedError,
+    RecoveryLog,
+)
+from repro.cluster.recovery.logstore import LogEntry
 from repro.errors import DriverError
 
 __all__ = [
     "RequestScheduler",
     "SchedulerError",
+    "NoHostingBackendError",
     "is_write_statement",
     "is_transaction_control",
 ]
@@ -52,7 +75,8 @@ class SchedulerError(DriverError):
 
 
 class RequestScheduler:
-    """Routes statements to backends (RAIDb-1: full replication)."""
+    """Routes statements to backends according to the placement map
+    (RAIDb-1 full replication by default; RAIDb-0/2 when configured)."""
 
     def __init__(
         self,
@@ -61,12 +85,16 @@ class RequestScheduler:
         read_policy: Optional[ReadPolicy] = None,
         query_cache: Optional[QueryCache] = None,
         broadcaster: Optional[WriteBroadcaster] = None,
+        placement: Optional[PlacementMap] = None,
     ) -> None:
         self._backends = list(backends)
         self._recovery_log = recovery_log
         self._policy = read_policy or RoundRobinPolicy()
         self._cache = query_cache
         self._broadcaster = broadcaster or WriteBroadcaster(parallel=True)
+        self._placement = placement or PlacementMap()
+        for backend in self._backends:
+            self._placement.add_backend(backend.name)
         self._lock = threading.Lock()
         # Writes are totally ordered: log append + broadcast happen under
         # this lock so every backend applies writes in log order.
@@ -167,7 +195,9 @@ class RequestScheduler:
                         ) from exc
                     replayed = self._cold_start_locked(backend, dumper)
                 else:
-                    replayed = backend.resync(entries)
+                    replayed = backend.resync(
+                        entries, entry_filter=self._replay_filter(backend)
+                    )
             finally:
                 self._resyncing = False
             self._recovery_log.release_checkpoint(self._backend_checkpoint_name(backend))
@@ -193,9 +223,19 @@ class RequestScheduler:
                     f"cannot bootstrap backend {backend.name!r} while a transaction "
                     "is open; retry after it ends"
                 )
+            # Join the placement universe first: the cold start below asks
+            # the map which tables this backend hosts, and unpinned
+            # (fully replicated) tables must already count it as a host.
+            self._placement.add_backend(backend.name)
             self._resyncing = True
             try:
                 statements = self._cold_start_locked(backend, dumper, count_statements=True)
+            except Exception:
+                # The backend never joined: evict it from the placement
+                # universe, or future tables could be pinned to a ghost
+                # and become permanently unhostable.
+                self._placement.remove_backend(backend.name)
+                raise
             finally:
                 self._resyncing = False
             with self._lock:
@@ -205,42 +245,185 @@ class RequestScheduler:
                 self._cache.clear()
             return statements
 
+    def _replay_filter(self, backend: Backend) -> Optional[Callable[[LogEntry], bool]]:
+        """Per-entry replay predicate for ``backend`` under the current
+        placement (None under full replication — replay everything).
+
+        An entry is replayed when the backend hosts any of the tables it
+        writes; entries with an *unknown* table set (unparseable SQL) are
+        conservatively replayed everywhere, mirroring how the write path
+        broadcast them everywhere in the first place. Skipped entries
+        still advance the backend's checkpoint (see Backend.resync)."""
+        placement = self._placement
+        if placement.is_full:
+            return None
+
+        def entry_filter(entry: LogEntry) -> bool:
+            tables = classify(entry.sql).write_tables
+            if not tables:
+                return True
+            return any(placement.backend_hosts(backend.name, table) for table in tables)
+
+        return entry_filter
+
     def _cold_start_locked(
         self, backend: Backend, dumper: DatabaseDumper, count_statements: bool = False
     ) -> int:
-        """Dump a healthy sibling into ``backend`` and enable it.
+        """Dump healthy siblings into ``backend`` and enable it.
 
         Caller holds the write lock, so the dump is consistent and the
         tail replay after it is empty by construction — the machinery
         still runs so offline dumps (taken earlier, with writes landing
-        since) follow the exact same path."""
-        source = next(
-            (candidate for candidate in self.enabled_backends() if candidate is not backend),
-            None,
-        )
-        if source is None:
+        since) follow the exact same path. Under full replication any
+        single sibling carries everything; under a partial placement the
+        dump is assembled table by table from backends hosting each of
+        the tables the new replica will host, and the tail replay is
+        filtered the same way the write path would have routed it."""
+        sources = [
+            candidate for candidate in self.enabled_backends() if candidate is not backend
+        ]
+        if not sources:
             raise SchedulerError(
                 f"no healthy backend available to dump for cold-starting {backend.name!r}"
             )
-        dump = dumper.dump(
-            source.execute,
-            checkpoint_index=self._recovery_log.last_index,
-            source=source.name,
+        checkpoint_index = self._recovery_log.last_index
+        wipe_filter = None
+        if self._placement.is_full:
+            dump = dumper.dump(
+                sources[0].execute,
+                checkpoint_index=checkpoint_index,
+                source=sources[0].name,
+            )
+        else:
+            dump, keep_local = self._partial_dump_locked(
+                backend, sources, dumper, checkpoint_index
+            )
+            if keep_local:
+                # Tables only this backend hosts exist nowhere else: no
+                # sibling can re-supply them, so the local copy is the
+                # authoritative one and must survive the restore's wipe.
+                # It is current — while the sole host was out of rotation
+                # every write to those tables was refused
+                # (NoHostingBackendError), so there is nothing to miss.
+                wipe_filter = (
+                    lambda qualified: normalize_table_name(qualified) not in keep_local
+                )
+        statements = backend.initialize_from_dump(dump, dumper, wipe_filter=wipe_filter)
+        replayed = backend.resync(
+            self._recovery_log.entries_after(backend.checkpoint_index),
+            entry_filter=self._replay_filter(backend),
         )
-        statements = backend.initialize_from_dump(dump, dumper)
-        replayed = backend.resync(self._recovery_log.entries_after(backend.checkpoint_index))
         self.cold_starts += 1
         return statements if count_statements else replayed
+
+    def _partial_dump_locked(
+        self,
+        backend: Backend,
+        sources: List[Backend],
+        dumper: DatabaseDumper,
+        checkpoint_index: int,
+    ) -> Tuple[DatabaseDump, set]:
+        """Assemble a table-subset dump of the tables ``backend`` hosts,
+        pulling each table from an enabled backend hosting it (one
+        sibling rarely carries a partial replica's whole subset).
+
+        Returns ``(dump, keep_local)``: tables the backend *solely* hosts
+        cannot be dumped — the recovering backend's own copy is the only
+        one that ever existed and the caller must preserve it. A table
+        the backend co-hosts whose every other host is down is refused
+        outright: its siblings may hold committed writes this backend
+        missed and the compacted log can no longer replay, so preserving
+        the local copy would be silent staleness and wiping it data loss
+        — the operator must recover one of the other hosts first."""
+        placement = self._placement
+        # Which enabled sibling actually *has* each table: pick dump
+        # sources by catalog contents, not placement membership alone — a
+        # placement host that never received the data (e.g. hosts moved
+        # by set_placement) would silently contribute an empty piece.
+        catalogs: Dict[str, set] = {
+            source.name: {
+                normalize_table_name(qualified)
+                for qualified in dumper.list_tables(source.execute)
+            }
+            for source in sources
+        }
+        table_sources: Dict[str, Backend] = {}
+        for source in sources:
+            for key in catalogs[source.name]:
+                if key in table_sources:
+                    continue
+                if not placement.backend_hosts(backend.name, key):
+                    continue
+                holder = next(
+                    (
+                        candidate
+                        for candidate in sources
+                        if key in catalogs[candidate.name]
+                        and placement.backend_hosts(candidate.name, key)
+                    ),
+                    # No placement host carries it: fall back to whoever
+                    # has the data (its catalog listed it) — stale-host
+                    # data beats no data after a placement change.
+                    source,
+                )
+                table_sources[key] = holder
+        keep_local = set()
+        for qualified in dumper.list_tables(backend.execute):
+            key = normalize_table_name(qualified)
+            if key in table_sources or not placement.backend_hosts(backend.name, key):
+                continue
+            if placement.hosts(key, pin=False) == frozenset({backend.name}):
+                # Strictly sole-hosted: no other backend ever accepted a
+                # write to it, so the local copy is current by
+                # construction.
+                keep_local.add(key)
+            elif any(placement.backend_hosts(s.name, key) for s in sources):
+                # Another host is enabled but its catalog lacks the
+                # table: it was dropped cluster-wide while this backend
+                # was out — let the wipe remove the local copy too.
+                continue
+            else:
+                raise SchedulerError(
+                    f"cannot cold-start backend {backend.name!r}: table {key!r} is "
+                    f"hosted by {sorted(placement.hosts(key, pin=False))} but no "
+                    "other host is enabled, and its missed writes may be "
+                    "unreplayable — recover one of the other hosts first"
+                )
+        pieces = []
+        for source in sources:
+            wanted = {
+                table for table, holder in table_sources.items() if holder is source
+            }
+            if not wanted:
+                continue
+            pieces.append(
+                dumper.dump(
+                    source.execute,
+                    checkpoint_index=checkpoint_index,
+                    source=source.name,
+                    table_filter=lambda qualified, wanted=wanted: normalize_table_name(
+                        qualified
+                    )
+                    in wanted,
+                )
+            )
+        dump = dumper.merge(pieces, checkpoint_index=checkpoint_index)
+        if dump.source is None:
+            dump.source = sources[0].name
+        return dump, keep_local
 
     def create_dump(
         self,
         checkpoint_name: Optional[str] = None,
         dumper: Optional[DatabaseDumper] = None,
+        table_filter: Optional[Callable[[str], bool]] = None,
     ):
         """Snapshot one healthy backend under the write lock and pin the
         snapshot's log position under a named checkpoint, so compaction
         cannot truncate the tail a consumer will replay after restoring
-        the dump. Release the checkpoint once every consumer cold-started."""
+        the dump. Release the checkpoint once every consumer cold-started.
+        ``table_filter`` restricts the snapshot to a table subset (for
+        provisioning partial replicas from an operator-driven dump)."""
         dumper = dumper or DatabaseDumper()
         with self._write_lock:
             source = next(iter(self.enabled_backends()), None)
@@ -250,8 +433,34 @@ class RequestScheduler:
             name = checkpoint_name or f"dump-{index}"
             self._recovery_log.checkpoint(name, index, overwrite=True)
             return dumper.dump(
-                source.execute, checkpoint_index=index, checkpoint_name=name, source=source.name
+                source.execute,
+                checkpoint_index=index,
+                checkpoint_name=name,
+                source=source.name,
+                table_filter=table_filter,
             )
+
+    @property
+    def placement(self) -> PlacementMap:
+        return self._placement
+
+    def set_placement(self, placement: Any) -> PlacementMap:
+        """Swap the placement map (spec string, policy or PlacementMap).
+
+        Atomic with the write path so no broadcast is routed half by the
+        old map and half by the new one. The query cache is flushed:
+        routing changed under it, and entries cached from a replica that
+        no longer serves their tables should not linger. Placement does
+        **not** move existing data — change it before the tables it
+        governs are created, or cold-start the affected replicas."""
+        new_map = create_placement(
+            placement, backend_names=[backend.name for backend in self.backends()]
+        )
+        with self._write_lock:
+            self._placement = new_map
+            if self._cache is not None:
+                self._cache.clear()
+        return new_map
 
     @property
     def read_policy(self) -> ReadPolicy:
@@ -277,6 +486,7 @@ class RequestScheduler:
     def add_backend(self, backend: Backend) -> None:
         with self._lock:
             self._backends.append(backend)
+        self._placement.add_backend(backend.name)
 
     # -- routing -----------------------------------------------------------------
 
@@ -291,6 +501,30 @@ class RequestScheduler:
         if statement.is_read and not in_transaction:
             return self._execute_read(enabled, sql, params, statement)
         return self._execute_broadcast(enabled, sql, params, statement, in_transaction)
+
+    def _read_candidate_filter(
+        self, enabled: List[Backend], statement: ClassifiedStatement
+    ) -> Optional[Callable[[Backend], bool]]:
+        """Placement restriction for one read, or None when any enabled
+        backend may serve it.
+
+        A read must land on a backend hosting *all* of its tables — for a
+        cross-partition join that is only a full replica. A statement
+        with an unknown/empty table set bypasses placement (any enabled
+        backend), matching the write path's conservative broadcast.
+        Raises :class:`NoHostingBackendError` when no enabled backend
+        qualifies."""
+        placement = self._placement
+        if placement.is_full or not statement.read_tables:
+            return None
+        candidates = placement.hosting_all(statement.read_tables, enabled)
+        if not candidates:
+            raise NoHostingBackendError(
+                f"no enabled backend hosts all of {sorted(statement.read_tables)}; "
+                "cross-partition reads need a full replica"
+            )
+        names = {candidate.name for candidate in candidates}
+        return lambda backend: backend.name in names
 
     def _execute_read(
         self,
@@ -314,7 +548,9 @@ class RequestScheduler:
             enabled = self.enabled_backends()
             if not enabled:
                 raise SchedulerError("no enabled backend available")
-        backend = self._policy.choose(enabled)
+        backend = self._policy.choose(
+            enabled, candidate_filter=self._read_candidate_filter(enabled, statement)
+        )
         backend.begin_request()
         try:
             result = backend.execute(sql, params)
@@ -323,6 +559,73 @@ class RequestScheduler:
         if use_cache:
             cache.put(sql, params, statement.read_tables, result, stamp=stamp)
         return result
+
+    def _write_targets(
+        self, enabled: List[Backend], statement: ClassifiedStatement
+    ) -> List[Backend]:
+        """Which enabled backends one broadcast statement goes to.
+
+        Everything under full replication, and always everything for
+        transaction control (BEGIN/COMMIT/ROLLBACK keep the transaction
+        lifecycle global — non-hosting backends just open and commit an
+        empty transaction) and for statements with an unknown table set
+        (the conservative bypass). A genuine write goes to every backend
+        hosting *any* written table — fewer would silently diverge a
+        replica of a written table; its read tables must be colocated on
+        those backends or the statement has nowhere it can run correctly.
+        An in-transaction read executes on the backends hosting all of
+        its tables."""
+        placement = self._placement
+        if placement.is_full or statement.is_transaction_control:
+            return enabled
+        if statement.is_read:
+            # In-transaction read: routed through the broadcast path so it
+            # observes the transaction's uncommitted state.
+            if not statement.read_tables:
+                return enabled
+            targets = placement.hosting_all(statement.read_tables, enabled)
+            if not targets:
+                raise NoHostingBackendError(
+                    f"no enabled backend hosts all of {sorted(statement.read_tables)}; "
+                    "cross-partition reads need a full replica"
+                )
+            return targets
+        if not statement.write_tables:
+            return enabled
+        if statement.referenced_tables:
+            # DDL with foreign keys: every host of the new table must
+            # host the REFERENCES targets, or per-row FK checks fail on
+            # some replicas and read as divergence. Hash placements are
+            # re-pointed onto the targets' hosts; operator-chosen
+            # assignments that conflict raise instead.
+            for table in statement.write_tables:
+                placement.ensure_colocated(table, statement.referenced_tables)
+        targets = placement.hosting_any(statement.write_tables, enabled)
+        if not targets:
+            raise NoHostingBackendError(
+                f"no enabled backend hosts any of {sorted(statement.write_tables)}"
+            )
+        if statement.read_tables:
+            stragglers = [
+                target.name
+                for target in targets
+                if not all(
+                    self._placement.backend_hosts(target.name, table)
+                    for table in statement.read_tables
+                )
+            ]
+            if stragglers:
+                # INSERT INTO a SELECT FROM b where some host of `a` does
+                # not host `b`: executing there would fail and look like
+                # divergence; not executing there *is* divergence. The
+                # placement must colocate the tables (or keep one full
+                # replica hosting both) — surface that, don't guess.
+                raise NoHostingBackendError(
+                    f"backends {stragglers} host {sorted(statement.write_tables)} but not "
+                    f"all of {sorted(statement.read_tables)}; colocate the tables or "
+                    "use a full replica"
+                )
+        return targets
 
     def _execute_broadcast(
         self,
@@ -343,11 +646,15 @@ class RequestScheduler:
             enabled = self.enabled_backends()
             if not enabled:
                 raise SchedulerError("no enabled backend available")
+            # Placement narrows the fan-out to the hosting backends (all
+            # of them under full replication / transaction control /
+            # unknown table sets).
+            targets = self._write_targets(enabled, statement)
             if log_it and self._cache is not None:
                 # Invalidate before execution as well: entries cached
                 # against the pre-write state must not survive the write.
                 self._cache.invalidate_tables(statement.write_tables)
-            outcome = self._broadcaster.broadcast(enabled, sql, params)
+            outcome = self._broadcaster.broadcast(targets, sql, params)
             # A statement fault on *every* backend blames the statement —
             # the replicas agree and stay healthy. A fault on a strict
             # subset while others accepted the write is divergence: the
@@ -424,6 +731,10 @@ class RequestScheduler:
             last_index = self._recovery_log.last_index
             for success in outcome.succeeded:
                 success.backend.checkpoint_index = last_index
+            if statement.command == "DROP" and any_succeeded:
+                # Keep the map bounded under table churn; a recreated
+                # table gets a fresh assignment.
+                self._placement.unpin(statement.write_tables)
             if log_it and self._cache is not None:
                 # Invalidate again now that every backend applied the write:
                 # evicts results a concurrent read cached from a backend the
@@ -464,6 +775,7 @@ class RequestScheduler:
         cache = self._cache
         return {
             "read_policy": self._policy.name,
+            "placement": self._placement.stats(),
             "parallel_writes": self._broadcaster.parallel,
             "query_cache": cache.stats() if cache is not None else None,
             "recovery_log_entries": self._recovery_log.last_index,

@@ -25,6 +25,8 @@ E11   Tables 3/4 + Section 3.3 (policies, leases) :mod:`repro.experiments.policy
 E12   Section 3.1.1 (bootloader overhead)         :mod:`repro.experiments.overhead`
 E13   Request-scheduling subsystem (policy matrix :mod:`repro.experiments.policy_matrix`
       + parallel write broadcast; docs/scheduling.md)
+E14   Partial replication (RAIDb-0/2 placement,   :mod:`repro.experiments.partial_replication`
+      subset-dump recovery; docs/placement.md)
 ====  ==========================================  =================================
 """
 

@@ -1,0 +1,212 @@
+"""E14 — partial replication across the RAIDb spectrum (docs/placement.md).
+
+The paper's middleware defines RAIDb-0 (partitioning), RAIDb-1 (full
+replication) and RAIDb-2 (partial replication); the reproduction
+hardwired RAIDb-1 until the placement subsystem. This experiment runs the
+same multi-table write workload under ``full``, ``hash:2`` and ``raidb0``
+placement on one cluster size and measures what the RAIDb levels trade:
+
+- **write fan-out** — how many backends each write touches (RAIDb-1 pays
+  the whole cluster per write; hash-2 pays two backends; RAIDb-0 one),
+- **per-backend load** — write statements executed per backend,
+- **storage amplification** — rows stored across the cluster divided by
+  logical rows (N× under full replication, 2× under hash-2, 1× under
+  RAIDb-0).
+
+``run_recovery_experiment`` exercises the partial-replica recovery path:
+on a hash-2 cluster a backend is disabled, writes continue, the log is
+compacted past its checkpoint, and re-enabling it cold-starts the
+replica from a *table-subset* dump assembled from the siblings hosting
+each of its tables, plus a placement-filtered tail replay. Convergence
+is verified with a cross-backend checksum: every hosting backend of
+every table holds identical rows, and the partial replica holds exactly
+the tables it hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.environments import ClusterEnvironment, build_cluster
+from repro.experiments.harness import ExperimentResult
+
+
+def _populate(scheduler, tables: int, rows_per_table: int) -> None:
+    for table_index in range(tables):
+        scheduler.execute(
+            f"CREATE TABLE part_t{table_index} "
+            "(id INTEGER NOT NULL PRIMARY KEY, v INTEGER)"
+        )
+        for row in range(rows_per_table):
+            scheduler.execute(
+                f"INSERT INTO part_t{table_index} (id, v) VALUES ($i, $v)",
+                {"i": row, "v": 0},
+            )
+
+
+def _write_phase(scheduler, tables: int, writes_per_table: int) -> float:
+    started = time.perf_counter()
+    for round_index in range(writes_per_table):
+        for table_index in range(tables):
+            scheduler.execute(
+                f"UPDATE part_t{table_index} SET v = $v WHERE id = $i",
+                {"v": round_index, "i": round_index % 5},
+            )
+    return time.perf_counter() - started
+
+
+def cluster_checksums(env: ClusterEnvironment) -> Dict[str, Dict[str, Tuple]]:
+    """table → backend name → sorted row tuple, for every user table on
+    every replica (the cross-backend convergence checksum)."""
+    checksums: Dict[str, Dict[str, Tuple]] = {}
+    for index, engine in enumerate(env.replica_engines):
+        backend_name = f"db{index + 1}"
+        session = engine.open_session(env.database_name)
+        tables = session.execute(
+            "SELECT table_name, table_schema FROM information_schema.tables"
+        ).rows
+        for table_name, table_schema in tables:
+            if table_schema == "information_schema":
+                continue
+            rows = tuple(sorted(session.execute(f"SELECT * FROM {table_name}").rows))
+            checksums.setdefault(str(table_name), {})[backend_name] = rows
+    return checksums
+
+
+def run_experiment(
+    backends: int = 4,
+    tables: int = 6,
+    rows_per_table: int = 5,
+    writes_per_table: int = 20,
+    placements: Sequence[str] = ("full", "hash:2", "raidb0"),
+) -> ExperimentResult:
+    """Write workload under each placement; returns one row per RAIDb level."""
+    result = ExperimentResult(
+        experiment_id="E14",
+        title="Partial replication (RAIDb-0/1/2): write fan-out, per-backend load, storage",
+        parameters={
+            "backends": backends,
+            "tables": tables,
+            "rows_per_table": rows_per_table,
+            "writes_per_table": writes_per_table,
+        },
+    )
+    for placement in placements:
+        env = build_cluster(
+            replicas=backends,
+            controllers=1,
+            controller_options={"placement": placement},
+        )
+        try:
+            controller = env.controllers[0]
+            scheduler = controller.scheduler
+            _populate(scheduler, tables, rows_per_table)
+            before = {
+                backend.name: backend.statements_executed
+                for backend in scheduler.backends()
+            }
+            elapsed = _write_phase(scheduler, tables, writes_per_table)
+            per_backend = {
+                backend.name: backend.statements_executed - before[backend.name]
+                for backend in scheduler.backends()
+            }
+            writes = tables * writes_per_table
+            executed = sum(per_backend.values())
+            checksums = cluster_checksums(env)
+            stored_rows = sum(
+                len(rows) for copies in checksums.values() for rows in copies.values()
+            )
+            logical_rows = tables * rows_per_table
+            result.add_row(
+                placement=placement,
+                writes=writes,
+                write_fanout_avg=round(executed / writes, 2),
+                per_backend_min=min(per_backend.values()),
+                per_backend_max=max(per_backend.values()),
+                storage_amplification=round(stored_rows / logical_rows, 2),
+                writes_per_s=round(writes / elapsed, 1) if elapsed > 0 else "n/a",
+                pinned_tables=controller.placement.stats()["pinned_tables"],
+            )
+        finally:
+            env.close()
+    result.add_note(
+        "write fan-out shrinks from the whole cluster (RAIDb-1) to the hosting "
+        "subset (hash:2) to a single backend (RAIDb-0), while storage "
+        "amplification falls from Nx to 2x to 1x"
+    )
+    return result
+
+
+def run_recovery_experiment(
+    backends: int = 4,
+    tables: int = 6,
+    rows_per_table: int = 5,
+    writes_while_down: int = 30,
+) -> ExperimentResult:
+    """Partial-replica recovery on hash-2: subset dump + filtered replay."""
+    result = ExperimentResult(
+        experiment_id="E14b",
+        title="Partial-replica recovery: table-subset dump + placement-filtered replay",
+        parameters={
+            "backends": backends,
+            "tables": tables,
+            "writes_while_down": writes_while_down,
+        },
+    )
+    env = build_cluster(
+        replicas=backends, controllers=1, controller_options={"placement": "hash:2"}
+    )
+    try:
+        controller = env.controllers[0]
+        scheduler = controller.scheduler
+        _populate(scheduler, tables, rows_per_table)
+        placement = controller.placement
+        victim = "db1"
+        hosted = sorted(placement.tables_hosted_by(victim))
+        controller.disable_backend(victim)
+        for round_index in range(writes_while_down):
+            table_index = round_index % tables
+            scheduler.execute(
+                f"UPDATE part_t{table_index} SET v = $v WHERE id = $i",
+                {"v": 100 + round_index, "i": round_index % rows_per_table},
+            )
+        # Compact the victim's replay range away so recovery must take the
+        # dump-based cold-start path (the interesting one for a partial
+        # replica: the dump is assembled from its tables' hosting peers).
+        controller.recovery_log.release_checkpoint(f"backend:{victim}")
+        compacted = controller.compact_recovery_log()
+        started = time.perf_counter()
+        replayed = controller.enable_backend(victim)
+        recovery_seconds = time.perf_counter() - started
+        checksums = cluster_checksums(env)
+        victim_tables = sorted(
+            table for table, copies in checksums.items() if victim in copies
+        )
+        converged = all(
+            len(set(copies.values())) == 1 for copies in checksums.values()
+        )
+        hosts_match_placement = all(
+            set(copies) == set(placement.hosts(table))
+            for table, copies in checksums.items()
+        )
+        result.add_row(
+            victim=victim,
+            hosted_tables=len(hosted),
+            total_tables=tables,
+            entries_compacted=compacted,
+            entries_replayed=replayed,
+            cold_starts=scheduler.cold_starts,
+            recovery_seconds=round(recovery_seconds, 6),
+            victim_restored_tables=len(victim_tables),
+            victim_tables_match_placement=victim_tables == hosted,
+            replicas_converged=converged,
+            hosts_match_placement=hosts_match_placement,
+        )
+        result.add_note(
+            "the cold start dumped only the victim's hosted tables (not the whole "
+            "database) and the tail replay skipped entries for tables it does not host"
+        )
+    finally:
+        env.close()
+    return result

@@ -4,7 +4,10 @@ Produces a flat list of tokens consumed by the recursive-descent parser in
 :mod:`repro.sqlengine.parser`. Token kinds:
 
 - ``IDENT`` — identifiers and keywords (keyword recognition is done by the
-  parser, case-insensitively),
+  parser, case-insensitively). Double-quoted identifiers (``"Users"``,
+  with ``""`` escaping an embedded quote) also produce ``IDENT`` tokens,
+  carrying the unquoted value — the engine's catalog is case-insensitive,
+  so quoting only widens the accepted character set,
 - ``NUMBER`` — integer or float literals,
 - ``STRING`` — single-quoted string literals (with ``''`` escaping),
 - ``PARAM`` — ``$name`` named parameters or ``?`` positional parameters,
@@ -26,6 +29,10 @@ class Token:
     kind: str
     value: Union[str, int, float]
     position: int
+    #: True for double-quoted identifiers: their value must never be
+    #: treated as a keyword (``SELECT "from" FROM t`` names a column
+    #: ``from``), only as a name.
+    quoted: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.kind}, {self.value!r})"
@@ -54,6 +61,10 @@ def tokenize(sql: str) -> List[Token]:
         if char == "'":
             literal, index = _read_string(sql, index)
             tokens.append(Token("STRING", literal, index))
+            continue
+        if char == '"':
+            name, index = _read_quoted_identifier(sql, index)
+            tokens.append(Token("IDENT", name, index, quoted=True))
             continue
         if char in _DIGITS or (
             char == "-" and index + 1 < length and sql[index + 1] in _DIGITS and _number_context(tokens)
@@ -145,3 +156,23 @@ def _read_identifier(sql: str, index: int) -> tuple:
     while index < len(sql) and sql[index] in _IDENT_BODY:
         index += 1
     return sql[start:index], index
+
+
+def _read_quoted_identifier(sql: str, index: int) -> tuple:
+    """Read a double-quoted identifier starting at ``index`` (on the quote)."""
+    assert sql[index] == '"'
+    index += 1
+    chunks: List[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == '"':
+            if index + 1 < len(sql) and sql[index + 1] == '"':
+                chunks.append('"')
+                index += 2
+                continue
+            if not chunks:
+                raise SqlParseError(f"empty quoted identifier at position {index}")
+            return "".join(chunks), index + 1
+        chunks.append(char)
+        index += 1
+    raise SqlParseError("unterminated quoted identifier")

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster import Backend, is_write_statement
 from repro.errors import DriverError
-from repro.cluster.recovery_log import RecoveryLog
+from repro.cluster.recovery import RecoveryLog
 from repro.cluster.scheduler import RequestScheduler, SchedulerError
 from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION
 from repro.cluster.driver import ClusterDriverRuntime

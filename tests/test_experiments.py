@@ -13,6 +13,7 @@ from repro.experiments import (
     license_server_exp,
     lifecycle,
     overhead,
+    partial_replication,
     policy_matrix,
     table5_admin,
 )
@@ -89,6 +90,29 @@ class TestFailoverAndCluster:
         assert automatic["detector_resyncs"] == 1
         manual = result.find_row(approach="manual operation")
         assert manual["admin_operations"] == 3
+
+    def test_e14_partial_replication_raidb_levels(self):
+        result = partial_replication.run_experiment(
+            backends=4, tables=4, rows_per_table=3, writes_per_table=5
+        )
+        full = result.find_row(placement="full")
+        hash2 = result.find_row(placement="hash:2")
+        raidb0 = result.find_row(placement="raidb0")
+        assert full["write_fanout_avg"] == 4.0
+        assert hash2["write_fanout_avg"] == 2.0
+        assert raidb0["write_fanout_avg"] == 1.0
+        assert full["storage_amplification"] == 4.0
+        assert raidb0["storage_amplification"] == 1.0
+
+    def test_e14b_partial_replica_recovery(self):
+        result = partial_replication.run_recovery_experiment(
+            backends=4, tables=4, rows_per_table=3, writes_while_down=8
+        )
+        row = result.rows[0]
+        assert row["cold_starts"] == 1
+        assert row["victim_tables_match_placement"] is True
+        assert row["replicas_converged"] is True
+        assert row["hosts_match_placement"] is True
 
     @pytest.mark.slow
     def test_e7_legacy_cluster(self):

@@ -19,7 +19,7 @@ from repro.cluster.loadbalancer import (
     create_policy,
 )
 from repro.cluster.querycache import QueryCache
-from repro.cluster.recovery_log import RecoveryLog
+from repro.cluster.recovery import RecoveryLog
 from repro.cluster.scheduler import RequestScheduler, SchedulerError
 from repro.errors import DriverError
 
@@ -129,6 +129,42 @@ class TestClassifier:
     def test_schema_qualified_tables(self):
         statement = classify("SELECT * FROM information_schema.drivers")
         assert statement.read_tables == frozenset({"information_schema.drivers"})
+
+    def test_quoted_identifiers_are_canonicalised(self):
+        # "Users", users and public.users must produce one key: placement
+        # routing and cache invalidation key off these names.
+        assert classify('SELECT * FROM "Users"').read_tables == frozenset({"users"})
+        assert classify('UPDATE "Users" SET a = 1').write_tables == frozenset({"users"})
+        assert classify('DELETE FROM "Order Lines"').write_tables == frozenset({"order lines"})
+
+    def test_default_schema_qualifier_is_stripped(self):
+        assert classify("SELECT * FROM public.users").read_tables == frozenset({"users"})
+        assert classify('INSERT INTO Public."Users" (id) VALUES (1)').write_tables == frozenset(
+            {"users"}
+        )
+        # Non-default schemas stay qualified — distinct namespaces.
+        assert classify("SELECT * FROM sales.orders").read_tables == frozenset(
+            {"sales.orders"}
+        )
+
+    def test_quoted_cte_name_not_reported_as_table(self):
+        statement = classify('WITH "Recent" AS (SELECT id FROM orders) SELECT * FROM "Recent"')
+        assert statement.read_tables == frozenset({"orders"})
+
+    def test_quoted_identifier_matching_a_keyword_is_not_a_keyword(self):
+        # "from"/"join" here are column names; treating them as the FROM/
+        # JOIN keywords would extract phantom tables (and miss the real
+        # one), so cache invalidation and placement routing would key off
+        # the wrong names.
+        statement = classify('SELECT "from" FROM t')
+        assert statement.read_tables == frozenset({"t"})
+        statement = classify('SELECT a, "join" FROM t')
+        assert statement.read_tables == frozenset({"t"})
+        # As a table name after a real FROM it is still just a name.
+        statement = classify('SELECT * FROM "from"')
+        assert statement.read_tables == frozenset({"from"})
+        # A statement *led* by a quoted identifier has no command keyword.
+        assert classify('"select" something').command == ""
 
     def test_nondeterministic_select_not_cacheable(self):
         assert classify("SELECT id FROM t WHERE ts < now()").cacheable is False
