@@ -1,0 +1,88 @@
+"""Concurrency benchmarks (E15): conflict-aware parallel write
+scheduling vs the single global write lock, plus replica-divergence
+checks under a concurrent disjoint-writer workload racing a resync.
+
+The interesting shape: with table-level locks, disjoint-table writers
+overlap and aggregate write throughput scales with the partition count,
+while a conflicting workload (every writer on one table) stays at the
+serialised baseline — parallelism exactly where no conflict exists.
+Results are written to ``BENCH_concurrency.json`` so CI can archive
+them next to the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import concurrency
+
+WRITERS = 4
+
+
+def test_bench_concurrency(benchmark):
+    result = run_and_report(
+        benchmark,
+        concurrency.run_experiment,
+        writers=WRITERS,
+        writes_per_writer=25,
+        latency_ms=3.0,
+    )
+    baseline = result.find_row(mode="global-lock")
+    parallel = result.find_row(mode="conflict-aware")
+    conflicting = result.find_row(mode="conflict-aware/conflicting")
+    # Same work, same log size — only the ordering model differs.
+    assert baseline["log_entries"] == parallel["log_entries"] == conflicting["log_entries"]
+    # The point of the lock manager: disjoint writers overlap. Ideal is
+    # ~4x on 4 writers; the gate is the issue's 1.5x floor so a loaded
+    # CI runner cannot flake it while lost parallelism still fails.
+    assert result.parameters["speedup_x"] >= 1.5
+    assert parallel["wall_s"] < baseline["wall_s"]
+    # Conflicting writers must NOT overlap: a single table serialises on
+    # its lock, so one writer's latency bounds throughput from below.
+    assert conflicting["wall_s"] >= parallel["wall_s"]
+    # Observability: the parallel modes acquired table locks, the
+    # baseline only ever took the exclusive mode.
+    assert baseline["table_acquisitions"] == 0
+    assert parallel["table_acquisitions"] == WRITERS * 25
+
+    divergence = run_and_report(
+        benchmark=_NullBenchmark(), run_experiment=concurrency.run_divergence_experiment
+    )
+    row = divergence.rows[0]
+    # Safety under the concurrent workload: every write logged, every
+    # hosting replica identical after resyncs raced the writers, and the
+    # log's per-table sequences strictly increasing.
+    assert row["logged"] == row["writes"]
+    assert row["replicas_converged"] is True
+    assert row["per_table_order_ok"] is True
+    assert row["hosts_match_placement"] is True
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "parameters": result.parameters,
+        "rows": result.rows,
+        "notes": result.notes,
+        "divergence": {
+            "experiment_id": divergence.experiment_id,
+            "parameters": divergence.parameters,
+            "rows": divergence.rows,
+            "notes": divergence.notes,
+        },
+    }
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_concurrency.json"
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+class _NullBenchmark:
+    """Runs the target once without pytest-benchmark accounting (the
+    module's single `benchmark` fixture is already consumed by the
+    throughput comparison above)."""
+
+    def pedantic(self, target, rounds=1, iterations=1):
+        return target()

@@ -83,6 +83,7 @@ from repro.cluster.loadbalancer import (
     create_policy,
 )
 from repro.cluster.broadcaster import BroadcastOutcome, WriteBroadcaster
+from repro.cluster.locks import LockManager
 from repro.cluster.querycache import QueryCache
 from repro.cluster.scheduler import RequestScheduler, SchedulerError, is_write_statement
 from repro.cluster.controller import (
@@ -129,6 +130,7 @@ __all__ = [
     "create_policy",
     "BroadcastOutcome",
     "WriteBroadcaster",
+    "LockManager",
     "QueryCache",
     "RequestScheduler",
     "SchedulerError",

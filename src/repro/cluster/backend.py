@@ -62,6 +62,15 @@ class Backend:
         #: Relative share of reads under the weighted load-balancing policy.
         self.weight = weight
         self._lock = threading.RLock()
+        #: Highest per-table sequence number applied here, per table (see
+        #: LogEntry.table_seqs). Under conflict-aware locking a backend's
+        #: checkpoint_index can race past an entry it missed (a write
+        #: that failed here while a disjoint concurrent write succeeded);
+        #: the failing writer then rolls the checkpoint back with
+        #: :meth:`limit_checkpoint`, and these sequences let the wider
+        #: replay *skip* entries this replica already applied instead of
+        #: double-applying them.
+        self.applied_table_seqs: Dict[str, int] = {}
         #: Statements executed against this backend (observability).
         self.statements_executed = 0
         #: When the failure detector last saw this backend answer a ping.
@@ -174,6 +183,36 @@ class Backend:
     def enabled(self) -> bool:
         return self.state == BackendState.ENABLED
 
+    def advance_checkpoint(self, index: int, table_seqs: Optional[Dict[str, int]] = None) -> None:
+        """Record that this backend applied the log through ``index``.
+
+        Only moves forward, and only while ENABLED: a backend that a
+        concurrent writer just marked FAILED stopped applying writes at
+        its failure, and advancing its checkpoint past an entry it
+        missed would make the next resync silently skip that entry.
+        ``table_seqs`` additionally records the entry's per-table
+        sequences as applied (see :attr:`applied_table_seqs`) — recorded
+        regardless of state, because a successful execution is ground
+        truth even on a replica that a concurrent writer just failed,
+        and it is exactly what lets the wider replay skip the statement
+        instead of double-applying it."""
+        with self._lock:
+            if table_seqs:
+                for table, seq in table_seqs.items():
+                    if seq > self.applied_table_seqs.get(table, 0):
+                        self.applied_table_seqs[table] = seq
+            if self.state is BackendState.ENABLED and index > self.checkpoint_index:
+                self.checkpoint_index = index
+
+    def limit_checkpoint(self, index: int) -> None:
+        """Clamp the checkpoint down to ``index`` — called by a writer
+        whose broadcast failed here, so the failed entry stays inside the
+        next resync's replay range even if a concurrent disjoint write
+        advanced the checkpoint past it in the meantime."""
+        with self._lock:
+            if index < self.checkpoint_index:
+                self.checkpoint_index = index
+
     def disable(self, checkpoint_index: int) -> None:
         """Stop sending work to this backend, recording its checkpoint."""
         with self._lock:
@@ -211,6 +250,11 @@ class Backend:
                 self.state = BackendState.FAILED
                 raise
             self.checkpoint_index = dump.checkpoint_index
+            # The restored state is exactly the dump's: any per-table
+            # sequence recorded before the wipe is about rows that no
+            # longer exist, and keeping it would make the tail replay
+            # skip entries the restored state actually needs.
+            self.applied_table_seqs = {}
             self.state = BackendState.DISABLED
             return statements
 
@@ -224,19 +268,44 @@ class Backend:
         ``entry_filter`` (partial replication) decides per entry whether
         this replica must apply it; filtered-out entries still advance
         the checkpoint — the replica is *consistent* with them by virtue
-        of not hosting the tables they touch. Returns the number of log
+        of not hosting the tables they touch. Entries whose every
+        per-table sequence this replica already applied are skipped too
+        (the conflict-aware write path can roll a checkpoint back past a
+        write this replica *did* apply — see :meth:`limit_checkpoint` —
+        and replaying it twice would fail on non-idempotent statements).
+        The replay also verifies per-table sequences never regress: log
+        index order must preserve per-table order, or the replica would
+        end up with writes applied backwards. Returns the number of log
         entries actually executed.
         """
         with self._lock:
             self.state = BackendState.RECOVERING
             replayed = 0
+            replay_floor: Dict[str, int] = {}
             try:
                 for entry in entries:
+                    for table, seq in entry.table_seqs.items():
+                        if seq <= replay_floor.get(table, 0):
+                            raise DriverError(
+                                f"recovery log violates per-table order: table "
+                                f"{table!r} sequence {seq} at index {entry.index} "
+                                f"does not follow {replay_floor[table]}"
+                            )
+                        replay_floor[table] = seq
                     if entry.index <= self.checkpoint_index:
                         continue
-                    if entry_filter is None or entry_filter(entry):
+                    already_applied = bool(entry.table_seqs) and all(
+                        seq <= self.applied_table_seqs.get(table, 0)
+                        for table, seq in entry.table_seqs.items()
+                    )
+                    if not already_applied and (
+                        entry_filter is None or entry_filter(entry)
+                    ):
                         self.execute(entry.sql, entry.params)
                         replayed += 1
+                        for table, seq in entry.table_seqs.items():
+                            if seq > self.applied_table_seqs.get(table, 0):
+                                self.applied_table_seqs[table] = seq
                     self.checkpoint_index = entry.index
             except Exception:
                 # A replay that stops half-way leaves the replica behind

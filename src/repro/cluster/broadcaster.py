@@ -79,6 +79,11 @@ class WriteBroadcaster:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
         self._lock = threading.Lock()
+        # Counters are guarded by _lock: the conflict-aware scheduler
+        # runs disjoint-table broadcasts through here concurrently.
+        self.broadcasts = 0
+        self.statements_dispatched = 0
+        self._in_flight = 0
 
     def _get_executor(self) -> Optional[ThreadPoolExecutor]:
         with self._lock:
@@ -95,15 +100,35 @@ class WriteBroadcaster:
     def broadcast(
         self, backends: List[Backend], sql: str, params: Optional[Dict[str, Any]] = None
     ) -> BroadcastOutcome:
-        executor = (
-            self._get_executor() if self.parallel and len(backends) > 1 else None
-        )
-        if executor is None:
-            return BroadcastOutcome([self._run_one(backend, sql, params) for backend in backends])
-        futures = [
-            executor.submit(self._run_one, backend, sql, params) for backend in backends
-        ]
-        return BroadcastOutcome([future.result() for future in futures])
+        with self._lock:
+            self.broadcasts += 1
+            self.statements_dispatched += len(backends)
+            self._in_flight += 1
+        try:
+            executor = (
+                self._get_executor() if self.parallel and len(backends) > 1 else None
+            )
+            if executor is None:
+                return BroadcastOutcome(
+                    [self._run_one(backend, sql, params) for backend in backends]
+                )
+            futures = [
+                executor.submit(self._run_one, backend, sql, params) for backend in backends
+            ]
+            return BroadcastOutcome([future.result() for future in futures])
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "parallel": self.parallel,
+                "max_workers": self._max_workers,
+                "broadcasts": self.broadcasts,
+                "statements_dispatched": self.statements_dispatched,
+                "in_flight": self._in_flight,
+            }
 
     @staticmethod
     def _run_one(backend: Backend, sql: str, params: Optional[Dict[str, Any]]) -> BackendOutcome:

@@ -93,6 +93,34 @@ class ClassifiedStatement:
     def tables(self) -> FrozenSet[str]:
         return self.read_tables | self.write_tables
 
+    @property
+    def lock_tables(self) -> Optional[FrozenSet[str]]:
+        """Table set a broadcast of this statement must lock, or ``None``
+        when only the exclusive global lock is safe.
+
+        A genuine write locks everything it touches: its write tables
+        (two writers of one table must serialise), its read tables (an
+        ``INSERT INTO a SELECT FROM b`` observing different states of
+        ``b`` on different replicas would diverge ``a``) and any
+        ``REFERENCES`` targets (their placement is mutated at DDL time).
+        An in-transaction read locks its read set the same way. ``None``
+        — the exclusive fallback — for transaction control (broadcast to
+        every backend, mutates the scheduler's transaction accounting),
+        for unknown statements, and for any statement whose table set
+        could not be extracted: not knowing what a statement conflicts
+        with means conflicting with everything, so today's total order is
+        the worst case, never violated."""
+        if self.is_transaction_control or self.kind is StatementKind.UNKNOWN:
+            return None
+        scope = self.read_tables | self.write_tables | self.referenced_tables
+        if not scope:
+            return None
+        if self.is_write and not self.write_tables:
+            # A "write" with no extracted write target is the
+            # conservative-fallback shape: unknown side effects.
+            return None
+        return scope
+
 
 #: Schema qualifier that names the default schema: ``public.users`` and
 #: ``users`` are the same table, so the qualifier is stripped from the

@@ -28,6 +28,7 @@ from repro.cluster.backend import Backend
 from repro.cluster.broadcaster import WriteBroadcaster
 from repro.cluster.classifier import classify, normalize_table_name
 from repro.cluster.loadbalancer import create_policy
+from repro.cluster.locks import LockManager
 from repro.cluster.placement import PlacementMap, create_placement
 from repro.cluster.querycache import QueryCache
 from repro.cluster.recovery import (
@@ -75,8 +76,18 @@ class ControllerConfig:
     policy_options: Dict[str, Any] = field(default_factory=dict)
     #: Broadcast writes to all backends concurrently.
     parallel_writes: bool = True
-    #: Thread-pool width of the parallel write broadcaster.
+    #: Thread-pool width of the parallel write broadcaster. The pool is
+    #: shared by every concurrent broadcast, so under conflict-aware
+    #: locking size it for replicas-per-write x expected concurrent
+    #: disjoint writers — a saturated pool queues half of each broadcast
+    #: (watch stats()["scheduler"]["broadcaster"]["in_flight"]).
     write_concurrency: int = 8
+    #: Conflict-aware write scheduling: writes acquire table-level locks
+    #: from the classifier's table sets, so statements touching disjoint
+    #: tables execute and broadcast in parallel (see docs/scheduling.md).
+    #: False restores the single global write lock (every broadcast
+    #: totally ordered) — the E15 benchmark's baseline.
+    conflict_aware_locking: bool = True
     #: Cache SELECT results with table-based invalidation. Off by default:
     #: with several controllers in a group, writes routed through a peer do
     #: not invalidate this controller's cache.
@@ -180,6 +191,7 @@ class Controller:
                 parallel=config.parallel_writes, max_workers=config.write_concurrency
             ),
             placement=create_placement(config.placement),
+            lock_manager=LockManager(conflict_aware=config.conflict_aware_locking),
         )
         self.failure_detector = FailureDetector(
             self.scheduler,
@@ -612,7 +624,9 @@ class Controller:
                 # scheduler's open-transaction accounting (which gates the
                 # query-cache dirty-table flush) is not pinned forever.
                 try:
-                    self.scheduler.execute("ROLLBACK", in_transaction=True)
+                    self.scheduler.execute(
+                        "ROLLBACK", in_transaction=True, session_id=session.session_id
+                    )
                 except (SchedulerError, DriverError):
                     pass
 
@@ -655,7 +669,10 @@ class Controller:
                 continue
             try:
                 columns, rows, rowcount = self.scheduler.execute(
-                    sql, params, in_transaction=session.in_transaction
+                    sql,
+                    params,
+                    in_transaction=session.in_transaction,
+                    session_id=session.session_id,
                 )
             except (SchedulerError, DriverError) as exc:
                 self.failed_statements += 1

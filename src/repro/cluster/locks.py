@@ -1,0 +1,196 @@
+"""Conflict-aware locking for the scheduler's write path.
+
+The original write path serialised every broadcast behind one global
+``threading.Lock``, so a hash-partitioned RAIDb-0/2 cluster gained write
+capacity on paper but executed one write at a time in practice. This
+module provides the :class:`LockManager` that replaces it: writes
+acquire **table-level locks** derived from the classifier's table sets,
+so statements touching disjoint tables execute and broadcast in
+parallel while conflicting statements still serialise in acquisition
+order.
+
+Two acquisition modes:
+
+- :meth:`LockManager.tables` — lock a known, non-empty table set. The
+  acquisition is *all-or-nothing under one condition variable*, so there
+  is no incremental lock ordering and therefore no deadlock between
+  writers (a writer never holds some of its tables while waiting for
+  others).
+- :meth:`LockManager.exclusive` — the global mode. It waits for every
+  in-flight table acquisition to drain and blocks all new ones, which is
+  exactly the old global-lock behaviour. Everything that relied on total
+  order keeps it by acquiring this mode: transaction control, statements
+  with an unknown/unparseable table set, resync replays, dump-based cold
+  starts, snapshot dumps and placement swaps. The worst case is today's
+  safety — never weaker.
+
+Exclusive acquisition has priority over new table acquisitions: once an
+exclusive caller is waiting, fresh table acquisitions queue behind it,
+so a resync cannot be starved by a steady stream of writers. Exclusive
+acquisition is reentrant per thread (a recovery path that re-enters the
+scheduler must not self-deadlock); table acquisition is not, and never
+needs to be — one statement acquires exactly once.
+
+``conflict_aware=False`` turns every acquisition into the exclusive
+mode, restoring the single-global-lock behaviour byte for byte — the
+concurrency benchmark (E15) compares the two modes, and operators can
+fall back via ``ControllerConfig.conflict_aware_locking``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+
+class LockManager:
+    """Table-level write locks with an exclusive global mode."""
+
+    def __init__(self, conflict_aware: bool = True) -> None:
+        #: When False, every acquisition takes the exclusive mode — the
+        #: pre-lock-manager behaviour (one global write lock).
+        self.conflict_aware = conflict_aware
+        self._cond = threading.Condition()
+        #: Tables currently locked by some in-flight statement.
+        self._held_tables: Set[str] = set()
+        #: How many table-scope acquisitions are in flight.
+        self._active_table_ops = 0
+        #: Thread ident of the exclusive holder (None when free).
+        self._exclusive_owner: Optional[int] = None
+        self._exclusive_depth = 0
+        #: Exclusive callers currently waiting (gives them priority).
+        self._exclusive_waiters = 0
+        # -- counters (surfaced through stats()) --
+        self.table_acquisitions = 0
+        self.exclusive_acquisitions = 0
+        #: Acquisitions that had to wait for a conflicting holder.
+        self.table_waits = 0
+        self.exclusive_waits = 0
+        #: Total seconds spent blocked waiting for locks.
+        self.wait_seconds = 0.0
+
+    # -- table scope -------------------------------------------------------------
+
+    def acquire_tables(self, tables: Iterable[str]) -> FrozenSet[str]:
+        """Block until every table in ``tables`` is free, then hold them.
+
+        Returns the frozen set actually held (pass it to
+        :meth:`release_tables`). Must not be called with an empty set —
+        an unknown table set means the caller cannot know what it
+        conflicts with and must take :meth:`exclusive` instead.
+        """
+        wanted = frozenset(tables)
+        if not wanted:
+            raise ValueError("empty table set: acquire exclusive() instead")
+        with self._cond:
+            waited = False
+            started = 0.0
+            while (
+                self._exclusive_owner is not None
+                or self._exclusive_waiters
+                or not self._held_tables.isdisjoint(wanted)
+            ):
+                if not waited:
+                    waited = True
+                    started = time.monotonic()
+                self._cond.wait()
+            if waited:
+                self.table_waits += 1
+                self.wait_seconds += time.monotonic() - started
+            self._held_tables.update(wanted)
+            self._active_table_ops += 1
+            self.table_acquisitions += 1
+            return wanted
+
+    def release_tables(self, tables: FrozenSet[str]) -> None:
+        with self._cond:
+            self._held_tables.difference_update(tables)
+            self._active_table_ops -= 1
+            self._cond.notify_all()
+
+    # -- exclusive scope ---------------------------------------------------------
+
+    def acquire_exclusive(self) -> None:
+        """Block until no table acquisition is in flight, then hold the
+        whole write path. Reentrant per thread."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._exclusive_owner == me:
+                self._exclusive_depth += 1
+                return
+            self._exclusive_waiters += 1
+            waited = False
+            started = 0.0
+            try:
+                while self._exclusive_owner is not None or self._active_table_ops:
+                    if not waited:
+                        waited = True
+                        started = time.monotonic()
+                    self._cond.wait()
+            finally:
+                self._exclusive_waiters -= 1
+            if waited:
+                self.exclusive_waits += 1
+                self.wait_seconds += time.monotonic() - started
+            self._exclusive_owner = me
+            self._exclusive_depth = 1
+            self.exclusive_acquisitions += 1
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            if self._exclusive_owner != threading.get_ident():
+                raise RuntimeError("exclusive lock released by a non-owner thread")
+            self._exclusive_depth -= 1
+            if self._exclusive_depth == 0:
+                self._exclusive_owner = None
+                self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()
+
+    @contextmanager
+    def tables(self, tables: Iterable[str]) -> Iterator[None]:
+        held = self.acquire_tables(tables)
+        try:
+            yield
+        finally:
+            self.release_tables(held)
+
+    @contextmanager
+    def scope(self, tables: Optional[Iterable[str]]) -> Iterator[None]:
+        """The scheduler's one entry point: table locks for a known
+        non-empty table set, the exclusive mode for ``None``/empty (and
+        always when ``conflict_aware`` is off)."""
+        table_set = frozenset(tables) if tables is not None else frozenset()
+        if not self.conflict_aware or not table_set:
+            with self.exclusive():
+                yield
+        else:
+            with self.tables(table_set):
+                yield
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "conflict_aware": self.conflict_aware,
+                "tables_held": len(self._held_tables),
+                "active_table_ops": self._active_table_ops,
+                "exclusive_held": self._exclusive_owner is not None,
+                "exclusive_waiters": self._exclusive_waiters,
+                "table_acquisitions": self.table_acquisitions,
+                "exclusive_acquisitions": self.exclusive_acquisitions,
+                "table_waits": self.table_waits,
+                "exclusive_waits": self.exclusive_waits,
+                "wait_seconds": round(self.wait_seconds, 6),
+            }

@@ -21,7 +21,7 @@ after that index. Unlike the original in-memory list, this log:
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.cluster.recovery.checkpoints import Checkpoint, CheckpointRegistry
 from repro.cluster.recovery.logstore import LogEntry, LogStore, MemoryLogStore
@@ -51,6 +51,18 @@ class RecoveryLog:
         self.compactions = 0
         self.entries_compacted = 0
         self._lock = threading.Lock()
+        #: Per-table sequence counters (the per-table ordering model:
+        #: conflict-aware locking makes cluster-wide index order
+        #: meaningful only per table). Seeded from the store's retained
+        #: entries, so a restarted durable log continues each table's
+        #: sequence where it left off; a table whose every entry was
+        #: compacted restarts at 1 — its replayable history is empty, so
+        #: no replay can observe the reset.
+        self._table_seqs: Dict[str, int] = {}
+        for entry in self._store.entries_after(self._store.truncated_through):
+            for table, seq in entry.table_seqs.items():
+                if seq > self._table_seqs.get(table, 0):
+                    self._table_seqs[table] = seq
 
     @property
     def store(self) -> LogStore:
@@ -63,14 +75,28 @@ class RecoveryLog:
         sql: str,
         params: Optional[Dict[str, Any]] = None,
         transaction_id: Optional[str] = None,
+        write_tables: Optional[Iterable[str]] = None,
     ) -> LogEntry:
-        """Append one write; returns the entry with its assigned index."""
+        """Append one write; returns the entry with its assigned index.
+
+        ``write_tables`` (the classifier's canonicalised table set) gets
+        each table its next per-table sequence number. The caller must
+        hold the table locks (or the exclusive lock) covering these
+        tables across execute+append, which is what makes index order
+        equal execution order *per table*."""
         with self._lock:
+            tables = tuple(sorted(write_tables or ()))
+            seqs: Dict[str, int] = {}
+            for table in tables:
+                seqs[table] = self._table_seqs.get(table, 0) + 1
+                self._table_seqs[table] = seqs[table]
             entry = LogEntry(
                 index=self._store.last_index + 1,
                 sql=sql,
                 params=dict(params or {}),
                 transaction_id=transaction_id,
+                write_tables=tables,
+                table_seqs=seqs,
             )
             self._store.append(entry)
             self._appends_since_compact += 1
@@ -162,6 +188,7 @@ class RecoveryLog:
             "last_index": store_stats["last_index"],
             "first_index": store_stats["truncated_through"] + 1,
             "retained_entries": store_stats["entry_count"],
+            "tables_sequenced": len(self._table_seqs),
             "compactions": self.compactions,
             "entries_compacted": self.entries_compacted,
             "auto_compact_every": self.auto_compact_every,

@@ -22,19 +22,34 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, List, Optional
+from typing import Any, Dict, IO, List, Optional, Tuple
 
 from repro.errors import DriverError
 
 
 @dataclass(frozen=True)
 class LogEntry:
-    """One logged write statement."""
+    """One logged write statement.
+
+    ``write_tables``/``table_seqs`` carry the per-table ordering model:
+    under conflict-aware locking the cluster-wide index order is only
+    meaningful *per table* (disjoint-table writes append in whatever
+    order they finish), so each entry records the tables it writes and a
+    per-table sequence number assigned by the :class:`RecoveryLog`.
+    Replay verifies these sequences stay monotone per table, and a
+    backend that already applied an entry's every table effect (tracked
+    by :class:`repro.cluster.backend.Backend`) can skip it instead of
+    double-applying. Entries with an empty ``write_tables`` have an
+    unknown table set and are always appended — and replayed — under the
+    exclusive global lock, so they keep total order.
+    """
 
     index: int
     sql: str
     params: Dict[str, Any] = field(default_factory=dict)
     transaction_id: Optional[str] = None
+    write_tables: Tuple[str, ...] = ()
+    table_seqs: Dict[str, int] = field(default_factory=dict)
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -42,6 +57,8 @@ class LogEntry:
             "sql": self.sql,
             "params": _encode_params(self.params),
             "transaction_id": self.transaction_id,
+            "write_tables": list(self.write_tables),
+            "table_seqs": dict(self.table_seqs),
         }
 
     @staticmethod
@@ -51,6 +68,13 @@ class LogEntry:
             sql=str(payload["sql"]),
             params=_decode_params(dict(payload.get("params") or {})),
             transaction_id=payload.get("transaction_id"),
+            write_tables=tuple(
+                str(table) for table in (payload.get("write_tables") or ())
+            ),
+            table_seqs={
+                str(table): int(seq)
+                for table, seq in (payload.get("table_seqs") or {}).items()
+            },
         )
 
 

@@ -30,15 +30,27 @@ query cache, exactly as under RAIDb-1.
 Genuine writes are appended to the recovery log for backend resync
 (replay is filtered per backend by each entry's written tables), and a
 write that fails on one hosting backend marks that backend FAILED while
-the statement still succeeds if any hosting replica accepted it. Writes
-are serialised so the recovery-log order equals the execution order on
-every backend; the parallelism is *across backends within one write*.
+the statement still succeeds if any hosting replica accepted it.
+
+Write ordering is **conflict-aware** (:mod:`repro.cluster.locks`): a
+write acquires table-level locks covering every table it touches, so
+statements on disjoint tables execute and broadcast in parallel — the
+capacity a partial placement promises — while conflicting statements
+serialise in acquisition order. Execution and log append happen under
+the same table locks, so log-index order equals execution order *per
+table*; cluster-wide total order across disjoint tables is no longer
+meaningful, and the recovery log records per-table sequence numbers so
+replay can verify (and backends can deduplicate) per-table order.
+Transaction control, statements with an unknown/unparseable table set,
+resync replays, cold starts, snapshot dumps and placement swaps all
+take the exclusive global mode — today's total-order behaviour is the
+worst case, never violated.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.cluster.backend import Backend, STATEMENT_FAULTS
 from repro.cluster.broadcaster import WriteBroadcaster
@@ -50,6 +62,7 @@ from repro.cluster.classifier import (
     normalize_table_name,
 )
 from repro.cluster.loadbalancer import ReadPolicy, RoundRobinPolicy
+from repro.cluster.locks import LockManager
 from repro.cluster.placement import NoHostingBackendError, PlacementMap, create_placement
 from repro.cluster.querycache import QueryCache
 from repro.cluster.recovery import (
@@ -64,6 +77,7 @@ from repro.errors import DriverError
 __all__ = [
     "RequestScheduler",
     "SchedulerError",
+    "LockManager",
     "NoHostingBackendError",
     "is_write_statement",
     "is_transaction_control",
@@ -86,6 +100,7 @@ class RequestScheduler:
         query_cache: Optional[QueryCache] = None,
         broadcaster: Optional[WriteBroadcaster] = None,
         placement: Optional[PlacementMap] = None,
+        lock_manager: Optional[LockManager] = None,
     ) -> None:
         self._backends = list(backends)
         self._recovery_log = recovery_log
@@ -96,19 +111,35 @@ class RequestScheduler:
         for backend in self._backends:
             self._placement.add_backend(backend.name)
         self._lock = threading.Lock()
-        # Writes are totally ordered: log append + broadcast happen under
-        # this lock so every backend applies writes in log order.
-        self._write_lock = threading.Lock()
-        # Tables written inside open transactions (guarded by _write_lock).
-        # A concurrent autocommit read can cache the uncommitted state, and
-        # a later ROLLBACK would leave that entry stale forever — so every
-        # COMMIT/ROLLBACK flushes these from the cache. The set is only
-        # cleared once *no* transaction remains open: the scheduler cannot
-        # tell whose transaction just ended, so it over-invalidates rather
-        # than let one session's COMMIT erase another session's tracking.
+        # Conflict-aware write ordering: each broadcast holds table-level
+        # locks covering the tables it touches (disjoint writes run in
+        # parallel), or the manager's exclusive mode when only total
+        # order is safe — transaction control, unknown table sets,
+        # resync/cold-start/dump/placement swaps. Execution and log
+        # append happen under the same locks, so log order equals
+        # execution order per table.
+        self._locks = lock_manager or LockManager()
+        # Scheduler-internal accounting shared by concurrent writers
+        # (transaction state, log append + checkpoint advancement).
+        # Always acquired *after* the lock manager's scope and never
+        # held across a broadcast, so it cannot deadlock against it.
+        self._state_lock = threading.Lock()
+        # Tables written inside open transactions (guarded by
+        # _state_lock). A concurrent autocommit read can cache the
+        # uncommitted state, and a later ROLLBACK would leave that entry
+        # stale forever — so every COMMIT/ROLLBACK flushes these from the
+        # cache. The set is only cleared once *no* transaction remains
+        # open: the scheduler cannot tell whose transaction just ended,
+        # so it over-invalidates rather than let one session's COMMIT
+        # erase another session's tracking.
         self._tx_dirty_tables: set = set()
         self._tx_dirty_all = False
         self._open_transactions = 0
+        #: Session that opened the currently-open transaction (best
+        #: effort — callers that don't thread a session id leave None).
+        #: Surfaced in the disable/enable refusal message so an operator
+        #: can find the offending client instead of guessing.
+        self._tx_owner: Optional[str] = None
         # Writes executed inside the open transaction, deferred from the
         # recovery log until COMMIT: a rolled-back write must never be
         # replayed into a recovering backend, and a backend that failed
@@ -116,7 +147,8 @@ class RequestScheduler:
         # A single buffer is sound because the engine admits one open
         # transaction at a time (a second BEGIN is rejected); if backends
         # ever gain per-session connections this needs keying by session.
-        self._tx_buffer: List[Tuple[str, Dict[str, Any]]] = []
+        # Each element is (sql, params, write_tables).
+        self._tx_buffer: List[Tuple[str, Dict[str, Any], FrozenSet[str]]] = []
         # True while a resync replay or dump restore holds the write lock:
         # the controller answers write traffic with ``controller_recovering``
         # so failover-capable drivers retry on a sibling instead of
@@ -129,8 +161,23 @@ class RequestScheduler:
     @property
     def open_transactions(self) -> int:
         """Transactions currently open somewhere on the cluster."""
-        with self._write_lock:
+        with self._state_lock:
             return self._open_transactions
+
+    @property
+    def lock_manager(self) -> LockManager:
+        return self._locks
+
+    def _open_transaction_detail(self) -> str:
+        """Who holds the open transaction and what it wrote so far —
+        the operator-triage detail for disable/enable refusals."""
+        with self._state_lock:
+            owner = self._tx_owner or "unknown"
+            tables = sorted({
+                table for _, _, write_tables in self._tx_buffer for table in write_tables
+            })
+        described = ", ".join(tables) if tables else "none recorded yet"
+        return f"session {owner}, open-transaction tables: {described}"
 
     @property
     def resync_in_progress(self) -> bool:
@@ -147,7 +194,7 @@ class RequestScheduler:
         the checkpoint is recorded, so it reflects exactly the writes the
         backend has applied. The checkpoint is registered by name so log
         compaction keeps the entries this backend still needs to replay."""
-        with self._write_lock:
+        with self._locks.exclusive():
             if backend.enabled:
                 checkpoint = self._recovery_log.last_index
             else:
@@ -166,23 +213,24 @@ class RequestScheduler:
         """Replay a disabled backend's missed writes and re-enable it,
         atomically with respect to the write path.
 
-        Holding the write lock for the whole snapshot+replay+enable means
-        no write can land between the log snapshot and the ENABLED flip
-        (it would be applied to the other replicas only and never
-        replayed), and no transaction can open mid-resync — a backend
-        joining mid-transaction would apply the transaction's remaining
-        writes as autocommit, beyond ROLLBACK's reach.
+        Holding the exclusive write lock for the whole
+        snapshot+replay+enable means no write can land between the log
+        snapshot and the ENABLED flip (it would be applied to the other
+        replicas only and never replayed), and no transaction can open
+        mid-resync — a backend joining mid-transaction would apply the
+        transaction's remaining writes as autocommit, beyond ROLLBACK's
+        reach.
 
         When compaction already truncated entries this backend needs, a
         ``dumper`` turns the replay into a dump-based cold start from a
         healthy sibling; without one the caller gets a SchedulerError.
         Returns how many log entries were replayed.
         """
-        with self._write_lock:
-            if self._open_transactions:
+        with self._locks.exclusive():
+            if self.open_transactions:
                 raise SchedulerError(
                     f"cannot enable backend {backend.name!r} while a transaction "
-                    "is open; retry after it ends"
+                    f"is open ({self._open_transaction_detail()}); retry after it ends"
                 )
             self._resyncing = True
             try:
@@ -217,11 +265,11 @@ class RequestScheduler:
         flip happen under the write lock, so the new replica joins exactly
         at the log head. Returns the number of restore statements run."""
         dumper = dumper or DatabaseDumper()
-        with self._write_lock:
-            if self._open_transactions:
+        with self._locks.exclusive():
+            if self.open_transactions:
                 raise SchedulerError(
                     f"cannot bootstrap backend {backend.name!r} while a transaction "
-                    "is open; retry after it ends"
+                    f"is open ({self._open_transaction_detail()}); retry after it ends"
                 )
             # Join the placement universe first: the cold start below asks
             # the map which tables this backend hosts, and unpinned
@@ -259,7 +307,10 @@ class RequestScheduler:
             return None
 
         def entry_filter(entry: LogEntry) -> bool:
-            tables = classify(entry.sql).write_tables
+            # Entries carry their write tables since the per-table
+            # ordering model; re-classify only legacy entries that
+            # predate it (e.g. an old durable log directory).
+            tables = entry.write_tables or classify(entry.sql).write_tables
             if not tables:
                 return True
             return any(placement.backend_hosts(backend.name, table) for table in tables)
@@ -425,7 +476,7 @@ class RequestScheduler:
         ``table_filter`` restricts the snapshot to a table subset (for
         provisioning partial replicas from an operator-driven dump)."""
         dumper = dumper or DatabaseDumper()
-        with self._write_lock:
+        with self._locks.exclusive():
             source = next(iter(self.enabled_backends()), None)
             if source is None:
                 raise SchedulerError("no enabled backend available to dump")
@@ -456,7 +507,7 @@ class RequestScheduler:
         new_map = create_placement(
             placement, backend_names=[backend.name for backend in self.backends()]
         )
-        with self._write_lock:
+        with self._locks.exclusive():
             self._placement = new_map
             if self._cache is not None:
                 self._cache.clear()
@@ -491,16 +542,27 @@ class RequestScheduler:
     # -- routing -----------------------------------------------------------------
 
     def execute(
-        self, sql: str, params: Optional[Dict[str, Any]] = None, in_transaction: bool = False
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]] = None,
+        in_transaction: bool = False,
+        session_id: Optional[str] = None,
     ) -> Tuple[List[str], List[Any], int]:
-        """Execute one statement with replication semantics."""
+        """Execute one statement with replication semantics.
+
+        ``session_id`` (optional) names the client session for
+        observability: a BEGIN records it as the open transaction's
+        owner, so a refused disable/enable can tell the operator *which*
+        session to chase instead of just "a transaction is open"."""
         enabled = self.enabled_backends()
         if not enabled:
             raise SchedulerError("no enabled backend available")
         statement = classify(sql)
         if statement.is_read and not in_transaction:
             return self._execute_read(enabled, sql, params, statement)
-        return self._execute_broadcast(enabled, sql, params, statement, in_transaction)
+        return self._execute_broadcast(
+            enabled, sql, params, statement, in_transaction, session_id=session_id
+        )
 
     def _read_candidate_filter(
         self, enabled: List[Backend], statement: ClassifiedStatement
@@ -634,12 +696,17 @@ class RequestScheduler:
         params: Optional[Dict[str, Any]],
         statement: ClassifiedStatement,
         in_transaction: bool = False,
+        session_id: Optional[str] = None,
     ) -> Tuple[List[str], List[Any], int]:
         # Anything reaching this path that is not a genuine read is
         # replicated; only genuine writes are logged for resync —
         # transaction control and in-transaction reads are not.
         log_it = not statement.is_read and not statement.is_transaction_control
-        with self._write_lock:
+        # Conflict-aware scope: table locks covering everything the
+        # statement touches (disjoint statements run in parallel), or
+        # the exclusive global mode for transaction control / unknown
+        # table sets — see ClassifiedStatement.lock_tables.
+        with self._locks.scope(statement.lock_tables):
             # Re-snapshot the membership under the lock: a backend enabled
             # by a resync that this write waited out must be included, or
             # it silently misses the write with no resync left to replay it.
@@ -653,6 +720,8 @@ class RequestScheduler:
             if log_it and self._cache is not None:
                 # Invalidate before execution as well: entries cached
                 # against the pre-write state must not survive the write.
+                # Safe under concurrent writers: this writer holds its
+                # tables' locks, so only it can invalidate them here.
                 self._cache.invalidate_tables(statement.write_tables)
             outcome = self._broadcaster.broadcast(targets, sql, params)
             # A statement fault on *every* backend blames the statement —
@@ -666,11 +735,62 @@ class RequestScheduler:
                 if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
                     failure.backend.mark_failed()
             result = outcome.result
+            self._account_broadcast_locked_scope(
+                sql,
+                params,
+                statement,
+                outcome,
+                in_transaction,
+                session_id,
+                log_it,
+                any_succeeded,
+                result,
+            )
+            if statement.command == "DROP" and any_succeeded:
+                # Keep the map bounded under table churn; a recreated
+                # table gets a fresh assignment.
+                self._placement.unpin(statement.write_tables)
+            if log_it and self._cache is not None:
+                # Invalidate again now that every backend applied the write:
+                # evicts results a concurrent read cached from a backend the
+                # broadcast had not reached yet, and bumps the floor so any
+                # still-in-flight read cannot store a pre-write result.
+                self._cache.invalidate_tables(statement.write_tables)
+        if result is None:
+            raise SchedulerError(
+                f"statement failed on every backend: {'; '.join(outcome.failure_messages())}"
+            )
+        return result
+
+    def _account_broadcast_locked_scope(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        statement: ClassifiedStatement,
+        outcome: Any,
+        in_transaction: bool,
+        session_id: Optional[str],
+        log_it: bool,
+        any_succeeded: bool,
+        result: Optional[Tuple[List[str], List[Any], int]],
+    ) -> None:
+        """Log append, transaction accounting and checkpoint advancement
+        for one broadcast. Caller holds the statement's lock scope; this
+        method serialises the shared accounting under ``_state_lock``
+        (two disjoint-table writers run their broadcasts in parallel but
+        append + advance atomically, one after the other).
+
+        The transaction counter cannot change while any writer holds
+        table locks — BEGIN/COMMIT/ROLLBACK take the exclusive mode,
+        which waits for every table scope to drain — so the buffered-vs-
+        direct append decision made here is stable for the lock holder.
+        """
+        with self._state_lock:
+            appended: Optional[LogEntry] = None
             if log_it and any_succeeded:
                 # Logged only after at least one replica accepted it: a
                 # statement every backend rejected must not sit in the log
-                # and poison future resyncs. The write lock keeps log
-                # order equal to execution order regardless.
+                # and poison future resyncs.
                 if self._open_transactions > 0:
                     # Deferred until COMMIT (discarded on ROLLBACK) so the
                     # log only ever holds committed writes. The engine has
@@ -682,13 +802,17 @@ class RequestScheduler:
                     # the flag can go stale (e.g. another session closed
                     # the transaction), and a write the engine autocommits
                     # must be logged immediately, never left in the buffer.
-                    self._tx_buffer.append((sql, dict(params or {})))
+                    self._tx_buffer.append(
+                        (sql, dict(params or {}), frozenset(statement.write_tables))
+                    )
                     if statement.write_tables:
                         self._tx_dirty_tables.update(statement.write_tables)
                     else:
                         self._tx_dirty_all = True
                 else:
-                    self._recovery_log.append(sql, params)
+                    appended = self._recovery_log.append(
+                        sql, params, write_tables=statement.write_tables
+                    )
             if statement.is_transaction_control:
                 if statement.command in ("BEGIN", "START"):
                     # Count every BEGIN the engine accepted — the engine
@@ -699,6 +823,8 @@ class RequestScheduler:
                     # pin the dirty set.
                     if result is not None:
                         self._open_transactions += 1
+                        if self._tx_owner is None:
+                            self._tx_owner = session_id
                 elif statement.command in ("COMMIT", "ROLLBACK") and (
                     in_transaction or self._open_transactions > 0
                 ):
@@ -717,9 +843,16 @@ class RequestScheduler:
                         for failure in outcome.failed
                     )
                     if not statement_rejected:
+                        flushed: List[LogEntry] = []
                         if statement.command == "COMMIT" and result is not None:
-                            for buffered_sql, buffered_params in self._tx_buffer:
-                                self._recovery_log.append(buffered_sql, buffered_params)
+                            for buffered_sql, buffered_params, buffered_tables in self._tx_buffer:
+                                flushed.append(
+                                    self._recovery_log.append(
+                                        buffered_sql,
+                                        buffered_params,
+                                        write_tables=buffered_tables,
+                                    )
+                                )
                         # ROLLBACK — or a close no backend could run (those
                         # replicas are FAILED and their aborted server
                         # sessions rolled the transaction back) — discards
@@ -727,25 +860,38 @@ class RequestScheduler:
                         # stay pinned.
                         self._tx_buffer = []
                         self._open_transactions = max(0, self._open_transactions - 1)
+                        if self._open_transactions == 0:
+                            self._tx_owner = None
                         self._flush_tx_dirty_locked()
+                        # The still-enabled replicas ran the whole
+                        # transaction; record the flushed entries' table
+                        # sequences as applied there so a later replay
+                        # can deduplicate them. Merged into one call per
+                        # backend — sequences only grow, so each table's
+                        # highest flushed sequence covers the rest.
+                        if flushed:
+                            merged_seqs: Dict[str, int] = {}
+                            for entry in flushed:
+                                merged_seqs.update(entry.table_seqs)
+                            for success in outcome.succeeded:
+                                success.backend.advance_checkpoint(
+                                    flushed[-1].index, merged_seqs
+                                )
             last_index = self._recovery_log.last_index
             for success in outcome.succeeded:
-                success.backend.checkpoint_index = last_index
-            if statement.command == "DROP" and any_succeeded:
-                # Keep the map bounded under table churn; a recreated
-                # table gets a fresh assignment.
-                self._placement.unpin(statement.write_tables)
-            if log_it and self._cache is not None:
-                # Invalidate again now that every backend applied the write:
-                # evicts results a concurrent read cached from a backend the
-                # broadcast had not reached yet, and bumps the floor so any
-                # still-in-flight read cannot store a pre-write result.
-                self._cache.invalidate_tables(statement.write_tables)
-        if result is None:
-            raise SchedulerError(
-                f"statement failed on every backend: {'; '.join(outcome.failure_messages())}"
-            )
-        return result
+                # advance_checkpoint refuses on non-ENABLED backends: a
+                # concurrent disjoint writer may have marked this backend
+                # FAILED for a write it missed, and advancing past that
+                # write would make the next resync silently skip it.
+                success.backend.advance_checkpoint(
+                    last_index, appended.table_seqs if appended is not None else None
+                )
+            if appended is not None:
+                for failure in outcome.failed:
+                    # Even if a concurrent disjoint write already advanced
+                    # this backend's checkpoint past our entry, the entry
+                    # it just missed must stay inside its replay range.
+                    failure.backend.limit_checkpoint(appended.index - 1)
 
     def _flush_tx_dirty_locked(self) -> None:
         """Evict cache entries that may have observed uncommitted state.
@@ -755,7 +901,8 @@ class RequestScheduler:
         than serve data from a rolled-back transaction forever). The dirty
         set survives until no transaction remains open, so an unrelated
         session's commit cannot erase the tracking of one still in flight.
-        Caller holds ``_write_lock``.
+        Caller holds ``_state_lock`` (and the exclusive lock scope —
+        transaction control never runs under mere table locks).
         """
         if self._cache is not None:
             if self._tx_dirty_all:
@@ -776,7 +923,10 @@ class RequestScheduler:
         return {
             "read_policy": self._policy.name,
             "placement": self._placement.stats(),
+            "locks": self._locks.stats(),
+            "open_transactions": self.open_transactions,
             "parallel_writes": self._broadcaster.parallel,
+            "broadcaster": self._broadcaster.stats(),
             "query_cache": cache.stats() if cache is not None else None,
             "recovery_log_entries": self._recovery_log.last_index,
             "recovery_log": self._recovery_log.stats(),

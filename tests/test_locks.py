@@ -1,0 +1,183 @@
+"""Unit tests for the conflict-aware lock manager."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.locks import LockManager
+
+
+def _spawn(target):
+    thread = threading.Thread(target=target)
+    thread.start()
+    return thread
+
+
+class TestTableScope:
+    def test_disjoint_tables_overlap(self):
+        manager = LockManager()
+        inside = threading.Barrier(2, timeout=5.0)
+
+        def worker(table):
+            with manager.tables({table}):
+                inside.wait()  # both workers hold their lock at once
+
+        workers = [_spawn(lambda t=t: worker(t)) for t in ("a", "b")]
+        for worker_thread in workers:
+            worker_thread.join(timeout=5.0)
+        assert not any(w.is_alive() for w in workers)
+        assert manager.stats()["table_acquisitions"] == 2
+        assert manager.stats()["table_waits"] == 0
+
+    def test_conflicting_tables_serialise(self):
+        manager = LockManager()
+        order = []
+        held = threading.Event()
+        release = threading.Event()
+
+        def first():
+            with manager.tables({"a", "b"}):
+                held.set()
+                release.wait(timeout=5.0)
+                order.append("first")
+
+        def second():
+            held.wait(timeout=5.0)
+            with manager.tables({"b", "c"}):
+                order.append("second")
+
+        threads = [_spawn(first), _spawn(second)]
+        held.wait(timeout=5.0)
+        time.sleep(0.02)  # give the second worker time to block on b
+        assert order == []
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert order == ["first", "second"]
+        assert manager.stats()["table_waits"] == 1
+
+    def test_empty_table_set_is_refused(self):
+        with pytest.raises(ValueError):
+            LockManager().acquire_tables(())
+
+    def test_locks_released_on_error(self):
+        manager = LockManager()
+        with pytest.raises(RuntimeError):
+            with manager.tables({"a"}):
+                raise RuntimeError("boom")
+        # The scope is free again.
+        with manager.tables({"a"}):
+            pass
+        assert manager.stats()["tables_held"] == 0
+
+
+class TestExclusiveScope:
+    def test_exclusive_waits_for_table_scopes_to_drain(self):
+        manager = LockManager()
+        table_held = threading.Event()
+        release_table = threading.Event()
+        order = []
+
+        def table_worker():
+            with manager.tables({"a"}):
+                table_held.set()
+                release_table.wait(timeout=5.0)
+                order.append("table")
+
+        def exclusive_worker():
+            table_held.wait(timeout=5.0)
+            with manager.exclusive():
+                order.append("exclusive")
+
+        threads = [_spawn(table_worker), _spawn(exclusive_worker)]
+        table_held.wait(timeout=5.0)
+        time.sleep(0.02)
+        assert order == []  # exclusive is blocked behind the table scope
+        release_table.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert order == ["table", "exclusive"]
+        assert manager.stats()["exclusive_waits"] == 1
+
+    def test_waiting_exclusive_blocks_new_table_scopes(self):
+        # No starvation: once an exclusive caller waits, fresh table
+        # acquisitions queue behind it even for uncontended tables.
+        manager = LockManager()
+        first_held = threading.Event()
+        release_first = threading.Event()
+        order = []
+
+        def first_table():
+            with manager.tables({"a"}):
+                first_held.set()
+                release_first.wait(timeout=5.0)
+
+        def exclusive_worker():
+            with manager.exclusive():
+                order.append("exclusive")
+
+        def late_table():
+            with manager.tables({"b"}):
+                order.append("late-table")
+
+        t1 = _spawn(first_table)
+        first_held.wait(timeout=5.0)
+        t2 = _spawn(exclusive_worker)
+        time.sleep(0.02)  # let the exclusive worker start waiting
+        t3 = _spawn(late_table)
+        time.sleep(0.02)
+        assert order == []  # the late table scope queued behind exclusive
+        release_first.set()
+        for thread in (t1, t2, t3):
+            thread.join(timeout=5.0)
+        assert order[0] == "exclusive"
+
+    def test_exclusive_is_reentrant_per_thread(self):
+        manager = LockManager()
+        with manager.exclusive():
+            with manager.exclusive():
+                assert manager.stats()["exclusive_held"] is True
+            assert manager.stats()["exclusive_held"] is True
+        assert manager.stats()["exclusive_held"] is False
+
+    def test_release_by_non_owner_is_refused(self):
+        manager = LockManager()
+        errors = []
+        manager.acquire_exclusive()
+
+        def rogue():
+            try:
+                manager.release_exclusive()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        thread = _spawn(rogue)
+        thread.join(timeout=5.0)
+        manager.release_exclusive()
+        assert len(errors) == 1
+
+
+class TestScope:
+    def test_scope_with_tables_takes_table_locks(self):
+        manager = LockManager()
+        with manager.scope({"a"}):
+            stats = manager.stats()
+            assert stats["tables_held"] == 1
+            assert stats["exclusive_held"] is False
+
+    def test_scope_with_none_or_empty_takes_exclusive(self):
+        manager = LockManager()
+        for scope in (None, frozenset()):
+            with manager.scope(scope):
+                stats = manager.stats()
+                assert stats["exclusive_held"] is True
+                assert stats["tables_held"] == 0
+
+    def test_conflict_aware_off_forces_exclusive(self):
+        manager = LockManager(conflict_aware=False)
+        with manager.scope({"a"}):
+            stats = manager.stats()
+            assert stats["exclusive_held"] is True
+            assert stats["tables_held"] == 0
+        assert manager.stats()["table_acquisitions"] == 0

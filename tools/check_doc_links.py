@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the docs resolves.
+
+Usage: python tools/check_doc_links.py [file-or-dir ...]
+
+Defaults to README.md + docs/. Scans markdown files for inline links
+and images (``[text](target)``), skips absolute URLs
+(http/https/mailto) and pure in-page anchors (``#fragment``), resolves
+each remaining target relative to the file that contains it (dropping
+any ``#fragment``), and fails with a per-link report when a target does
+not exist. Run by the CI docs job so documentation links cannot rot.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+#: Targets with spaces or nested parens are not used in this repo.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for name in sorted(os.listdir(path)):
+                if name.endswith(".md"):
+                    files.append(os.path.join(path, name))
+        elif path.endswith(".md"):
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {path!r}")
+    return files
+
+
+def check_file(path: str) -> List[Tuple[int, str, str]]:
+    """Broken links in one file as (line_number, target, resolved_path)."""
+    broken: List[Tuple[int, str, str]] = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_SKIP_PREFIXES):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, relative))
+                if not os.path.exists(resolved):
+                    broken.append((line_number, target, resolved))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or ["README.md", "docs"]
+    files = iter_markdown_files(paths)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    checked_links = 0
+    failures = 0
+    for path in files:
+        broken = check_file(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            checked_links += sum(
+                1
+                for line in handle
+                for match in _LINK.finditer(line)
+                if not match.group(1).startswith(_SKIP_PREFIXES)
+            )
+        for line_number, target, resolved in broken:
+            failures += 1
+            print(f"{path}:{line_number}: broken link {target!r} -> {resolved}")
+    print(f"checked {len(files)} files, {checked_links} relative links, {failures} broken")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
