@@ -1,13 +1,16 @@
-"""Concurrency benchmarks (E15): conflict-aware parallel write
-scheduling vs the single global write lock, plus replica-divergence
-checks under a concurrent disjoint-writer workload racing a resync.
+"""Concurrency benchmarks (E15 + E16): conflict-aware parallel write
+scheduling vs the single global write lock, key-level locking vs
+whole-table locks on a same-table disjoint-key workload, plus
+replica-divergence checks under concurrent writers racing a resync.
 
 The interesting shape: with table-level locks, disjoint-table writers
 overlap and aggregate write throughput scales with the partition count,
 while a conflicting workload (every writer on one table) stays at the
 serialised baseline — parallelism exactly where no conflict exists.
-Results are written to ``BENCH_concurrency.json`` so CI can archive
-them next to the other benchmark artifacts.
+Key-level locks repeat the pattern one granularity step down: writers
+on disjoint *rows* of one table overlap, writers on the same row stay
+serialised. Results are written to ``BENCH_concurrency.json`` so CI can
+archive them next to the other benchmark artifacts.
 """
 
 from __future__ import annotations
@@ -19,6 +22,22 @@ from benchmarks.conftest import run_and_report
 from repro.experiments import concurrency
 
 WRITERS = 4
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_concurrency.json"
+)
+
+
+def _merge_payload(**sections):
+    """Update BENCH_concurrency.json in place: the two benchmark tests
+    each own their sections of the one artifact."""
+    payload = {}
+    if os.path.exists(_OUT_PATH):
+        with open(_OUT_PATH, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload.update(sections)
+    with open(_OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
 
 
 def test_bench_concurrency(benchmark):
@@ -59,24 +78,80 @@ def test_bench_concurrency(benchmark):
     assert row["per_table_order_ok"] is True
     assert row["hosts_match_placement"] is True
 
-    payload = {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "parameters": result.parameters,
-        "rows": result.rows,
-        "notes": result.notes,
-        "divergence": {
+    _merge_payload(
+        experiment_id=result.experiment_id,
+        title=result.title,
+        parameters=result.parameters,
+        rows=result.rows,
+        notes=result.notes,
+        divergence={
             "experiment_id": divergence.experiment_id,
             "parameters": divergence.parameters,
             "rows": divergence.rows,
             "notes": divergence.notes,
         },
-    }
-    out_path = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_concurrency.json"
     )
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+
+
+def test_bench_key_locking(benchmark):
+    result = run_and_report(
+        benchmark,
+        concurrency.run_key_experiment,
+        writers=WRITERS,
+        writes_per_writer=25,
+        latency_ms=3.0,
+    )
+    baseline = result.find_row(mode="table-locks")
+    keyed = result.find_row(mode="key-level")
+    conflicting = result.find_row(mode="key-level/conflicting")
+    # Same work, same log size — only the lock granularity differs.
+    assert baseline["log_entries"] == keyed["log_entries"] == conflicting["log_entries"]
+    # The point of key-level locking: disjoint rows of ONE table overlap.
+    # Ideal is ~4x on 4 writers; the issue's gate is the 2x floor so a
+    # loaded CI runner cannot flake it while lost parallelism still fails.
+    assert result.parameters["speedup_x"] >= 2.0
+    assert keyed["wall_s"] < baseline["wall_s"]
+    # Writers on the same row must NOT overlap: conflicting keys
+    # serialise at the table-lock baseline's pace, not the parallel one.
+    assert conflicting["wall_s"] >= keyed["wall_s"]
+    # Observability: the keyed modes acquired key locks, the baseline
+    # stayed at table granularity (key_level_locking=False).
+    assert baseline["key_acquisitions"] == 0
+    assert baseline["table_acquisitions"] == WRITERS * 25
+    assert keyed["key_acquisitions"] == WRITERS * 25
+    assert keyed["table_acquisitions"] == 0
+
+    divergence = run_and_report(
+        benchmark=_NullBenchmark(),
+        run_experiment=concurrency.run_key_divergence_experiment,
+    )
+    row = divergence.rows[0]
+    # Safety: every write logged, every replica identical after resyncs
+    # raced the same-table writers, per-table log sequences monotone —
+    # key-parallel broadcasts may execute in different orders on
+    # different replicas, so convergence is exactly what commuting
+    # disjoint-row statements must buy.
+    assert row["logged"] == row["writes"]
+    assert row["replicas_converged"] is True
+    assert row["final_rows_ok"] is True
+    assert row["per_table_order_ok"] is True
+    assert row["key_acquisitions"] > 0
+
+    _merge_payload(
+        key_locking={
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "parameters": result.parameters,
+            "rows": result.rows,
+            "notes": result.notes,
+        },
+        key_divergence={
+            "experiment_id": divergence.experiment_id,
+            "parameters": divergence.parameters,
+            "rows": divergence.rows,
+            "notes": divergence.notes,
+        },
+    )
 
 
 class _NullBenchmark:

@@ -1,0 +1,34 @@
+"""Repo-level pytest configuration: a deadlock watchdog.
+
+The lock manager's failure mode is not a wrong answer but a silent hang
+(the self-deadlock this PR fixes hung exactly this way), and a hung CI
+job idles until the runner's global timeout with no clue where it
+stuck. pytest-timeout is not installable in this environment, so a
+stdlib ``faulthandler`` watchdog arms before every test: any single
+test exceeding ``REPRO_TEST_TIMEOUT`` seconds (default 120) gets every
+thread's stack dumped to stderr and the process killed — the dump shows
+which locks the threads are parked on.
+
+Set ``REPRO_TEST_TIMEOUT=0`` to disable (e.g. when stepping through a
+test under a debugger).
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+import pytest
+
+_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    if _TIMEOUT_S > 0:
+        faulthandler.dump_traceback_later(_TIMEOUT_S, exit=True)
+    try:
+        yield
+    finally:
+        if _TIMEOUT_S > 0:
+            faulthandler.cancel_dump_traceback_later()

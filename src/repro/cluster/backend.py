@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.cluster.recovery.dumper import DatabaseDump, DatabaseDumper
 from repro.cluster.recovery.logstore import LogEntry
@@ -62,15 +62,23 @@ class Backend:
         #: Relative share of reads under the weighted load-balancing policy.
         self.weight = weight
         self._lock = threading.RLock()
-        #: Highest per-table sequence number applied here, per table (see
-        #: LogEntry.table_seqs). Under conflict-aware locking a backend's
-        #: checkpoint_index can race past an entry it missed (a write
-        #: that failed here while a disjoint concurrent write succeeded);
+        #: Exactly which per-table sequence numbers were applied here
+        #: (see LogEntry.table_seqs), as a low-water-mark floor plus a
+        #: sparse set of sequences above it. Under conflict-aware locking
+        #: a backend's checkpoint_index can race past an entry it missed
+        #: (a write that failed here while a concurrent write succeeded);
         #: the failing writer then rolls the checkpoint back with
         #: :meth:`limit_checkpoint`, and these sequences let the wider
         #: replay *skip* entries this replica already applied instead of
-        #: double-applying them.
-        self.applied_table_seqs: Dict[str, int] = {}
+        #: double-applying them. Membership must be **exact**, not a
+        #: per-table maximum: with key-level locks two writers hit the
+        #: same table concurrently, so this replica can apply sequence
+        #: N+1 while missing N — a max would make the replay skip the
+        #: missed entry and lose the update. The floor collapses the
+        #: contiguous prefix (the common case — sequences arrive in
+        #: order), so memory stays bounded by the number of gaps.
+        self._applied_seq_floor: Dict[str, int] = {}
+        self._applied_seq_sparse: Dict[str, Set[int]] = {}
         #: Statements executed against this backend (observability).
         self.statements_executed = 0
         #: When the failure detector last saw this backend answer a ping.
@@ -130,27 +138,48 @@ class Backend:
 
     # -- statement execution ---------------------------------------------------------
 
-    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None):
-        """Run one statement on the replica, returning (columns, rows, rowcount)."""
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None, track: bool = True):
+        """Run one statement on the replica, returning (columns, rows, rowcount).
+
+        ``track=False`` leaves ``statements_executed`` untouched — for
+        controller-internal catalog probes (primary-key resolution) that
+        are not client work and would skew the observability counter.
+
+        Statements normally serialise on the per-backend lock: the one
+        cached connection is not thread-safe, and DB-API level 1 only
+        promises threads may share the *module*. A connection that
+        declares ``threadsafety >= 2`` (threads may share connections —
+        a replica that processes disjoint-row statements concurrently)
+        executes outside the lock, so key-level lock scopes can actually
+        overlap on one replica instead of re-serialising here."""
         with self._lock:
             connection = self._ensure_connection()
-            cursor = connection.cursor()
-            try:
-                cursor.execute(sql, params or {})
-            except STATEMENT_FAULTS:
-                # The statement was bad; the connection is fine. Keep it.
-                raise
-            except DriverError:
-                # A failed statement may mean the connection (or replica) died;
-                # drop the cached connection so the next call reconnects.
-                self.close_connection()
-                raise
-            columns = [item[0] for item in (cursor.description or [])]
-            rows = cursor.fetchall()
-            rowcount = cursor.rowcount
-            cursor.close()
-            self.statements_executed += 1
-            return columns, rows, rowcount
+            if getattr(connection, "threadsafety", 1) < 2:
+                return self._run_statement(connection, sql, params, track)
+        return self._run_statement(connection, sql, params, track)
+
+    def _run_statement(
+        self, connection: Any, sql: str, params: Optional[Dict[str, Any]], track: bool
+    ):
+        cursor = connection.cursor()
+        try:
+            cursor.execute(sql, params or {})
+        except STATEMENT_FAULTS:
+            # The statement was bad; the connection is fine. Keep it.
+            raise
+        except DriverError:
+            # A failed statement may mean the connection (or replica) died;
+            # drop the cached connection so the next call reconnects.
+            self.close_connection()
+            raise
+        columns = [item[0] for item in (cursor.description or [])]
+        rows = cursor.fetchall()
+        rowcount = cursor.rowcount
+        cursor.close()
+        if track:
+            with self._lock:
+                self.statements_executed += 1
+        return columns, rows, rowcount
 
     def ping(self) -> bool:
         """Liveness probe: can the replica still answer?
@@ -183,6 +212,37 @@ class Backend:
     def enabled(self) -> bool:
         return self.state == BackendState.ENABLED
 
+    def _record_applied_seq_locked(self, table: str, seq: int) -> None:
+        floor = self._applied_seq_floor.get(table, 0)
+        if seq <= floor:
+            return
+        sparse = self._applied_seq_sparse.setdefault(table, set())
+        sparse.add(seq)
+        # Collapse the contiguous prefix into the floor.
+        while floor + 1 in sparse:
+            floor += 1
+            sparse.discard(floor)
+        if floor:
+            self._applied_seq_floor[table] = floor
+        if not sparse:
+            self._applied_seq_sparse.pop(table, None)
+
+    def _seq_applied_locked(self, table: str, seq: int) -> bool:
+        if seq <= self._applied_seq_floor.get(table, 0):
+            return True
+        return seq in self._applied_seq_sparse.get(table, ())
+
+    def has_applied_seqs(self, table_seqs: Dict[str, int]) -> bool:
+        """Whether every per-table sequence of one log entry was already
+        applied here — **exact** membership, so an entry this replica
+        missed is never shadowed by a later same-table entry it applied."""
+        if not table_seqs:
+            return False
+        with self._lock:
+            return all(
+                self._seq_applied_locked(table, seq) for table, seq in table_seqs.items()
+            )
+
     def advance_checkpoint(self, index: int, table_seqs: Optional[Dict[str, int]] = None) -> None:
         """Record that this backend applied the log through ``index``.
 
@@ -191,16 +251,14 @@ class Backend:
         its failure, and advancing its checkpoint past an entry it
         missed would make the next resync silently skip that entry.
         ``table_seqs`` additionally records the entry's per-table
-        sequences as applied (see :attr:`applied_table_seqs`) — recorded
-        regardless of state, because a successful execution is ground
-        truth even on a replica that a concurrent writer just failed,
-        and it is exactly what lets the wider replay skip the statement
-        instead of double-applying it."""
+        sequences as applied — recorded regardless of state, because a
+        successful execution is ground truth even on a replica that a
+        concurrent writer just failed, and it is exactly what lets the
+        wider replay skip the statement instead of double-applying it."""
         with self._lock:
             if table_seqs:
                 for table, seq in table_seqs.items():
-                    if seq > self.applied_table_seqs.get(table, 0):
-                        self.applied_table_seqs[table] = seq
+                    self._record_applied_seq_locked(table, seq)
             if self.state is BackendState.ENABLED and index > self.checkpoint_index:
                 self.checkpoint_index = index
 
@@ -254,7 +312,8 @@ class Backend:
             # sequence recorded before the wipe is about rows that no
             # longer exist, and keeping it would make the tail replay
             # skip entries the restored state actually needs.
-            self.applied_table_seqs = {}
+            self._applied_seq_floor = {}
+            self._applied_seq_sparse = {}
             self.state = BackendState.DISABLED
             return statements
 
@@ -295,7 +354,7 @@ class Backend:
                     if entry.index <= self.checkpoint_index:
                         continue
                     already_applied = bool(entry.table_seqs) and all(
-                        seq <= self.applied_table_seqs.get(table, 0)
+                        self._seq_applied_locked(table, seq)
                         for table, seq in entry.table_seqs.items()
                     )
                     if not already_applied and (
@@ -304,8 +363,7 @@ class Backend:
                         self.execute(entry.sql, entry.params)
                         replayed += 1
                         for table, seq in entry.table_seqs.items():
-                            if seq > self.applied_table_seqs.get(table, 0):
-                                self.applied_table_seqs[table] = seq
+                            self._record_applied_seq_locked(table, seq)
                     self.checkpoint_index = entry.index
             except Exception:
                 # A replay that stops half-way leaves the replica behind

@@ -22,18 +22,19 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.backend import Backend
-from repro.errors import DriverError
 
 QueryResult = Tuple[List[str], List[Any], int]
 
 
 @dataclass
 class BackendOutcome:
-    """Result of one statement on one backend."""
+    """Result of one statement on one backend. ``error`` is usually a
+    :class:`DriverError`, but any exception the backend raised is
+    captured here — see :meth:`WriteBroadcaster._run_one`."""
 
     backend: Backend
     result: Optional[QueryResult] = None
-    error: Optional[DriverError] = None
+    error: Optional[Exception] = None
 
     @property
     def ok(self) -> bool:
@@ -135,7 +136,16 @@ class WriteBroadcaster:
         backend.begin_request()
         try:
             result = backend.execute(sql, params)
-        except DriverError as exc:
+        except Exception as exc:  # noqa: BLE001 - aggregated per backend
+            # Catch *everything*, not just DriverError: an unexpected
+            # exception (driver bug, broken connection object) used to
+            # re-raise out of future.result() in broadcast(), dropping
+            # every sibling outcome — the scheduler never saw which
+            # backends had already applied the write, so the failing
+            # backend was never marked FAILED and silently diverged.
+            # A non-DriverError is a replica fault by definition (it is
+            # not one of STATEMENT_FAULTS), so the scheduler fails the
+            # backend exactly as for a dead connection.
             return BackendOutcome(backend=backend, error=exc)
         finally:
             backend.finish_request()

@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 import functools
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
 from repro.sqlengine.errors import SqlParseError
 from repro.sqlengine.tokenizer import Token, tokenize
@@ -52,12 +52,24 @@ _WRITE_COMMANDS = {
 }
 #: Transaction-control commands: broadcast but never logged for resync.
 _TRANSACTION_COMMANDS = {"BEGIN", "COMMIT", "ROLLBACK", "START", "SAVEPOINT"}
+#: Keywords that end a DML WHERE clause at statement depth.
+_WHERE_TERMINATORS = {"ORDER", "GROUP", "HAVING", "LIMIT", "OFFSET", "RETURNING"}
 #: Functions whose result changes between calls, so their SELECTs must
 #: not be served from the query cache. Called forms require a following
 #: ``(``; the CURRENT_* keywords also appear bare (the sqlengine parser
 #: accepts both spellings).
 _NONDETERMINISTIC_FUNCTIONS = {"NOW", "RANDOM", "RAND"}
 _NONDETERMINISTIC_KEYWORDS = {"CURRENT_TIMESTAMP", "CURRENT_DATE", "CURRENT_TIME"}
+
+
+#: One side of an extracted predicate/value, pre-parameter-resolution:
+#: ``("value", literal)`` for an inline literal (NULL → ``None``,
+#: TRUE/FALSE → bool), ``("param", name)`` for a named placeholder
+#: (positional ``?`` keeps the name ``"?"`` — never resolvable, so the
+#: scheduler falls back to a table lock), ``("opaque", None)`` for an
+#: expression the classifier refuses to evaluate (``DEFAULT``, ``v + 1``,
+#: a subquery…).
+KeyExpr = Tuple[str, Any]
 
 
 @dataclass(frozen=True)
@@ -76,6 +88,25 @@ class ClassifiedStatement:
     referenced_tables: FrozenSet[str] = frozenset()
     #: Whether the result may be stored in the query cache.
     cacheable: bool = False
+    #: Top-level AND-connected ``column = <scalar>`` conjuncts from a DML
+    #: WHERE clause, as ``(column, KeyExpr)`` pairs. Sound to use for
+    #: narrowing because every *conjunct* only shrinks the matched row
+    #: set — so if ``pk = v`` appears here, the statement touches at most
+    #: the row with that key no matter what the other conjuncts say.
+    #: Empty when there is no WHERE, when a top-level OR widens the set,
+    #: or when no conjunct is a simple equality.
+    where_equalities: Tuple[Tuple[str, KeyExpr], ...] = ()
+    #: Columns assigned by an UPDATE's SET list. An UPDATE that assigns
+    #: the primary key moves the row to a *second* key, so the scheduler
+    #: must fall back to a table lock when the PK is in here.
+    set_columns: FrozenSet[str] = frozenset()
+    #: INSERT column list (``None`` when the statement omits it — the
+    #: scheduler then maps values by catalog ordinal position).
+    insert_columns: Optional[Tuple[str, ...]] = None
+    #: The single VALUES row of an INSERT, positionally. ``None`` for
+    #: multi-row inserts, ``INSERT ... SELECT`` and anything else that
+    #: is not one literal row — those fall back to a table lock.
+    insert_values: Optional[Tuple[KeyExpr, ...]] = None
 
     @property
     def is_read(self) -> bool:
@@ -260,6 +291,230 @@ def _read_table_name(tokens: List[Token], index: int) -> Tuple[Optional[str], in
     return normalize_table_name(name), index
 
 
+def _find_keyword(tokens: List[Token], start: int, keyword: str) -> int:
+    """Index of the first depth-0 occurrence of ``keyword`` at or after
+    ``start``, or -1. Occurrences inside parens (subqueries, expression
+    groups) belong to a nested scope and are skipped."""
+    depth = 0
+    for index in range(start, len(tokens)):
+        token = tokens[index]
+        if _is_op(token, "("):
+            depth += 1
+        elif _is_op(token, ")"):
+            depth -= 1
+        elif depth == 0 and _is_ident(token, keyword):
+            return index
+    return -1
+
+
+def _scalar_expr(tokens: List[Token], index: int) -> Tuple[Optional[KeyExpr], int]:
+    """Match one scalar at ``index``: a literal (with optional unary
+    minus), a parameter, or the NULL/TRUE/FALSE keywords. Returns
+    (KeyExpr, next_index), or (None, index) when the shape is anything
+    else."""
+    if index >= len(tokens):
+        return None, index
+    token = tokens[index]
+    if token.kind in ("NUMBER", "STRING"):
+        return ("value", token.value), index + 1
+    if token.kind == "PARAM":
+        return ("param", str(token.value)), index + 1
+    if _is_op(token, "-") and index + 1 < len(tokens) and tokens[index + 1].kind == "NUMBER":
+        return ("value", -tokens[index + 1].value), index + 2
+    if _is_ident(token, "NULL"):
+        return ("value", None), index + 1
+    if _is_ident(token, "TRUE"):
+        return ("value", True), index + 1
+    if _is_ident(token, "FALSE"):
+        return ("value", False), index + 1
+    return None, index
+
+
+def _read_column_name(tokens: List[Token], index: int) -> Tuple[Optional[str], int]:
+    """Read a possibly qualified column reference; returns the bare
+    column name (qualifier stripped, lowercased) and the next index."""
+    if index >= len(tokens) or tokens[index].kind != "IDENT":
+        return None, index
+    name = str(tokens[index].value)
+    index += 1
+    while (
+        _is_op(tokens[index] if index < len(tokens) else None, ".")
+        and index + 1 < len(tokens)
+        and tokens[index + 1].kind == "IDENT"
+    ):
+        name = str(tokens[index + 1].value)
+        index += 2
+    return name.strip('"').lower(), index
+
+
+def _strip_outer_parens(tokens: List[Token]) -> List[Token]:
+    while (
+        len(tokens) >= 2
+        and _is_op(tokens[0], "(")
+        and _skip_balanced(tokens, 0) == len(tokens)
+    ):
+        tokens = tokens[1:-1]
+    return tokens
+
+
+def _match_equality(conjunct: List[Token]) -> Optional[Tuple[str, KeyExpr]]:
+    """Match ``column = scalar`` (either side order) exactly — function
+    calls, casts and compound expressions fail the match and the conjunct
+    is simply ignored (it can only narrow the row set further)."""
+    conjunct = _strip_outer_parens(conjunct)
+    column, index = _read_column_name(conjunct, 0)
+    if column is not None and _is_op(conjunct[index] if index < len(conjunct) else None, "="):
+        expr, end = _scalar_expr(conjunct, index + 1)
+        if expr is not None and end == len(conjunct):
+            return column, expr
+    expr, index = _scalar_expr(conjunct, 0)
+    if expr is not None and _is_op(conjunct[index] if index < len(conjunct) else None, "="):
+        column, end = _read_column_name(conjunct, index + 1)
+        if column is not None and end == len(conjunct):
+            return column, expr
+    return None
+
+
+def _extract_where_equalities(tokens: List[Token], start: int) -> Tuple[Tuple[str, KeyExpr], ...]:
+    """Collect the simple equality conjuncts of a DML WHERE clause. A
+    depth-0 OR abandons extraction entirely: a disjunction *widens* the
+    matched rows, so no single conjunct bounds the statement any more."""
+    where = _find_keyword(tokens, start, "WHERE")
+    if where < 0:
+        return ()
+    region: List[Token] = []
+    depth = 0
+    for index in range(where + 1, len(tokens)):
+        token = tokens[index]
+        if _is_op(token, "("):
+            depth += 1
+        elif _is_op(token, ")"):
+            depth -= 1
+            if depth < 0:
+                break
+        elif (
+            depth == 0
+            and token.kind == "IDENT"
+            and not getattr(token, "quoted", False)
+            and str(token.value).upper() in _WHERE_TERMINATORS
+        ):
+            break
+        region.append(token)
+    conjuncts: List[List[Token]] = [[]]
+    depth = 0
+    for token in region:
+        if _is_op(token, "("):
+            depth += 1
+        elif _is_op(token, ")"):
+            depth -= 1
+        if depth == 0 and _is_ident(token, "OR"):
+            return ()
+        if depth == 0 and _is_ident(token, "AND"):
+            conjuncts.append([])
+        else:
+            conjuncts[-1].append(token)
+    equalities = []
+    for conjunct in conjuncts:
+        matched = _match_equality(conjunct)
+        if matched is not None:
+            equalities.append(matched)
+    return tuple(equalities)
+
+
+def _extract_set_columns(tokens: List[Token], start: int) -> FrozenSet[str]:
+    """Column names assigned by an UPDATE's SET list (depth-0 segment
+    heads between SET and WHERE/end)."""
+    set_index = _find_keyword(tokens, start, "SET")
+    if set_index < 0:
+        return frozenset()
+    columns: set = set()
+    depth = 0
+    expecting_column = True
+    index = set_index + 1
+    while index < len(tokens):
+        token = tokens[index]
+        if _is_op(token, "("):
+            depth += 1
+        elif _is_op(token, ")"):
+            depth -= 1
+            if depth < 0:
+                break
+        elif depth == 0 and _is_ident(token, "WHERE"):
+            break
+        elif depth == 0 and _is_op(token, ","):
+            expecting_column = True
+        elif depth == 0 and expecting_column and token.kind == "IDENT":
+            column, index = _read_column_name(tokens, index)
+            if column is not None:
+                columns.add(column)
+            expecting_column = False
+            continue
+        index += 1
+    return frozenset(columns)
+
+
+def _extract_insert_shape(
+    tokens: List[Token], start: int
+) -> Tuple[Optional[Tuple[str, ...]], Optional[Tuple[KeyExpr, ...]]]:
+    """The column list and single VALUES row of an INSERT. Multi-row
+    inserts and ``INSERT ... SELECT`` return ``(columns, None)`` — the
+    scheduler cannot reduce those to one key and takes a table lock."""
+    into = _find_keyword(tokens, start, "INTO")
+    if into < 0:
+        return None, None
+    _, index = _read_table_name(tokens, into + 1)
+    columns: Optional[Tuple[str, ...]] = None
+    if _is_op(tokens[index] if index < len(tokens) else None, "("):
+        names: List[str] = []
+        index += 1
+        while index < len(tokens) and not _is_op(tokens[index], ")"):
+            if tokens[index].kind == "IDENT":
+                names.append(str(tokens[index].value).strip('"').lower())
+            index += 1
+        index += 1  # past the ")"
+        columns = tuple(names)
+    values_index = _find_keyword(tokens, index, "VALUES")
+    if values_index < 0:
+        return columns, None
+    index = values_index + 1
+    if not _is_op(tokens[index] if index < len(tokens) else None, "("):
+        return columns, None
+    row_end = _skip_balanced(tokens, index)
+    # A second parenthesized row after a comma means multi-row.
+    if (
+        _is_op(tokens[row_end] if row_end < len(tokens) else None, ",")
+        or row_end < len(tokens)
+        and _is_op(tokens[row_end], "(")
+    ):
+        return columns, None
+    # Split the row's tokens at depth-1 commas; each element must be one
+    # scalar to stay evaluable, anything else is opaque.
+    elements: List[List[Token]] = [[]]
+    depth = 0
+    for position in range(index, row_end):
+        token = tokens[position]
+        if _is_op(token, "("):
+            depth += 1
+            if depth == 1:
+                continue
+        elif _is_op(token, ")"):
+            depth -= 1
+            if depth == 0:
+                continue
+        if depth == 1 and _is_op(token, ","):
+            elements.append([])
+        else:
+            elements[-1].append(token)
+    values: List[KeyExpr] = []
+    for element in elements:
+        expr, end = _scalar_expr(element, 0)
+        if expr is not None and end == len(element):
+            values.append(expr)
+        else:
+            values.append(("opaque", None))
+    return columns, tuple(values)
+
+
 def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
     command, cmd_index, cte_names, explain = _find_command(tokens)
     if not command:
@@ -366,6 +621,17 @@ def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
         and not explain
         and command == "SELECT"
     )
+    where_equalities: Tuple[Tuple[str, KeyExpr], ...] = ()
+    set_columns: FrozenSet[str] = frozenset()
+    insert_columns: Optional[Tuple[str, ...]] = None
+    insert_values: Optional[Tuple[KeyExpr, ...]] = None
+    if kind is StatementKind.WRITE:
+        if command in ("UPDATE", "DELETE"):
+            where_equalities = _extract_where_equalities(tokens, cmd_index)
+        if command == "UPDATE":
+            set_columns = _extract_set_columns(tokens, cmd_index)
+        if command == "INSERT":
+            insert_columns, insert_values = _extract_insert_shape(tokens, cmd_index)
     return ClassifiedStatement(
         kind=kind,
         command=command,
@@ -373,6 +639,10 @@ def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
         write_tables=frozenset(write_tables),
         referenced_tables=frozenset(referenced_tables),
         cacheable=cacheable,
+        where_equalities=where_equalities,
+        set_columns=set_columns,
+        insert_columns=insert_columns,
+        insert_values=insert_values,
     )
 
 

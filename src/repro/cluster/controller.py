@@ -88,6 +88,14 @@ class ControllerConfig:
     #: False restores the single global write lock (every broadcast
     #: totally ordered) — the E15 benchmark's baseline.
     conflict_aware_locking: bool = True
+    #: Key-level lock scopes on top of conflict-aware locking: a
+    #: single-row INSERT/UPDATE/DELETE whose primary-key value is fully
+    #: resolved locks just (table, key), so writers on disjoint rows of
+    #: the same table run in parallel. Anything not provably single-row
+    #: (range predicates, multi-row inserts, positional params, PK
+    #: reassignment, DDL) falls back to a table lock. No effect while
+    #: conflict_aware_locking is False.
+    key_level_locking: bool = True
     #: Cache SELECT results with table-based invalidation. Off by default:
     #: with several controllers in a group, writes routed through a peer do
     #: not invalidate this controller's cache.
@@ -192,6 +200,7 @@ class Controller:
             ),
             placement=create_placement(config.placement),
             lock_manager=LockManager(conflict_aware=config.conflict_aware_locking),
+            key_level_locking=config.key_level_locking,
         )
         self.failure_detector = FailureDetector(
             self.scheduler,

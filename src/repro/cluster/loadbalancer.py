@@ -108,12 +108,20 @@ class RoundRobinPolicy(ReadPolicy):
 
 
 class LeastPendingPolicy(ReadPolicy):
-    """Pick the backend with the fewest in-flight statements."""
+    """Pick the backend with the fewest in-flight statements.
+
+    Tie-break cursors are kept **per tied candidate set**, seeded from a
+    shared monotonic tick, exactly as :class:`RoundRobinPolicy` keeps
+    its rotation cursors: one cursor shared across differently-sized tie
+    sets aliases — a strict interleave of 2-way and 3-way ties leaves
+    the 2-way ties always seeing the same cursor parity, starving one of
+    those backends despite it hosting the table."""
 
     name = "least_pending"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        self._cursors: Dict[Tuple[str, ...], int] = {}
+        self._ticks = 0
         self._lock = threading.Lock()
 
     def choose(
@@ -126,8 +134,13 @@ class LeastPendingPolicy(ReadPolicy):
             pairs = [(backend.pending, backend) for backend in eligible]
             least = min(pending for pending, _ in pairs)
             candidates = [backend for pending, backend in pairs if pending == least]
-            choice = candidates[self._cursor % len(candidates)]
-            self._cursor += 1
+            key = tuple(sorted(backend.name for backend in candidates))
+            self._ticks += 1
+            cursor = self._cursors.get(key)
+            if cursor is None:
+                cursor = self._ticks
+            choice = candidates[cursor % len(candidates)]
+            self._cursors[key] = cursor + 1
             return choice
 
 

@@ -3,38 +3,50 @@
 The original write path serialised every broadcast behind one global
 ``threading.Lock``, so a hash-partitioned RAIDb-0/2 cluster gained write
 capacity on paper but executed one write at a time in practice. This
-module provides the :class:`LockManager` that replaces it: writes
-acquire **table-level locks** derived from the classifier's table sets,
-so statements touching disjoint tables execute and broadcast in
-parallel while conflicting statements still serialise in acquisition
-order.
+module provides the :class:`LockManager` that replaces it. Lock
+granularity is a three-step ladder — each step covers strictly less than
+the one above it, and every acquisition falls back *up* the ladder
+whenever the narrower scope cannot be proven safe:
 
-Two acquisition modes:
+1. :meth:`LockManager.exclusive` — the global mode. It waits for every
+   in-flight scope to drain and blocks all new ones, which is exactly
+   the old global-lock behaviour. Everything that relies on total order
+   keeps it: transaction control, statements with an unknown/unparseable
+   table set, resync replays, dump-based cold starts, snapshot dumps and
+   placement swaps. The worst case is today's safety — never weaker.
+2. **table locks** — a write acquires locks on a known, non-empty table
+   set, so statements touching disjoint tables execute and broadcast in
+   parallel while conflicting statements serialise in acquisition order.
+3. **key locks** — a single-row write whose primary-key value is fully
+   resolved (the scheduler consults the schema catalog) locks just
+   ``(table, key)``, so writers on *disjoint rows of the same table*
+   overlap too. A key lock conflicts with a table lock on its table in
+   **both directions**: a table-scope holder blocks every key on that
+   table, and any held key blocks a whole-table acquisition.
 
-- :meth:`LockManager.tables` — lock a known, non-empty table set. The
-  acquisition is *all-or-nothing under one condition variable*, so there
-  is no incremental lock ordering and therefore no deadlock between
-  writers (a writer never holds some of its tables while waiting for
-  others).
-- :meth:`LockManager.exclusive` — the global mode. It waits for every
-  in-flight table acquisition to drain and blocks all new ones, which is
-  exactly the old global-lock behaviour. Everything that relied on total
-  order keeps it by acquiring this mode: transaction control, statements
-  with an unknown/unparseable table set, resync replays, dump-based cold
-  starts, snapshot dumps and placement swaps. The worst case is today's
-  safety — never weaker.
+Every acquisition is *all-or-nothing under one condition variable*, so
+there is no incremental lock ordering and therefore no deadlock between
+writers (a writer never holds part of its scope while waiting for the
+rest). Scopes are described by :class:`LockScope` — a set of whole
+tables plus a set of ``(table, key)`` pairs — and acquired through
+:meth:`LockManager.scope`.
 
-Exclusive acquisition has priority over new table acquisitions: once an
-exclusive caller is waiting, fresh table acquisitions queue behind it,
-so a resync cannot be starved by a steady stream of writers. Exclusive
-acquisition is reentrant per thread (a recovery path that re-enters the
-scheduler must not self-deadlock); table acquisition is not, and never
-needs to be — one statement acquires exactly once.
+Exclusive acquisition has priority over new table/key acquisitions: once
+an exclusive caller is waiting, fresh scopes queue behind it, so a
+resync cannot be starved by a steady stream of writers. Exclusive
+acquisition is reentrant per thread, and a thread already holding the
+exclusive mode acquires any narrower scope as a **no-op**: exclusive
+self-ownership already covers every table and key, and waiting for
+itself to release would deadlock (a recovery path re-entering the
+scheduler did exactly that before this rule existed).
 
 ``conflict_aware=False`` turns every acquisition into the exclusive
 mode, restoring the single-global-lock behaviour byte for byte — the
-concurrency benchmark (E15) compares the two modes, and operators can
-fall back via ``ControllerConfig.conflict_aware_locking``.
+concurrency benchmark (E15) compares the modes, and operators can fall
+back via ``ControllerConfig.conflict_aware_locking``. Key granularity
+has its own switch one layer up (``ControllerConfig.key_level_locking``):
+the scheduler simply stops producing key scopes, and every write is a
+table scope again.
 """
 
 from __future__ import annotations
@@ -42,21 +54,51 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class LockScope:
+    """One acquisition's footprint: whole tables plus ``(table, key)``
+    pairs. Empty scopes are the sentinel for "already covered" (an
+    exclusive self-owner's narrower acquisition) and release as no-ops."""
+
+    tables: FrozenSet[str] = frozenset()
+    keys: FrozenSet[Tuple[str, Any]] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        return not self.tables and not self.keys
+
+    def describe(self) -> str:
+        parts = [f"table:{name}" for name in sorted(self.tables)]
+        parts += [f"key:{table}[{key!r}]" for table, key in sorted(self.keys, key=repr)]
+        return ", ".join(parts) or "nothing"
+
+
+#: The no-op scope handed back when the caller already holds exclusive.
+_COVERED = LockScope()
+
+#: What ``scope()`` accepts: None/empty → exclusive, an iterable of table
+#: names → table locks, a LockScope → exactly that footprint.
+ScopeSpec = Union[None, Iterable[str], LockScope]
 
 
 class LockManager:
-    """Table-level write locks with an exclusive global mode."""
+    """Table- and key-level write locks with an exclusive global mode."""
 
     def __init__(self, conflict_aware: bool = True) -> None:
         #: When False, every acquisition takes the exclusive mode — the
         #: pre-lock-manager behaviour (one global write lock).
         self.conflict_aware = conflict_aware
         self._cond = threading.Condition()
-        #: Tables currently locked by some in-flight statement.
+        #: Tables currently locked whole by some in-flight statement.
         self._held_tables: Set[str] = set()
-        #: How many table-scope acquisitions are in flight.
-        self._active_table_ops = 0
+        #: Keys currently locked, per table (table → set of key values).
+        self._held_keys: Dict[str, Set[Any]] = {}
+        #: How many table/key-scope acquisitions are in flight.
+        self._active_scope_ops = 0
         #: Thread ident of the exclusive holder (None when free).
         self._exclusive_owner: Optional[int] = None
         self._exclusive_depth = 0
@@ -64,57 +106,120 @@ class LockManager:
         self._exclusive_waiters = 0
         # -- counters (surfaced through stats()) --
         self.table_acquisitions = 0
+        self.key_acquisitions = 0
         self.exclusive_acquisitions = 0
         #: Acquisitions that had to wait for a conflicting holder.
         self.table_waits = 0
+        self.key_waits = 0
         self.exclusive_waits = 0
+        #: Narrower scopes absorbed by exclusive self-ownership (the
+        #: would-be self-deadlocks).
+        self.covered_by_exclusive = 0
         #: Total seconds spent blocked waiting for locks.
         self.wait_seconds = 0.0
 
-    # -- table scope -------------------------------------------------------------
+    # -- conflict predicate ------------------------------------------------------
 
-    def acquire_tables(self, tables: Iterable[str]) -> FrozenSet[str]:
-        """Block until every table in ``tables`` is free, then hold them.
+    def _scope_conflicts_locked(self, scope: LockScope) -> bool:
+        """Whether ``scope`` conflicts with the current holders. Caller
+        holds ``_cond``. Exclusive state is checked by the wait loops."""
+        for table in scope.tables:
+            # A whole-table request conflicts with the table held whole
+            # AND with any key held on it — table↔key conflicts must cut
+            # both ways or a table-scope DDL could run under a row write.
+            if table in self._held_tables or self._held_keys.get(table):
+                return True
+        for table, key in scope.keys:
+            if table in self._held_tables:
+                return True
+            if key in self._held_keys.get(table, ()):
+                return True
+        return False
 
-        Returns the frozen set actually held (pass it to
-        :meth:`release_tables`). Must not be called with an empty set —
-        an unknown table set means the caller cannot know what it
-        conflicts with and must take :meth:`exclusive` instead.
-        """
-        wanted = frozenset(tables)
-        if not wanted:
-            raise ValueError("empty table set: acquire exclusive() instead")
+    # -- table / key scopes ------------------------------------------------------
+
+    def acquire_scope(self, scope: LockScope) -> LockScope:
+        """Block until every table and key in ``scope`` is free, then
+        hold them all (all-or-nothing). Returns the scope actually held —
+        pass it to :meth:`release_scope`.
+
+        A thread that already owns the exclusive mode gets the empty
+        scope back immediately: its exclusive hold covers any table or
+        key, and waiting for ``_exclusive_owner`` to clear would be
+        waiting for itself (the self-deadlock this excusal fixes).
+
+        Must not be called with an empty scope — an unknown footprint
+        means the caller cannot know what it conflicts with and must
+        take :meth:`exclusive` instead."""
+        if scope.empty:
+            raise ValueError("empty lock scope: acquire exclusive() instead")
+        me = threading.get_ident()
         with self._cond:
+            if self._exclusive_owner == me:
+                self.covered_by_exclusive += 1
+                return _COVERED
             waited = False
             started = 0.0
             while (
                 self._exclusive_owner is not None
                 or self._exclusive_waiters
-                or not self._held_tables.isdisjoint(wanted)
+                or self._scope_conflicts_locked(scope)
             ):
                 if not waited:
                     waited = True
                     started = time.monotonic()
                 self._cond.wait()
             if waited:
-                self.table_waits += 1
                 self.wait_seconds += time.monotonic() - started
-            self._held_tables.update(wanted)
-            self._active_table_ops += 1
-            self.table_acquisitions += 1
-            return wanted
+                if scope.tables:
+                    self.table_waits += 1
+                else:
+                    self.key_waits += 1
+            self._held_tables.update(scope.tables)
+            for table, key in scope.keys:
+                self._held_keys.setdefault(table, set()).add(key)
+            self._active_scope_ops += 1
+            if scope.tables:
+                self.table_acquisitions += 1
+            if scope.keys:
+                self.key_acquisitions += 1
+            return scope
+
+    def release_scope(self, scope: LockScope) -> None:
+        if scope.empty:
+            # The exclusive self-ownership sentinel: nothing was taken.
+            return
+        with self._cond:
+            self._held_tables.difference_update(scope.tables)
+            for table, key in scope.keys:
+                keys = self._held_keys.get(table)
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        self._held_keys.pop(table, None)
+            self._active_scope_ops -= 1
+            self._cond.notify_all()
+
+    def acquire_tables(self, tables: Iterable[str]) -> FrozenSet[str]:
+        """Table-only convenience over :meth:`acquire_scope`; returns the
+        frozen table set actually held (empty when exclusive
+        self-ownership already covered it)."""
+        wanted = frozenset(tables)
+        if not wanted:
+            raise ValueError("empty table set: acquire exclusive() instead")
+        return self.acquire_scope(LockScope(tables=wanted)).tables
 
     def release_tables(self, tables: FrozenSet[str]) -> None:
-        with self._cond:
-            self._held_tables.difference_update(tables)
-            self._active_table_ops -= 1
-            self._cond.notify_all()
+        release = frozenset(tables)
+        if not release:
+            return
+        self.release_scope(LockScope(tables=release))
 
     # -- exclusive scope ---------------------------------------------------------
 
     def acquire_exclusive(self) -> None:
-        """Block until no table acquisition is in flight, then hold the
-        whole write path. Reentrant per thread."""
+        """Block until no table/key acquisition is in flight, then hold
+        the whole write path. Reentrant per thread."""
         me = threading.get_ident()
         with self._cond:
             if self._exclusive_owner == me:
@@ -124,7 +229,7 @@ class LockManager:
             waited = False
             started = 0.0
             try:
-                while self._exclusive_owner is not None or self._active_table_ops:
+                while self._exclusive_owner is not None or self._active_scope_ops:
                     if not waited:
                         waited = True
                         started = time.monotonic()
@@ -166,17 +271,24 @@ class LockManager:
             self.release_tables(held)
 
     @contextmanager
-    def scope(self, tables: Optional[Iterable[str]]) -> Iterator[None]:
-        """The scheduler's one entry point: table locks for a known
-        non-empty table set, the exclusive mode for ``None``/empty (and
-        always when ``conflict_aware`` is off)."""
-        table_set = frozenset(tables) if tables is not None else frozenset()
-        if not self.conflict_aware or not table_set:
+    def scope(self, spec: ScopeSpec) -> Iterator[None]:
+        """The scheduler's one entry point: a :class:`LockScope` (or a
+        plain table set) for a known non-empty footprint, the exclusive
+        mode for ``None``/empty (and always when ``conflict_aware`` is
+        off)."""
+        if isinstance(spec, LockScope):
+            scope = spec
+        else:
+            scope = LockScope(tables=frozenset(spec) if spec is not None else frozenset())
+        if not self.conflict_aware or scope.empty:
             with self.exclusive():
                 yield
         else:
-            with self.tables(table_set):
+            held = self.acquire_scope(scope)
+            try:
                 yield
+            finally:
+                self.release_scope(held)
 
     # -- observability -----------------------------------------------------------
 
@@ -185,12 +297,17 @@ class LockManager:
             return {
                 "conflict_aware": self.conflict_aware,
                 "tables_held": len(self._held_tables),
-                "active_table_ops": self._active_table_ops,
+                "keys_held": sum(len(keys) for keys in self._held_keys.values()),
+                "key_tables_held": len(self._held_keys),
+                "active_table_ops": self._active_scope_ops,
                 "exclusive_held": self._exclusive_owner is not None,
                 "exclusive_waiters": self._exclusive_waiters,
                 "table_acquisitions": self.table_acquisitions,
+                "key_acquisitions": self.key_acquisitions,
                 "exclusive_acquisitions": self.exclusive_acquisitions,
                 "table_waits": self.table_waits,
+                "key_waits": self.key_waits,
                 "exclusive_waits": self.exclusive_waits,
+                "covered_by_exclusive": self.covered_by_exclusive,
                 "wait_seconds": round(self.wait_seconds, 6),
             }

@@ -19,6 +19,7 @@ any table they read.
 
 from __future__ import annotations
 
+import copy
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -32,6 +33,20 @@ QueryResult = Tuple[List[str], List[Any], int]
 class _Entry:
     result: QueryResult
     tables: FrozenSet[str]
+
+
+def _freeze_rows(rows: Iterable[Any]) -> List[Any]:
+    """Snapshot result rows so cache and callers share no mutable object.
+
+    ``get`` used to return ``list(rows)`` — a fresh list, but of the
+    *same* row objects the cache holds, so a caller mutating a returned
+    row poisoned the cached result for every later hit. Rows are tuples
+    of scalars in practice (frozen as such here); anything else is
+    deep-copied as the safe general case."""
+    return [
+        tuple(row) if isinstance(row, (tuple, list)) else copy.deepcopy(row)
+        for row in rows
+    ]
 
 
 class QueryCache:
@@ -81,7 +96,9 @@ class QueryCache:
             self._entries.move_to_end(key)
             self.hits += 1
             columns, rows, rowcount = entry.result
-            return list(columns), list(rows), rowcount
+            # Fresh outer lists AND frozen rows: the caller can neither
+            # grow the cached result nor mutate a row in place.
+            return list(columns), _freeze_rows(rows), rowcount
 
     def put(
         self,
@@ -103,7 +120,11 @@ class QueryCache:
             if key in self._entries:
                 self._unlink_locked(key)
             columns, rows, rowcount = result
-            self._entries[key] = _Entry((list(columns), list(rows), rowcount), table_set)
+            # Freeze on the way in as well: the caller still holds the
+            # very row objects it handed us and may mutate them later.
+            self._entries[key] = _Entry(
+                (list(columns), _freeze_rows(rows), rowcount), table_set
+            )
             for table in table_set:
                 self._by_table.setdefault(table, set()).add(key)
             while len(self._entries) > self._max_entries:

@@ -36,15 +36,22 @@ Write ordering is **conflict-aware** (:mod:`repro.cluster.locks`): a
 write acquires table-level locks covering every table it touches, so
 statements on disjoint tables execute and broadcast in parallel — the
 capacity a partial placement promises — while conflicting statements
-serialise in acquisition order. Execution and log append happen under
-the same table locks, so log-index order equals execution order *per
-table*; cluster-wide total order across disjoint tables is no longer
-meaningful, and the recovery log records per-table sequence numbers so
-replay can verify (and backends can deduplicate) per-table order.
-Transaction control, statements with an unknown/unparseable table set,
-resync replays, cold starts, snapshot dumps and placement swaps all
-take the exclusive global mode — today's total-order behaviour is the
-worst case, never violated.
+serialise in acquisition order. A single-row INSERT/UPDATE/DELETE whose
+primary-key value is fully resolved (schema consulted through the
+``information_schema.columns`` catalog) narrows further to a **key-level
+lock** ``(table, key)``, so writers on disjoint rows of one table
+overlap too; range predicates, multi-row statements, unresolvable
+parameters, PK reassignments and DDL all fall back to the table level.
+Execution and log append happen under the same locks, so log-index
+order equals execution order *per table* for table scopes — and for key
+scopes the overlapped statements address disjoint rows, so they commute
+and every replica converges regardless of interleaving; the recovery
+log records per-table sequence numbers so replay can verify (and
+backends can deduplicate, by exact sequence membership) per-table
+order. Transaction control, statements with an unknown/unparseable
+table set, resync replays, cold starts, snapshot dumps and placement
+swaps all take the exclusive global mode — today's total-order
+behaviour is the worst case, never violated.
 """
 
 from __future__ import annotations
@@ -62,7 +69,7 @@ from repro.cluster.classifier import (
     normalize_table_name,
 )
 from repro.cluster.loadbalancer import ReadPolicy, RoundRobinPolicy
-from repro.cluster.locks import LockManager
+from repro.cluster.locks import LockManager, LockScope
 from repro.cluster.placement import NoHostingBackendError, PlacementMap, create_placement
 from repro.cluster.querycache import QueryCache
 from repro.cluster.recovery import (
@@ -78,6 +85,7 @@ __all__ = [
     "RequestScheduler",
     "SchedulerError",
     "LockManager",
+    "LockScope",
     "NoHostingBackendError",
     "is_write_statement",
     "is_transaction_control",
@@ -86,6 +94,54 @@ __all__ = [
 
 class SchedulerError(DriverError):
     """No backend available to execute the request."""
+
+
+#: Statements eligible for a key-level lock scope, and the DDL commands
+#: that can change a table's primary key (they invalidate the PK cache).
+_KEYABLE_COMMANDS = ("INSERT", "UPDATE", "DELETE")
+_SCHEMA_COMMANDS = ("CREATE", "DROP", "ALTER")
+
+#: Sentinel for "no usable canonical key" (fall back to a table lock).
+_NO_KEY = object()
+
+
+def _canonical_key(value: Any, data_type: str) -> Any:
+    """Reduce one resolved predicate value to the canonical key the lock
+    manager compares, honouring the engine's comparison coercions (see
+    ``sqlengine.expressions._compare``): an INTEGER primary key matches
+    ``id = 7``, ``id = 7.0`` and ``id = '7'`` against the same row, so
+    all three must collide on the same lock key. Returns ``_NO_KEY``
+    when the value cannot be proven to address one key — bools coerce
+    *the column* instead of the value (``id = TRUE`` matches every
+    nonzero id), NULL never matches, and exotic types fall back."""
+    if value is None or isinstance(value, bool):
+        return _NO_KEY
+    data_type = (data_type or "").upper()
+    if data_type in ("INTEGER", "BIGINT"):
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            return int(value) if value.is_integer() else _NO_KEY
+        if isinstance(value, str):
+            # The engine compares str(row_value) == value: only the exact
+            # decimal spelling matches a row ('07' matches nothing).
+            try:
+                parsed = int(value.strip())
+            except ValueError:
+                return _NO_KEY
+            return parsed if str(parsed) == value.strip() else _NO_KEY
+        return _NO_KEY
+    if data_type == "VARCHAR":
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (int, float)):
+            # The engine stringifies the number side of a str/number
+            # comparison, so 7 addresses the same row as '7'.
+            return str(value)
+        return _NO_KEY
+    # DOUBLE/TIMESTAMP/BLOB/BOOLEAN keys: equality semantics are too
+    # subtle to prove key identity — table lock.
+    return _NO_KEY
 
 
 class RequestScheduler:
@@ -101,6 +157,8 @@ class RequestScheduler:
         broadcaster: Optional[WriteBroadcaster] = None,
         placement: Optional[PlacementMap] = None,
         lock_manager: Optional[LockManager] = None,
+        key_level_locking: bool = True,
+        primary_keys: Optional[Dict[str, Tuple[str, str]]] = None,
     ) -> None:
         self._backends = list(backends)
         self._recovery_log = recovery_log
@@ -119,6 +177,24 @@ class RequestScheduler:
         # append happen under the same locks, so log order equals
         # execution order per table.
         self._locks = lock_manager or LockManager()
+        # Key-level lock scopes: a single-row DML whose primary-key value
+        # is fully resolved locks (table, key) instead of the whole
+        # table, so disjoint-row writers on one table run in parallel.
+        # Off → every write takes (at least) a table lock as before.
+        self._key_level_locking = key_level_locking
+        # table → (pk_column, declared data_type, 1-based ordinal) or
+        # None when the table has no single-column PK (or is unknown).
+        # Resolved lazily from information_schema.columns and invalidated
+        # by DDL *inside the DDL's own lock scope*, which is what makes
+        # the key writers' revalidate-after-acquire loop sound.
+        # ``primary_keys`` pre-seeds entries (table → (column, type)) for
+        # environments whose backends expose no catalog (experiments).
+        self._pk_lock = threading.Lock()
+        self._pk_cache: Dict[str, Optional[Tuple[str, str, Optional[int]]]] = {}
+        self._pk_overrides: Dict[str, Tuple[str, str, Optional[int]]] = {
+            normalize_table_name(table): (column.lower(), data_type, None)
+            for table, (column, data_type) in (primary_keys or {}).items()
+        }
         # Scheduler-internal accounting shared by concurrent writers
         # (transaction state, log append + checkpoint advancement).
         # Always acquired *after* the lock manager's scope and never
@@ -147,8 +223,14 @@ class RequestScheduler:
         # A single buffer is sound because the engine admits one open
         # transaction at a time (a second BEGIN is rejected); if backends
         # ever gain per-session connections this needs keying by session.
-        # Each element is (sql, params, write_tables).
-        self._tx_buffer: List[Tuple[str, Dict[str, Any], FrozenSet[str]]] = []
+        # Each element is (sql, params, write_tables, lock_keys) —
+        # lock_keys being the (table, key) pairs the statement's key
+        # scope held (empty under a table scope), kept for operator
+        # triage: the disable/enable refusal can say which rows the open
+        # transaction pinned, not just which tables.
+        self._tx_buffer: List[
+            Tuple[str, Dict[str, Any], FrozenSet[str], FrozenSet[Tuple[str, Any]]]
+        ] = []
         # True while a resync replay or dump restore holds the write lock:
         # the controller answers write traffic with ``controller_recovering``
         # so failover-capable drivers retry on a sibling instead of
@@ -174,9 +256,18 @@ class RequestScheduler:
         with self._state_lock:
             owner = self._tx_owner or "unknown"
             tables = sorted({
-                table for _, _, write_tables in self._tx_buffer for table in write_tables
+                table for _, _, write_tables, _ in self._tx_buffer for table in write_tables
             })
+            keys = sorted(
+                {pair for _, _, _, lock_keys in self._tx_buffer for pair in lock_keys},
+                key=repr,
+            )
         described = ", ".join(tables) if tables else "none recorded yet"
+        if keys:
+            described += (
+                "; keyed rows: "
+                + ", ".join(f"{table}[{key!r}]" for table, key in keys)
+            )
         return f"session {owner}, open-transaction tables: {described}"
 
     @property
@@ -539,6 +630,146 @@ class RequestScheduler:
             self._backends.append(backend)
         self._placement.add_backend(backend.name)
 
+    # -- key-level lock scopes ----------------------------------------------------
+
+    def _primary_key(self, table: str) -> Optional[Tuple[str, str, Optional[int]]]:
+        """``(column, data_type, ordinal)`` of ``table``'s single-column
+        primary key, or None. Cached; DDL invalidates (see
+        :meth:`_invalidate_pk_cache`)."""
+        override = self._pk_overrides.get(table)
+        if override is not None:
+            return override
+        with self._pk_lock:
+            if table in self._pk_cache:
+                return self._pk_cache[table]
+        resolved = self._resolve_primary_key(table)
+        with self._pk_lock:
+            self._pk_cache[table] = resolved
+        return resolved
+
+    def _resolve_primary_key(self, table: str) -> Optional[Tuple[str, str, Optional[int]]]:
+        """Ask the schema catalog for ``table``'s primary key. Any
+        failure — no enabled backend, a backend without the catalog, a
+        composite or absent PK — resolves to None: the caller falls back
+        to a table lock, which is always safe."""
+        backend = next(iter(self.enabled_backends()), None)
+        if backend is None:
+            return None
+        try:
+            _, rows, _ = backend.execute(
+                "SELECT table_name, table_schema, column_name, ordinal_position, "
+                "data_type, is_primary_key FROM information_schema.columns",
+                None,
+                track=False,
+            )
+            pk_columns = []
+            for table_name, table_schema, column_name, ordinal, data_type, is_pk in rows:
+                qualified = (
+                    f"{table_schema}.{table_name}" if table_schema else str(table_name)
+                )
+                if normalize_table_name(qualified) != table:
+                    continue
+                if bool(is_pk):
+                    pk_columns.append(
+                        (str(column_name).lower(), str(data_type), int(ordinal))
+                    )
+        except Exception:
+            return None
+        if len(pk_columns) != 1:
+            # No PK or a composite PK: one lock key cannot stand for the
+            # row identity the engine enforces.
+            return None
+        return pk_columns[0]
+
+    def _invalidate_pk_cache(self, tables: Optional[Any]) -> None:
+        """Forget cached PKs for ``tables`` (or everything when the DDL's
+        table set is unknown). Called while the DDL still holds its lock
+        scope, which conflicts with every key lock on those tables — so
+        a key writer either finished before the DDL or re-resolves after
+        it (see the revalidation loop in :meth:`_execute_broadcast`)."""
+        with self._pk_lock:
+            if tables:
+                for table in tables:
+                    self._pk_cache.pop(table, None)
+            else:
+                self._pk_cache.clear()
+
+    @staticmethod
+    def _key_expr_for(
+        statement: ClassifiedStatement, pk_column: str, pk_ordinal: Optional[int]
+    ):
+        """The classifier-extracted expression giving the PK value this
+        statement addresses, or None when the statement cannot be proven
+        single-key (range/absent predicate, multi-row INSERT, PK
+        reassignment)."""
+        if statement.command == "INSERT":
+            if statement.insert_values is None:
+                return None
+            if statement.insert_columns is not None:
+                try:
+                    position = statement.insert_columns.index(pk_column)
+                except ValueError:
+                    # PK not in the column list: it takes a DEFAULT the
+                    # classifier cannot see.
+                    return None
+            elif pk_ordinal is not None:
+                position = pk_ordinal - 1
+            else:
+                return None
+            if position >= len(statement.insert_values):
+                return None
+            return statement.insert_values[position]
+        if statement.command == "UPDATE" and pk_column in statement.set_columns:
+            # Reassigning the PK moves the row to a second key; a single
+            # key lock would not cover the destination.
+            return None
+        for column, expr in statement.where_equalities:
+            if column == pk_column:
+                return expr
+        return None
+
+    def _lock_scope_spec(
+        self, statement: ClassifiedStatement, params: Optional[Dict[str, Any]]
+    ):
+        """What this statement's broadcast must lock: a key-level
+        :class:`LockScope` when the statement provably touches one row of
+        one table and its PK value resolves, the classifier's table set
+        otherwise, None (exclusive) when even the table set is unknown."""
+        tables = statement.lock_tables
+        if tables is None:
+            return None
+        if (
+            not self._key_level_locking
+            or statement.command not in _KEYABLE_COMMANDS
+            or len(statement.write_tables) != 1
+            or tables != statement.write_tables
+        ):
+            # Reads/REFERENCES alongside the write keep table locks: the
+            # key only covers the written row, not the observed tables.
+            return tables
+        table = next(iter(tables))
+        resolved = self._primary_key(table)
+        if resolved is None:
+            return tables
+        pk_column, data_type, ordinal = resolved
+        expr = self._key_expr_for(statement, pk_column, ordinal)
+        if expr is None:
+            return tables
+        expr_kind, payload = expr
+        if expr_kind == "value":
+            value = payload
+        elif expr_kind == "param":
+            # Positional params ("?") can't be matched to a value here.
+            if payload == "?" or not params or payload not in params:
+                return tables
+            value = params[payload]
+        else:  # opaque
+            return tables
+        key = _canonical_key(value, data_type)
+        if key is _NO_KEY:
+            return tables
+        return LockScope(keys=frozenset({(table, key)}))
+
     # -- routing -----------------------------------------------------------------
 
     def execute(
@@ -702,65 +933,106 @@ class RequestScheduler:
         # replicated; only genuine writes are logged for resync —
         # transaction control and in-transaction reads are not.
         log_it = not statement.is_read and not statement.is_transaction_control
-        # Conflict-aware scope: table locks covering everything the
-        # statement touches (disjoint statements run in parallel), or
-        # the exclusive global mode for transaction control / unknown
-        # table sets — see ClassifiedStatement.lock_tables.
-        with self._locks.scope(statement.lock_tables):
-            # Re-snapshot the membership under the lock: a backend enabled
-            # by a resync that this write waited out must be included, or
-            # it silently misses the write with no resync left to replay it.
-            enabled = self.enabled_backends()
-            if not enabled:
-                raise SchedulerError("no enabled backend available")
-            # Placement narrows the fan-out to the hosting backends (all
-            # of them under full replication / transaction control /
-            # unknown table sets).
-            targets = self._write_targets(enabled, statement)
-            if log_it and self._cache is not None:
-                # Invalidate before execution as well: entries cached
-                # against the pre-write state must not survive the write.
-                # Safe under concurrent writers: this writer holds its
-                # tables' locks, so only it can invalidate them here.
-                self._cache.invalidate_tables(statement.write_tables)
-            outcome = self._broadcaster.broadcast(targets, sql, params)
-            # A statement fault on *every* backend blames the statement —
-            # the replicas agree and stay healthy. A fault on a strict
-            # subset while others accepted the write is divergence: the
-            # minority is missing a committed write and must leave the
-            # read rotation until resynced. Replica faults (connection
-            # died) always mark the backend failed.
-            any_succeeded = bool(outcome.succeeded)
-            for failure in outcome.failed:
-                if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
-                    failure.backend.mark_failed()
-            result = outcome.result
-            self._account_broadcast_locked_scope(
-                sql,
-                params,
-                statement,
-                outcome,
-                in_transaction,
-                session_id,
-                log_it,
-                any_succeeded,
-                result,
-            )
-            if statement.command == "DROP" and any_succeeded:
-                # Keep the map bounded under table churn; a recreated
-                # table gets a fresh assignment.
-                self._placement.unpin(statement.write_tables)
-            if log_it and self._cache is not None:
-                # Invalidate again now that every backend applied the write:
-                # evicts results a concurrent read cached from a backend the
-                # broadcast had not reached yet, and bumps the floor so any
-                # still-in-flight read cannot store a pre-write result.
-                self._cache.invalidate_tables(statement.write_tables)
+        # Conflict-aware scope: a key-level lock for a provably
+        # single-row DML, table locks covering everything the statement
+        # touches (disjoint statements run in parallel), or the exclusive
+        # global mode for transaction control / unknown table sets — see
+        # _lock_scope_spec and ClassifiedStatement.lock_tables.
+        while True:
+            spec = self._lock_scope_spec(statement, params)
+            with self._locks.scope(spec):
+                if isinstance(spec, LockScope) and (
+                    self._lock_scope_spec(statement, params) != spec
+                ):
+                    # The PK was resolved *before* acquiring, and a racing
+                    # DDL (which holds a conflicting table lock while it
+                    # invalidates the PK cache) may have changed it in
+                    # between. Recompute under the lock; a changed
+                    # footprint means our key no longer stands for the
+                    # row identity — release and re-acquire the right
+                    # scope.
+                    continue
+                result, outcome = self._broadcast_under_scope(
+                    sql, params, statement, spec, in_transaction, session_id, log_it
+                )
+            break
         if result is None:
             raise SchedulerError(
                 f"statement failed on every backend: {'; '.join(outcome.failure_messages())}"
             )
         return result
+
+    def _broadcast_under_scope(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        statement: ClassifiedStatement,
+        spec: Any,
+        in_transaction: bool,
+        session_id: Optional[str],
+        log_it: bool,
+    ) -> Tuple[Optional[Tuple[List[str], List[Any], int]], Any]:
+        """Execute one broadcast while the caller holds its lock scope."""
+        # Re-snapshot the membership under the lock: a backend enabled
+        # by a resync that this write waited out must be included, or
+        # it silently misses the write with no resync left to replay it.
+        enabled = self.enabled_backends()
+        if not enabled:
+            raise SchedulerError("no enabled backend available")
+        # Placement narrows the fan-out to the hosting backends (all
+        # of them under full replication / transaction control /
+        # unknown table sets).
+        targets = self._write_targets(enabled, statement)
+        if log_it and self._cache is not None:
+            # Invalidate before execution as well: entries cached
+            # against the pre-write state must not survive the write.
+            # Safe under concurrent writers: this writer holds its
+            # tables' locks, so only it can invalidate them here.
+            self._cache.invalidate_tables(statement.write_tables)
+        outcome = self._broadcaster.broadcast(targets, sql, params)
+        # A statement fault on *every* backend blames the statement —
+        # the replicas agree and stay healthy. A fault on a strict
+        # subset while others accepted the write is divergence: the
+        # minority is missing a committed write and must leave the
+        # read rotation until resynced. Replica faults (connection
+        # died) always mark the backend failed.
+        any_succeeded = bool(outcome.succeeded)
+        for failure in outcome.failed:
+            if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
+                failure.backend.mark_failed()
+        result = outcome.result
+        self._account_broadcast_locked_scope(
+            sql,
+            params,
+            statement,
+            outcome,
+            in_transaction,
+            session_id,
+            log_it,
+            any_succeeded,
+            result,
+            held_keys=spec.keys if isinstance(spec, LockScope) else frozenset(),
+        )
+        if statement.command == "DROP" and any_succeeded:
+            # Keep the map bounded under table churn; a recreated
+            # table gets a fresh assignment.
+            self._placement.unpin(statement.write_tables)
+        if statement.command in _SCHEMA_COMMANDS:
+            # The DDL may have changed (or removed) a table's primary
+            # key; forget it while still holding the DDL's lock scope so
+            # key writers re-resolve behind us, never alongside us.
+            self._invalidate_pk_cache(statement.write_tables or None)
+        elif log_it and statement.lock_tables is None:
+            # An unknown-shape write ran under the exclusive mode and
+            # could have changed any schema.
+            self._invalidate_pk_cache(None)
+        if log_it and self._cache is not None:
+            # Invalidate again now that every backend applied the write:
+            # evicts results a concurrent read cached from a backend the
+            # broadcast had not reached yet, and bumps the floor so any
+            # still-in-flight read cannot store a pre-write result.
+            self._cache.invalidate_tables(statement.write_tables)
+        return result, outcome
 
     def _account_broadcast_locked_scope(
         self,
@@ -773,6 +1045,7 @@ class RequestScheduler:
         log_it: bool,
         any_succeeded: bool,
         result: Optional[Tuple[List[str], List[Any], int]],
+        held_keys: FrozenSet[Tuple[str, Any]] = frozenset(),
     ) -> None:
         """Log append, transaction accounting and checkpoint advancement
         for one broadcast. Caller holds the statement's lock scope; this
@@ -803,7 +1076,7 @@ class RequestScheduler:
                     # the transaction), and a write the engine autocommits
                     # must be logged immediately, never left in the buffer.
                     self._tx_buffer.append(
-                        (sql, dict(params or {}), frozenset(statement.write_tables))
+                        (sql, dict(params or {}), frozenset(statement.write_tables), held_keys)
                     )
                     if statement.write_tables:
                         self._tx_dirty_tables.update(statement.write_tables)
@@ -845,7 +1118,7 @@ class RequestScheduler:
                     if not statement_rejected:
                         flushed: List[LogEntry] = []
                         if statement.command == "COMMIT" and result is not None:
-                            for buffered_sql, buffered_params, buffered_tables in self._tx_buffer:
+                            for buffered_sql, buffered_params, buffered_tables, _ in self._tx_buffer:
                                 flushed.append(
                                     self._recovery_log.append(
                                         buffered_sql,
@@ -866,16 +1139,14 @@ class RequestScheduler:
                         # The still-enabled replicas ran the whole
                         # transaction; record the flushed entries' table
                         # sequences as applied there so a later replay
-                        # can deduplicate them. Merged into one call per
-                        # backend — sequences only grow, so each table's
-                        # highest flushed sequence covers the rest.
-                        if flushed:
-                            merged_seqs: Dict[str, int] = {}
-                            for entry in flushed:
-                                merged_seqs.update(entry.table_seqs)
+                        # can deduplicate them. Per entry, not merged:
+                        # applied-sequence tracking is exact membership
+                        # (a per-table max would shadow entries a replica
+                        # missed — see Backend.has_applied_seqs).
+                        for entry in flushed:
                             for success in outcome.succeeded:
                                 success.backend.advance_checkpoint(
-                                    flushed[-1].index, merged_seqs
+                                    entry.index, entry.table_seqs
                                 )
             last_index = self._recovery_log.last_index
             for success in outcome.succeeded:
@@ -920,10 +1191,14 @@ class RequestScheduler:
 
     def stats(self) -> Dict[str, Any]:
         cache = self._cache
+        with self._pk_lock:
+            pk_cached = len(self._pk_cache)
         return {
             "read_policy": self._policy.name,
             "placement": self._placement.stats(),
             "locks": self._locks.stats(),
+            "key_level_locking": self._key_level_locking,
+            "primary_keys_cached": pk_cached,
             "open_transactions": self.open_transactions,
             "parallel_writes": self._broadcaster.parallel,
             "broadcaster": self._broadcaster.stats(),

@@ -220,11 +220,125 @@ class TestConcurrentWrites:
                     (i, i * 10) for i in range(self.WRITES_PER_CLIENT)
                 ]
 
-        # The writers really took table scopes, not the exclusive mode.
+        # The writers really took narrow scopes, not the exclusive mode:
+        # these single-row PK inserts all qualify for key-level locks.
         lock_stats = controller.scheduler.lock_manager.stats()
-        assert lock_stats["table_acquisitions"] >= self.CLIENTS * self.WRITES_PER_CLIENT
+        assert lock_stats["key_acquisitions"] >= self.CLIENTS * self.WRITES_PER_CLIENT
+        assert lock_stats["tables_held"] == 0
+        assert lock_stats["keys_held"] == 0
+        assert lock_stats["exclusive_held"] is False
+
+    def test_same_table_disjoint_key_writers_lose_nothing(self, parallel_cluster):
+        # One step narrower than the disjoint-table test: all writers
+        # hammer ONE table, each updating only its own row. Key-level
+        # locks let them overlap; no update may be lost on any replica,
+        # and the recovery log's per-table sequences stay monotone even
+        # though per-backend *execution* order can differ (disjoint
+        # single-row writes commute).
+        env = parallel_cluster
+        controller = env.controllers[0]
+        controller.scheduler.execute(
+            "CREATE TABLE hot_t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)"
+        )
+        for client_index in range(self.CLIENTS):
+            controller.scheduler.execute(
+                "INSERT INTO hot_t (id, v) VALUES ($id, -1)", {"id": client_index}
+            )
+        base_log = controller.recovery_log.last_index
+        key_base = controller.scheduler.lock_manager.stats()["key_acquisitions"]
+
+        def worker(connection, client_index):
+            cursor = connection.cursor()
+            for write_index in range(self.WRITES_PER_CLIENT):
+                cursor.execute(
+                    "UPDATE hot_t SET v = $v WHERE id = $id",
+                    {"v": write_index, "id": client_index},
+                )
+            cursor.close()
+
+        _run_clients(env, worker, self.CLIENTS)
+
+        # Every write logged exactly once, hot_t's sequences strictly
+        # increasing in log-index order.
+        entries = controller.recovery_log.entries_after(base_log)
+        assert len(entries) == self.CLIENTS * self.WRITES_PER_CLIENT
+        seqs = [entry.table_seqs["hot_t"] for entry in entries]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+
+        # No lost updates: each writer's final value landed on every
+        # replica (each row has exactly one writer, writing in order).
+        for engine in env.replica_engines:
+            rows = sorted(
+                engine.open_session(env.database_name)
+                .execute("SELECT id, v FROM hot_t")
+                .rows
+            )
+            assert rows == [
+                (i, self.WRITES_PER_CLIENT - 1) for i in range(self.CLIENTS)
+            ]
+
+        # The writers really took key scopes, and nothing leaked.
+        lock_stats = controller.scheduler.lock_manager.stats()
+        assert (
+            lock_stats["key_acquisitions"] - key_base
+            >= self.CLIENTS * self.WRITES_PER_CLIENT
+        )
+        assert lock_stats["keys_held"] == 0
         assert lock_stats["tables_held"] == 0
         assert lock_stats["exclusive_held"] is False
+
+    def test_key_writers_racing_table_scope_writes_converge(self, parallel_cluster):
+        # Keyed single-row UPDATEs race range UPDATEs on the same table.
+        # The range predicate is unextractable, so those writes fall back
+        # to the whole-table lock — which must conflict with every key in
+        # BOTH directions, or the replicas would interleave the range
+        # write differently and diverge.
+        env = parallel_cluster
+        controller = env.controllers[0]
+        controller.scheduler.execute(
+            "CREATE TABLE mix_t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER, w INTEGER)"
+        )
+        for row in range(self.CLIENTS):
+            controller.scheduler.execute(
+                "INSERT INTO mix_t (id, v, w) VALUES ($id, -1, 0)", {"id": row}
+            )
+        sweeps = 8
+
+        def worker(connection, client_index):
+            cursor = connection.cursor()
+            if client_index == 0:
+                # The table-scope writer: a range update over every row.
+                for _ in range(sweeps):
+                    cursor.execute("UPDATE mix_t SET w = w + 1 WHERE id >= 0")
+            else:
+                for write_index in range(self.WRITES_PER_CLIENT):
+                    cursor.execute(
+                        "UPDATE mix_t SET v = $v WHERE id = $id",
+                        {"v": write_index, "id": client_index},
+                    )
+            cursor.close()
+
+        _run_clients(env, worker, self.CLIENTS)
+
+        # Both granularities were exercised on the one table.
+        lock_stats = controller.scheduler.lock_manager.stats()
+        assert lock_stats["key_acquisitions"] > 0
+        assert lock_stats["table_acquisitions"] > 0
+
+        # Every replica identical: the keyed rows hold their writer's
+        # last value, and every row saw all the range sweeps.
+        for engine in env.replica_engines:
+            rows = sorted(
+                engine.open_session(env.database_name)
+                .execute("SELECT id, v, w FROM mix_t")
+                .rows
+            )
+            assert [row[0] for row in rows] == list(range(self.CLIENTS))
+            for row_id, v, w in rows:
+                assert w == sweeps
+                if row_id != 0:
+                    assert v == self.WRITES_PER_CLIENT - 1
 
     def test_resync_racing_disjoint_writers_converges(self, parallel_cluster):
         # A resync takes the exclusive lock mid-workload: it must drain

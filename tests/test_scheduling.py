@@ -192,6 +192,79 @@ class TestClassifier:
         )
         assert statement.read_tables == frozenset({"t1", "t2"})
 
+    # -- key-predicate extraction (feeds the scheduler's key-level locks) --
+
+    def test_update_literal_pk_equality_extracted(self):
+        statement = classify("UPDATE users SET name = 'x' WHERE id = 7")
+        assert statement.where_equalities == (("id", ("value", 7)),)
+        assert statement.set_columns == frozenset({"name"})
+
+    def test_update_assigning_the_filtered_column_still_reports_both(self):
+        # The scheduler must see id in set_columns so it falls back to a
+        # table lock: the row moves from key 7 to key 9.
+        statement = classify("UPDATE users SET id = 9 WHERE id = 7")
+        assert statement.where_equalities == (("id", ("value", 7)),)
+        assert statement.set_columns == frozenset({"id"})
+
+    def test_delete_named_param_equality_extracted(self):
+        statement = classify("DELETE FROM t WHERE pk = $p AND ts < 5")
+        assert statement.where_equalities == (("pk", ("param", "p")),)
+
+    def test_positional_param_is_never_resolvable(self):
+        # ? placeholders carry no name — the scheduler cannot look the
+        # value up in the params dict, so this stays ("param", "?").
+        statement = classify("UPDATE t SET v = 1 WHERE id = ?")
+        assert statement.where_equalities == (("id", ("param", "?")),)
+
+    def test_top_level_or_abandons_extraction(self):
+        # a=1 OR b=2 bounds nothing: no conjunct narrows the row set.
+        assert classify("DELETE FROM t WHERE a = 1 OR b = 2").where_equalities == ()
+
+    def test_parenthesized_or_inside_a_conjunct_is_fine(self):
+        # id = -5 AND (...) still bounds the rows to id = -5; negative
+        # literals must come through as values, not opaque expressions.
+        statement = classify("DELETE FROM t WHERE id = -5 AND (x = 1 OR y = 2)")
+        assert statement.where_equalities == (("id", ("value", -5)),)
+
+    def test_range_predicate_extracts_nothing(self):
+        assert classify("UPDATE t SET v = 1 WHERE id > 3").where_equalities == ()
+
+    def test_qualified_and_quoted_columns_are_canonicalised(self):
+        statement = classify('UPDATE t SET v = 1 WHERE t."Id" = 3')
+        assert statement.where_equalities == (("id", ("value", 3)),)
+
+    def test_insert_shape_with_column_list(self):
+        statement = classify("INSERT INTO t (id, v) VALUES (3, 'x')")
+        assert statement.insert_columns == ("id", "v")
+        assert statement.insert_values == (("value", 3), ("value", "x"))
+
+    def test_insert_shape_without_column_list(self):
+        # No column list: values are positional, matched to the PK by its
+        # catalog ordinal.
+        statement = classify("INSERT INTO t VALUES (3, 'x')")
+        assert statement.insert_columns is None
+        assert statement.insert_values == (("value", 3), ("value", "x"))
+
+    def test_multi_row_insert_has_no_values(self):
+        # Two rows ⇒ two keys; the scheduler must take the table lock.
+        statement = classify("INSERT INTO t (id) VALUES (1), (2)")
+        assert statement.insert_columns == ("id",)
+        assert statement.insert_values is None
+
+    def test_insert_select_has_no_values(self):
+        assert classify("INSERT INTO a (id) SELECT id FROM b").insert_values is None
+
+    def test_expression_values_are_opaque(self):
+        statement = classify("INSERT INTO t (id, v) VALUES (1 + 2, 'x')")
+        assert statement.insert_values is not None
+        assert statement.insert_values[0] == ("opaque", None)
+
+    def test_where_terminators_end_the_region(self):
+        # The ORDER BY column equality-lookalike must not leak into the
+        # extracted predicates.
+        statement = classify("DELETE FROM t WHERE id = 4 ORDER BY ts LIMIT 1")
+        assert statement.where_equalities == (("id", ("value", 4)),)
+
 
 class TestLoadBalancerPolicies:
     def test_round_robin_uniform(self):
@@ -232,6 +305,34 @@ class TestLoadBalancerPolicies:
         # Ties break round-robin instead of always picking the first.
         chosen = {policy.choose([busy, idle]).name for _ in range(2)}
         assert chosen == {"busy", "idle"}
+
+    def test_least_pending_ties_fair_under_placement_filtering(self):
+        # Regression: one shared tie-break cursor aliased across
+        # differently-sized tie sets. A strict interleave of a 2-way and
+        # a 3-way tie stepped the cursor by 2 between 2-way calls, so the
+        # 2-way ties always saw the same parity and one of those backends
+        # never served a read despite hosting the table.
+        backends = [_backend(f"b{i}") for i in range(3)]
+        pair_hosts = {"b0", "b1"}  # the 2-way tie: a table hosted on b0+b1
+        policy = LeastPendingPolicy()
+        counts = {"b0": 0, "b1": 0}
+        for _ in range(10):
+            chosen = policy.choose(
+                backends, candidate_filter=lambda b: b.name in pair_hosts
+            )
+            counts[chosen.name] += 1
+            policy.choose(backends)  # interleaved 3-way tie (all idle)
+        assert counts == {"b0": 5, "b1": 5}
+
+    def test_least_pending_filtered_ties_rotate(self):
+        backends = [_backend(f"b{i}") for i in range(4)]
+        hosts = {"b1", "b3"}
+        policy = LeastPendingPolicy()
+        chosen = {
+            policy.choose(backends, candidate_filter=lambda b: b.name in hosts).name
+            for _ in range(2)
+        }
+        assert chosen == hosts
 
     def test_weighted_respects_weights(self):
         heavy = _backend("heavy", weight=3.0)
@@ -326,6 +427,32 @@ class TestQueryCache:
         cache.invalidate_tables(set())
         assert cache.put("SELECT 1", {}, set(), self.RESULT, stamp=stamp) is False
 
+    def test_mutating_a_returned_row_does_not_poison_the_cache(self):
+        # Regression: get() returned a fresh outer list of the *same* row
+        # objects the cache held, so a caller mutating a row corrupted
+        # every later hit. Rows come off the engine as lists here.
+        cache = QueryCache()
+        cache.put("SELECT * FROM t", {}, {"t"}, (["id", "v"], [[1, "a"]], 1))
+        columns, rows, rowcount = cache.get("SELECT * FROM t", {})
+        # Frozen rows cannot be mutated in place at all...
+        assert rows == [(1, "a")]
+        with pytest.raises((TypeError, AttributeError)):
+            rows[0][1] = "MUTATED"
+        # ...and growing the returned outer list touches nothing cached.
+        rows.append(("junk",))
+        columns.append("junk")
+        cached = cache.get("SELECT * FROM t", {})
+        assert cached == (["id", "v"], [(1, "a")], 1)
+
+    def test_mutating_the_callers_rows_after_put_does_not_corrupt(self):
+        # put() must snapshot too: the caller still holds the row objects
+        # it handed over and may reuse or mutate them afterwards.
+        cache = QueryCache()
+        row = [1, "a"]
+        cache.put("SELECT * FROM t", {}, {"t"}, (["id", "v"], [row], 1))
+        row[1] = "MUTATED"
+        assert cache.get("SELECT * FROM t", {}) == (["id", "v"], [(1, "a")], 1)
+
 
 class TestWriteBroadcaster:
     def test_parallel_broadcast_aggregates_failures(self):
@@ -355,6 +482,42 @@ class TestWriteBroadcaster:
         assert len(outcome.succeeded) == 2
         assert broadcaster._executor is not None
         broadcaster.close()
+
+    def test_unexpected_exception_is_an_outcome_not_a_crash(self):
+        # Regression: _run_one only caught DriverError, so a RuntimeError
+        # (driver bug, broken connection object) re-raised out of
+        # future.result() in broadcast() and dropped every sibling
+        # outcome — the scheduler never learned which backends had
+        # already applied the write.
+        good, buggy = _backend("good"), _backend("buggy")
+        buggy.test_connection.fail_with = RuntimeError("driver bug mid-execute")
+        broadcaster = WriteBroadcaster(parallel=True)
+        try:
+            outcome = broadcaster.broadcast([good, buggy], "INSERT INTO t VALUES (1)")
+        finally:
+            broadcaster.close()
+        # The sibling's success survives, and the failure is attributed.
+        assert [o.backend.name for o in outcome.succeeded] == ["good"]
+        assert [o.backend.name for o in outcome.failed] == ["buggy"]
+        assert isinstance(outcome.failed[0].error, RuntimeError)
+        assert outcome.result is not None
+        # The pending counter unwound despite the exception.
+        assert buggy.pending == 0
+
+    def test_scheduler_fails_backend_raising_unexpected_exception(self):
+        # End to end: a non-DriverError is a replica fault (it is not one
+        # of the statement faults), so the backend leaves the rotation
+        # instead of silently diverging.
+        good, buggy = _backend("good"), _backend("buggy")
+        buggy.test_connection.fail_with = RuntimeError("driver bug mid-execute")
+        log = RecoveryLog()
+        scheduler = RequestScheduler([good, buggy], log)
+        columns, rows, rowcount = scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert rowcount == 1
+        assert good.enabled
+        assert buggy.state is BackendState.FAILED
+        assert log.last_index == 1
+        scheduler.close()
 
     def test_first_backend_result_is_primary(self):
         first, second = _backend("first", read_value=10), _backend("second", read_value=20)
@@ -732,4 +895,127 @@ class TestSchedulerRouting:
         assert stats["query_cache"]["misses"] == 1
         assert stats["backends"][0]["name"] == "b1"
         assert stats["backends"][0]["pending"] == 0
+        scheduler.close()
+
+
+class TestKeyLevelLocking:
+    """Lock-scope selection: which statements get a (table, key) scope
+    and which fall back up the ladder to a table lock. Uses the
+    ``primary_keys`` override (the fake backends expose no catalog)."""
+
+    def _scheduler(self, backends=None, **kwargs):
+        kwargs.setdefault("primary_keys", {"t": ("id", "INTEGER")})
+        return RequestScheduler(
+            backends if backends is not None else [_backend("b1")],
+            RecoveryLog(),
+            **kwargs,
+        )
+
+    def _lock_counts(self, scheduler):
+        stats = scheduler.stats()["locks"]
+        return stats["key_acquisitions"], stats["table_acquisitions"]
+
+    def test_single_row_pk_insert_takes_a_key_lock(self):
+        scheduler = self._scheduler()
+        scheduler.execute("INSERT INTO t (id, v) VALUES (1, 'x')")
+        assert self._lock_counts(scheduler) == (1, 0)
+        scheduler.close()
+
+    def test_pk_equality_update_and_delete_take_key_locks(self):
+        scheduler = self._scheduler()
+        scheduler.execute("UPDATE t SET v = 'y' WHERE id = 7")
+        scheduler.execute("DELETE FROM t WHERE id = 7 AND v = 'y'")
+        assert self._lock_counts(scheduler) == (2, 0)
+        scheduler.close()
+
+    def test_named_param_key_resolved_from_params(self):
+        scheduler = self._scheduler()
+        scheduler.execute("UPDATE t SET v = 'z' WHERE id = $row", {"row": 3})
+        assert self._lock_counts(scheduler) == (1, 0)
+        scheduler.close()
+
+    def test_missing_param_falls_back_to_table(self):
+        # $row is not in the params dict: the key value is unknowable at
+        # scheduling time, so the write must take the whole table.
+        scheduler = self._scheduler()
+        scheduler.execute("UPDATE t SET v = 'z' WHERE id = $row", {"other": 3})
+        assert self._lock_counts(scheduler) == (0, 1)
+        scheduler.close()
+
+    def test_range_predicate_falls_back_to_table(self):
+        scheduler = self._scheduler()
+        scheduler.execute("DELETE FROM t WHERE id > 5")
+        assert self._lock_counts(scheduler) == (0, 1)
+        scheduler.close()
+
+    def test_multi_row_insert_falls_back_to_table(self):
+        scheduler = self._scheduler()
+        scheduler.execute("INSERT INTO t (id) VALUES (1), (2)")
+        assert self._lock_counts(scheduler) == (0, 1)
+        scheduler.close()
+
+    def test_update_assigning_the_pk_falls_back_to_table(self):
+        # The row moves from key 7 to key 9: one key cannot cover both.
+        scheduler = self._scheduler()
+        scheduler.execute("UPDATE t SET id = 9 WHERE id = 7")
+        assert self._lock_counts(scheduler) == (0, 1)
+        scheduler.close()
+
+    def test_insert_without_pk_value_falls_back_to_table(self):
+        scheduler = self._scheduler()
+        scheduler.execute("INSERT INTO t (v) VALUES ('x')")
+        assert self._lock_counts(scheduler) == (0, 1)
+        scheduler.close()
+
+    def test_unknown_table_falls_back_to_table(self):
+        # No override and no usable catalog on the fake backend: the PK
+        # is unresolvable, so the write takes the table lock (and never
+        # errors out on the failed catalog probe).
+        scheduler = self._scheduler()
+        scheduler.execute("INSERT INTO nopk (id) VALUES (1)")
+        assert self._lock_counts(scheduler) == (0, 1)
+        scheduler.close()
+
+    def test_key_level_locking_off_takes_table_locks(self):
+        scheduler = self._scheduler(key_level_locking=False)
+        scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        assert self._lock_counts(scheduler) == (0, 1)
+        assert scheduler.stats()["key_level_locking"] is False
+        scheduler.close()
+
+    def test_string_pk_coerces_numbers_like_the_engine(self):
+        # The engine compares VARCHAR columns against numbers via str();
+        # the lock key must follow or two spellings of one row would get
+        # two different keys and run concurrently.
+        scheduler = self._scheduler(primary_keys={"s": ("code", "VARCHAR")})
+        scheduler.execute("DELETE FROM s WHERE code = 'a1'")
+        scheduler.execute("DELETE FROM s WHERE code = 7")  # key "7"
+        assert self._lock_counts(scheduler) == (2, 0)
+        scheduler.close()
+
+    def test_integer_pk_rejects_unparseable_strings(self):
+        scheduler = self._scheduler()
+        scheduler.execute("DELETE FROM t WHERE id = 'not-a-number'")
+        assert self._lock_counts(scheduler) == (0, 1)
+        scheduler.close()
+
+    def test_ddl_takes_the_table_scope_and_invalidates_the_pk_cache(self):
+        scheduler = self._scheduler(primary_keys={})
+        scheduler.execute("INSERT INTO plain (id) VALUES (1)")  # caches None
+        assert scheduler.stats()["primary_keys_cached"] == 1
+        scheduler.execute("ALTER TABLE plain ADD COLUMN v VARCHAR")
+        # The DDL dropped the cached resolution: the schema may now
+        # declare a different key.
+        assert scheduler.stats()["primary_keys_cached"] == 0
+        scheduler.close()
+
+    def test_stats_surface_key_fields(self):
+        scheduler = self._scheduler()
+        scheduler.execute("INSERT INTO t (id) VALUES (1)")
+        stats = scheduler.stats()
+        assert stats["key_level_locking"] is True
+        locks = stats["locks"]
+        for field in ("key_acquisitions", "key_waits", "keys_held", "covered_by_exclusive"):
+            assert field in locks
+        assert locks["keys_held"] == 0  # nothing in flight after return
         scheduler.close()
