@@ -161,3 +161,76 @@ class _NullBenchmark:
 
     def pedantic(self, target, rounds=1, iterations=1):
         return target()
+
+
+def test_bench_session_scaling(benchmark):
+    """E17 — the massive-concurrency front end (docs/wire.md).
+
+    Gates the tentpole's acceptance criteria: 5k+ logical sessions
+    multiplexed over a handful of channels with the controller's thread
+    count bounded by the fixed pools (not O(sessions)), and group commit
+    buying >=2x auto-commit write throughput over per-statement fsync on
+    a durable FileLogStore with a realistic fsync cost."""
+    SESSIONS = 5000
+    CHANNELS = 8
+    WORKER_POOL = 16
+    result = run_and_report(
+        benchmark,
+        concurrency.run_session_scaling_experiment,
+        sessions=SESSIONS,
+        channels=CHANNELS,
+        worker_pool_size=WORKER_POOL,
+    )
+    mux = result.find_row(mode="multiplexed")
+    baseline = result.find_row(mode="thread-per-connection")
+    # The headline: 5k logical sessions actually open, all multiplexed
+    # over the configured number of physical channels.
+    assert mux["sessions"] >= 5000
+    assert mux["active_sessions"] == mux["sessions"]
+    assert mux["physical_channels"] == CHANNELS
+    assert mux["pipeline_ok"] is True
+    # Thread ceiling: the whole client+controller footprint for 5k
+    # sessions stays under channels (driver readers) + channels
+    # (controller readers) + worker pool + slack — a fixed bound that
+    # does not move with the session count.
+    thread_ceiling = 2 * CHANNELS + WORKER_POOL + 8
+    assert mux["thread_delta"] <= thread_ceiling
+    assert mux["controller_worker_threads"] <= WORKER_POOL
+    assert mux["controller_reader_threads"] <= CHANNELS
+    # The baseline grows ~1 thread per connection (the server handler),
+    # which is what makes 5k dedicated sessions untenable.
+    assert baseline["threads_per_session"] >= 0.9
+    assert baseline["projected_threads_at_target"] >= SESSIONS * 0.9
+    # And the pool still serves interactively under the probe load.
+    assert mux["probe_p99_ms"] < 1000.0
+
+    group = run_and_report(
+        benchmark=_NullBenchmark(),
+        run_experiment=concurrency.run_group_commit_experiment,
+    )
+    per_stmt = group.find_row(mode="fsync-per-statement")
+    grouped = group.find_row(mode="group-commit")
+    # Durability parity: both modes logged every write.
+    assert per_stmt["log_entries"] == grouped["log_entries"]
+    # The point of group commit: far fewer fsyncs, >=2x the throughput
+    # (ideal is ~writers x; the 2x floor keeps a loaded CI runner from
+    # flaking while a lost batching path still fails).
+    assert grouped["fsyncs"] < per_stmt["fsyncs"] / 2
+    assert group.parameters["speedup_x"] >= 2.0
+    assert grouped["fsync_groups"] == grouped["fsyncs"]
+
+    _merge_payload(
+        session_scaling={
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "parameters": result.parameters,
+            "rows": result.rows,
+            "notes": result.notes,
+        },
+        group_commit={
+            "experiment_id": group.experiment_id,
+            "parameters": group.parameters,
+            "rows": group.rows,
+            "notes": group.notes,
+        },
+    )

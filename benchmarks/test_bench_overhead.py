@@ -1,6 +1,7 @@
 """E12 — bootloader overhead: connect and per-statement latency."""
 
 from benchmarks.conftest import run_and_report
+from repro.cluster.wire import make_result
 from repro.experiments import overhead
 
 
@@ -10,3 +11,13 @@ def test_bench_e12_overhead(benchmark):
     )
     connect_row = result.find_row(metric="connect latency (ms)")
     assert connect_row["bootloader_first"] >= connect_row["bootloader_subsequent"]
+
+    # Wire-frame overhead: make_result must not copy an already
+    # list-of-lists row set — the controller's hot reply path builds one
+    # frame per statement, and the row copy was pure overhead whenever
+    # the scheduler already produced the wire shape.
+    shaped = [[1, "a"], [2, "b"]]
+    assert make_result(["id", "name"], shaped, 2)["rows"] is shaped
+    mixed = [(1, "a"), (2, "b")]
+    reshaped = make_result(["id", "name"], mixed, 2)["rows"]
+    assert reshaped is not mixed and reshaped == [[1, "a"], [2, "b"]]

@@ -9,7 +9,8 @@ re-enable / resynchronise backends around consistent checkpoints.
 This package implements the pieces those case studies exercise:
 
 - :mod:`repro.cluster.wire` — the versioned controller wire protocol
-  (drivers are backward compatible with older controllers),
+  (drivers are backward compatible with older controllers); v3 adds
+  session multiplexing and statement pipelining (see docs/wire.md),
 - :mod:`repro.cluster.recovery` — the durable recovery subsystem:
   pluggable log stores (in-memory / segmented JSONL files), named
   checkpoints with compaction, dump-based backend cold start and the
@@ -39,10 +40,11 @@ This package implements the pieces those case studies exercise:
 - :mod:`repro.cluster.controller` — the controller itself, optionally
   embedding a Drivolution server replicated across the controller group,
 - :mod:`repro.cluster.driver` — the cluster client driver with
-  multi-controller URLs and automatic failover.
+  multi-controller URLs, automatic failover, and multiplexed logical
+  sessions sharing pooled physical channels.
 """
 
-from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION
+from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION, MULTIPLEX_MIN_VERSION
 from repro.cluster.recovery import (
     Checkpoint,
     CheckpointRegistry,
@@ -50,6 +52,7 @@ from repro.cluster.recovery import (
     DatabaseDumper,
     FailureDetector,
     FileLogStore,
+    GroupCommit,
     LogCompactedError,
     LogEntry,
     LogStore,
@@ -92,10 +95,17 @@ from repro.cluster.controller import (
     ControllerGroup,
     SessionContext,
 )
-from repro.cluster.driver import ClusterDriverRuntime, ClusterConnection, SequoiaDriver
+from repro.cluster.driver import (
+    ClusterConnection,
+    ClusterDriverRuntime,
+    MultiplexedChannel,
+    SequoiaDriver,
+)
 
 __all__ = [
     "CLUSTER_PROTOCOL_VERSION",
+    "MULTIPLEX_MIN_VERSION",
+    "GroupCommit",
     "RecoveryLog",
     "LogEntry",
     "LogStore",
@@ -141,5 +151,6 @@ __all__ = [
     "SessionContext",
     "ClusterDriverRuntime",
     "ClusterConnection",
+    "MultiplexedChannel",
     "SequoiaDriver",
 ]

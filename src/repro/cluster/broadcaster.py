@@ -74,9 +74,19 @@ class BroadcastOutcome:
 class WriteBroadcaster:
     """Executes one statement on many backends, optionally in parallel."""
 
-    def __init__(self, parallel: bool = True, max_workers: int = 8) -> None:
+    #: Auto-sizing floor: the pool never shrinks below the historical
+    #: default, so small clusters keep their headroom for concurrent
+    #: disjoint-table broadcasts.
+    DEFAULT_MAX_WORKERS = 8
+
+    def __init__(self, parallel: bool = True, max_workers: Optional[int] = None) -> None:
         self.parallel = parallel
-        self._max_workers = max(1, max_workers)
+        # None = auto-scale: grow the pool to the widest fan-out seen, so
+        # a cluster with >8 replicas still broadcasts to all of them at
+        # once (a hardcoded 8 serialised the overflow). An explicit value
+        # stays fixed — the operator asked for that cap.
+        self._configured_max_workers = max_workers if max_workers is None else max(1, max_workers)
+        self._pool_size = self._configured_max_workers or self.DEFAULT_MAX_WORKERS
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
         self._lock = threading.Lock()
@@ -86,17 +96,28 @@ class WriteBroadcaster:
         self.statements_dispatched = 0
         self._in_flight = 0
 
-    def _get_executor(self) -> Optional[ThreadPoolExecutor]:
+    def _get_executor(self, fan_out: int = 0) -> Optional[ThreadPoolExecutor]:
+        stale: Optional[ThreadPoolExecutor] = None
         with self._lock:
             if self._closed:
                 # A write still in flight when the owner shut down must not
                 # resurrect the pool (it would leak); it runs sequentially.
                 return None
+            if self._configured_max_workers is None and fan_out > self._pool_size:
+                # Auto mode: a wider replica set arrived — replace the
+                # pool with a bigger one. Statements already submitted to
+                # the old pool finish on its threads; it is shut down
+                # (without joining) once outside the lock.
+                stale, self._executor = self._executor, None
+                self._pool_size = fan_out
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=self._max_workers, thread_name_prefix="broadcast"
+                    max_workers=self._pool_size, thread_name_prefix="broadcast"
                 )
-            return self._executor
+            executor = self._executor
+        if stale is not None:
+            stale.shutdown(wait=False)
+        return executor
 
     def broadcast(
         self, backends: List[Backend], sql: str, params: Optional[Dict[str, Any]] = None
@@ -107,7 +128,9 @@ class WriteBroadcaster:
             self._in_flight += 1
         try:
             executor = (
-                self._get_executor() if self.parallel and len(backends) > 1 else None
+                self._get_executor(len(backends))
+                if self.parallel and len(backends) > 1
+                else None
             )
             if executor is None:
                 return BroadcastOutcome(
@@ -125,7 +148,9 @@ class WriteBroadcaster:
         with self._lock:
             return {
                 "parallel": self.parallel,
-                "max_workers": self._max_workers,
+                "max_workers": self._configured_max_workers,
+                "effective_max_workers": self._pool_size,
+                "auto_sized": self._configured_max_workers is None,
                 "broadcasts": self.broadcasts,
                 "statements_dispatched": self.statements_dispatched,
                 "in_flight": self._in_flight,

@@ -21,6 +21,8 @@ from __future__ import annotations
 import os
 import threading
 import uuid
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -37,6 +39,7 @@ from repro.cluster.recovery import (
     DatabaseDumper,
     FailureDetector,
     FileLogStore,
+    GroupCommit,
     MemoryLogStore,
     RecoveryLog,
 )
@@ -44,11 +47,15 @@ from repro.cluster.scheduler import RequestScheduler, SchedulerError
 from repro.core.clock import Clock, wall_clock
 from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
+    MULTIPLEX_MIN_VERSION,
     ClusterMessageType,
+    ClusterWireError,
+    correlate,
     make_connect_ok,
     make_error,
     make_group,
     make_result,
+    make_session_open_ok,
 )
 from repro.core.constants import DEFAULT_LEASE_TIME_MS, ExpirationPolicy, RenewPolicy
 from repro.core.package import DriverPackage
@@ -76,12 +83,34 @@ class ControllerConfig:
     policy_options: Dict[str, Any] = field(default_factory=dict)
     #: Broadcast writes to all backends concurrently.
     parallel_writes: bool = True
-    #: Thread-pool width of the parallel write broadcaster. The pool is
-    #: shared by every concurrent broadcast, so under conflict-aware
-    #: locking size it for replicas-per-write x expected concurrent
-    #: disjoint writers — a saturated pool queues half of each broadcast
-    #: (watch stats()["scheduler"]["broadcaster"]["in_flight"]).
-    write_concurrency: int = 8
+    #: Thread-pool width of the parallel write broadcaster. None (the
+    #: default) auto-scales with the broadcast fan-out, so clusters with
+    #: more than 8 replicas are not serialised by a fixed pool. The pool
+    #: is shared by every concurrent broadcast, so under conflict-aware
+    #: locking an explicit value should be sized for replicas-per-write x
+    #: expected concurrent disjoint writers — a saturated pool queues
+    #: half of each broadcast (watch
+    #: stats()["scheduler"]["broadcast"]["in_flight"]).
+    write_concurrency: Optional[int] = None
+    #: Serve protocol-v3 clients over multiplexed channels: one physical
+    #: channel carries many logical sessions (correlated by
+    #: session_id/request_id), statements run on a fixed worker pool and
+    #: controller thread count stays O(channels), not O(sessions). Off —
+    #: or with a v2 client — every channel is a dedicated per-connection
+    #: session exactly as before (see docs/wire.md).
+    multiplexing: bool = True
+    #: Statement-execution workers shared by all multiplexed sessions.
+    worker_pool_size: int = 16
+    #: Batch recovery-log fsyncs across concurrent writers (group
+    #: commit). Only effective on a durable log (log_dir + log_fsync):
+    #: the store's per-append fsync is replaced by one fsync per commit
+    #: group, and no statement is acknowledged before its entry is
+    #: durable. Off restores the per-append fsync path byte for byte.
+    group_commit: bool = True
+    #: Extra window (milliseconds) a group-commit leader waits to gather
+    #: more writers before its fsync. 0 (default) piggybacks only on
+    #: natural concurrency and adds no latency.
+    group_commit_window_ms: float = 0.0
     #: Conflict-aware write scheduling: writes acquire table-level locks
     #: from the classifier's table sets, so statements touching disjoint
     #: tables execute and broadcast in parallel (see docs/scheduling.md).
@@ -155,6 +184,38 @@ class SessionContext:
             self.in_transaction = False
 
 
+#: Queue sentinel ordering a session's close after its pending executes.
+_CLOSE_SESSION = object()
+
+
+class _MuxSession:
+    """One logical session on a multiplexed channel: its context plus a
+    FIFO of pending statements. ``scheduled`` is True while a worker-pool
+    task owns the queue; statements of one session never run concurrently
+    (per-session order is preserved) while different sessions' statements
+    interleave freely across the pool."""
+
+    __slots__ = ("context", "queue", "scheduled", "closed")
+
+    def __init__(self, context: SessionContext) -> None:
+        self.context = context
+        self.queue: deque = deque()
+        self.scheduled = False
+        self.closed = False
+
+
+class _MuxChannelState:
+    """Server-side state of one multiplexed physical channel."""
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        #: Serialises concurrent workers' replies onto the one channel.
+        self.send_lock = threading.Lock()
+        #: Guards ``sessions`` and every _MuxSession's queue/flags.
+        self.lock = threading.Lock()
+        self.sessions: Dict[str, _MuxSession] = {}
+
+
 class Controller:
     """One Sequoia-like controller."""
 
@@ -170,12 +231,19 @@ class Controller:
         self.network = network
         self.address = address
         self.clock = clock
+        group_commit_active = (
+            config.log_dir is not None and config.log_fsync and config.group_commit
+        )
         if config.log_dir is not None:
             os.makedirs(config.log_dir, exist_ok=True)
             store = FileLogStore(
                 config.log_dir,
                 segment_max_entries=config.log_segment_entries,
-                fsync_on_append=config.log_fsync,
+                # Under group commit the fsync moves from each append to
+                # the group coordinator's flush — durability is preserved
+                # (no reply before wait_durable returns) at a fraction of
+                # the fsync count.
+                fsync_on_append=config.log_fsync and not group_commit_active,
             )
             checkpoints = CheckpointRegistry(os.path.join(config.log_dir, "checkpoints.json"))
         else:
@@ -185,6 +253,11 @@ class Controller:
             store=store,
             checkpoints=checkpoints,
             auto_compact_every=config.auto_compact_every,
+        )
+        self.group_commit = (
+            GroupCommit(self.recovery_log, window_s=config.group_commit_window_ms / 1000.0)
+            if group_commit_active
+            else None
         )
         self.scheduler = RequestScheduler(
             backends or [],
@@ -201,6 +274,7 @@ class Controller:
             placement=create_placement(config.placement),
             lock_manager=LockManager(conflict_aware=config.conflict_aware_locking),
             key_level_locking=config.key_level_locking,
+            group_commit=self.group_commit,
         )
         self.failure_detector = FailureDetector(
             self.scheduler,
@@ -216,6 +290,11 @@ class Controller:
         self.last_heartbeat_error: Optional[str] = None
         self._sessions: Dict[str, SessionContext] = {}
         self._extensions: Dict[str, ExtensionHandler] = {}
+        # Multiplexed front end: a fixed statement-worker pool shared by
+        # every logical session, and the live mux channel states (each
+        # owns one reader thread — the ChannelServer handler).
+        self._worker_pool: Optional[ThreadPoolExecutor] = None
+        self._mux_channels: set = set()
         self._channel_server: Optional[ChannelServer] = None
         self._peers: List[Address] = []
         self._lock = threading.Lock()
@@ -230,6 +309,14 @@ class Controller:
         if self._channel_server is not None:
             return self
         self.scheduler.broadcaster.reopen()
+        if self.config.multiplexing and self._worker_pool is None:
+            # Threads spawn lazily on demand, so an idle pool costs
+            # nothing; its size is the fixed ceiling on statement
+            # concurrency no matter how many logical sessions are open.
+            self._worker_pool = ThreadPoolExecutor(
+                max_workers=max(1, self.config.worker_pool_size),
+                thread_name_prefix=f"{self.config.controller_id}-mux",
+            )
         listener = self.network.listen(self.address)
         self._channel_server = ChannelServer(
             listener, self._handle_channel, name=self.config.controller_id
@@ -253,6 +340,11 @@ class Controller:
         if self._channel_server is not None:
             self._channel_server.stop()
             self._channel_server = None
+        if self._worker_pool is not None:
+            # In-flight statements finish on their worker; new submits
+            # are refused (the mux paths tolerate that during shutdown).
+            self._worker_pool.shutdown(wait=False)
+            self._worker_pool = None
         self.scheduler.close()
         # Make the durable log safe against the process dying right after
         # (a controller restarted on the same log_dir resumes at this
@@ -290,12 +382,26 @@ class Controller:
         """Controller-level counters plus the scheduling subsystem's stats."""
         with self._lock:
             active_sessions = len(self._sessions)
+            mux_channels = len(self._mux_channels)
         scheduler_stats = self.scheduler.stats()
+        pool = self._worker_pool
         return {
             "controller_id": self.config.controller_id,
             "statements_served": self.statements_served,
             "failed_statements": self.failed_statements,
             "active_sessions": active_sessions,
+            "front_end": {
+                "multiplexing": self.config.multiplexing,
+                "worker_pool_size": self.config.worker_pool_size,
+                "worker_threads": len(getattr(pool, "_threads", ()) or ()) if pool else 0,
+                "mux_channels": mux_channels,
+                "reader_threads": (
+                    self._channel_server.handler_thread_count()
+                    if self._channel_server is not None
+                    else 0
+                ),
+                "group_commit": self.group_commit.stats() if self.group_commit else None,
+            },
             # Same object as scheduler["placement"] — surfaced top-level
             # for operators, computed once.
             "placement": scheduler_stats["placement"],
@@ -617,6 +723,25 @@ class Controller:
                 make_error("unknown_database", f"virtual database {virtual_database!r} not hosted here")
             )
             return
+        grant_multiplexing = bool(
+            connect.get("multiplex")
+            and self.config.multiplexing
+            and client_version >= MULTIPLEX_MIN_VERSION
+            and self._worker_pool is not None
+        )
+        if grant_multiplexing:
+            # No base session: logical sessions arrive via SESSION_OPEN.
+            # The handshake's session_id names the channel for tracing.
+            channel.send(
+                make_connect_ok(
+                    self.config.controller_id,
+                    client_version,
+                    uuid.uuid4().hex,
+                    multiplexing=True,
+                )
+            )
+            self._serve_mux_channel(channel)
+            return
         session_id = uuid.uuid4().hex
         session = SessionContext(session_id=session_id)
         with self._lock:
@@ -639,6 +764,50 @@ class Controller:
                 except (SchedulerError, DriverError):
                     pass
 
+    def _execute_for_session(self, session: SessionContext, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one statement for a session and build the reply frame.
+
+        Shared by the dedicated (v2) loop and the multiplexed workers;
+        the caller guarantees one session's statements never run
+        concurrently (the v2 loop is sequential, the mux path drains a
+        per-session FIFO), so SessionContext needs no lock. The
+        controller-wide counters are shared across workers and bump
+        under ``_lock``."""
+        statement = classify(sql)
+        if (
+            self.scheduler.resync_in_progress
+            and self.peers()
+            and not (statement.is_read and not session.in_transaction)
+        ):
+            # A resync replay holds the write path, possibly for a long
+            # log tail. Instead of queueing the write behind it, tell
+            # the driver — it retries transparently against a sibling
+            # controller (reads keep being served locally). Without
+            # peers there is nowhere to send the client: writes simply
+            # queue on the write lock until the replay finishes.
+            return make_error(
+                "controller_recovering",
+                f"controller {self.config.controller_id} is replaying its "
+                "recovery log; retry on another controller",
+            )
+        try:
+            columns, rows, rowcount = self.scheduler.execute(
+                sql,
+                params,
+                in_transaction=session.in_transaction,
+                session_id=session.session_id,
+            )
+        except (SchedulerError, DriverError) as exc:
+            session.failed += 1
+            with self._lock:
+                self.failed_statements += 1
+            return make_error("execution_failed", str(exc))
+        session.observe(statement.command, statement.is_transaction_control)
+        session.statements += 1
+        with self._lock:
+            self.statements_served += 1
+        return make_result(columns, rows, rowcount)
+
     def _serve_session(self, channel: Channel, session: SessionContext) -> None:
         while True:
             try:
@@ -656,45 +825,197 @@ class Controller:
                 continue
             sql = str(message.get("sql", ""))
             params = dict(message.get("params") or {})
-            statement = classify(sql)
-            if (
-                self.scheduler.resync_in_progress
-                and self.peers()
-                and not (statement.is_read and not session.in_transaction)
-            ):
-                # A resync replay holds the write path, possibly for a long
-                # log tail. Instead of queueing the write behind it, tell
-                # the driver — it retries transparently against a sibling
-                # controller (reads keep being served locally). Without
-                # peers there is nowhere to send the client: writes simply
-                # queue on the write lock until the replay finishes.
-                channel.send(
-                    make_error(
-                        "controller_recovering",
-                        f"controller {self.config.controller_id} is replaying its "
-                        "recovery log; retry on another controller",
-                    )
-                )
-                continue
+            reply = self._execute_for_session(session, sql, params)
             try:
-                columns, rows, rowcount = self.scheduler.execute(
-                    sql,
-                    params,
-                    in_transaction=session.in_transaction,
-                    session_id=session.session_id,
-                )
-            except (SchedulerError, DriverError) as exc:
-                self.failed_statements += 1
-                session.failed += 1
-                channel.send(make_error("execution_failed", str(exc)))
-                continue
-            session.observe(statement.command, statement.is_transaction_control)
-            session.statements += 1
-            self.statements_served += 1
-            try:
-                channel.send(make_result(columns, rows, rowcount))
+                channel.send(reply)
             except TransportError:
                 return
+
+    # -- multiplexed front end (protocol v3, docs/wire.md) ---------------------
+
+    def _serve_mux_channel(self, channel: Channel) -> None:
+        """Reader loop of one multiplexed channel: the only thread that
+        receives from it. Statements are dispatched to the shared worker
+        pool through per-session FIFOs; this thread never blocks on the
+        scheduler, so one slow statement cannot stall the channel's
+        other sessions."""
+        state = _MuxChannelState(channel)
+        with self._lock:
+            self._mux_channels.add(state)
+        try:
+            while True:
+                try:
+                    message = channel.recv(timeout=None)
+                except TransportError:
+                    return
+                message_type = str(message.get("type", ""))
+                if message_type == ClusterMessageType.CLOSE:
+                    return
+                if message_type == ClusterMessageType.PING:
+                    if not self._mux_send(state, {"type": ClusterMessageType.PONG}):
+                        return
+                    continue
+                if message_type == ClusterMessageType.SESSION_OPEN:
+                    self._mux_open_session(state, message)
+                    continue
+                if message_type == ClusterMessageType.SESSION_CLOSE:
+                    self._mux_close_session(state, message)
+                    continue
+                if message_type == ClusterMessageType.EXECUTE:
+                    self._mux_execute(state, message)
+                    continue
+                self._mux_send(
+                    state, make_error("bad_message", f"unexpected message {message_type!r}")
+                )
+        finally:
+            with self._lock:
+                self._mux_channels.discard(state)
+            # The channel died (or closed): every logical session on it
+            # ends, mirroring the dedicated path's abandoned-transaction
+            # rollback.
+            with state.lock:
+                leftovers = list(state.sessions.values())
+            for msession in leftovers:
+                self._finish_mux_session(state, msession)
+
+    def _mux_send(self, state: _MuxChannelState, message: Dict[str, Any]) -> bool:
+        with state.send_lock:
+            try:
+                state.channel.send(message)
+                return True
+            except TransportError:
+                # Reply undeliverable: the reader loop observes the dead
+                # channel on its next recv and tears the sessions down.
+                return False
+
+    def _mux_open_session(self, state: _MuxChannelState, message: Dict[str, Any]) -> None:
+        try:
+            session_id, request_id = correlate(message)
+        except ClusterWireError as exc:
+            self._mux_send(state, make_error("bad_correlation", str(exc)))
+            return
+        session = SessionContext(session_id=session_id)
+        msession = _MuxSession(session)
+        with state.lock:
+            if session_id in state.sessions:
+                reply = make_error("session_exists", f"session {session_id!r} already open")
+                reply["session_id"] = session_id
+                reply["request_id"] = request_id
+                self._mux_send(state, reply)
+                return
+            state.sessions[session_id] = msession
+        with self._lock:
+            self._sessions[session_id] = session
+        self._mux_send(state, make_session_open_ok(session_id, request_id))
+
+    def _mux_close_session(self, state: _MuxChannelState, message: Dict[str, Any]) -> None:
+        try:
+            session_id, _ = correlate(message, require_request_id=False)
+        except ClusterWireError as exc:
+            self._mux_send(state, make_error("bad_correlation", str(exc)))
+            return
+        with state.lock:
+            msession = state.sessions.get(session_id)
+        if msession is None:
+            return  # idempotent: already closed (or never opened)
+        # Through the session FIFO, so the close orders after every
+        # pipelined statement the client already fired.
+        self._mux_enqueue(state, msession, _CLOSE_SESSION)
+
+    def _mux_execute(self, state: _MuxChannelState, message: Dict[str, Any]) -> None:
+        try:
+            session_id, request_id = correlate(message)
+        except ClusterWireError as exc:
+            # Reply promptly instead of dispatching garbage to a worker
+            # (an unmatchable reply would hang the client's request
+            # forever and the worker's effort would be wasted).
+            self._mux_send(state, make_error("bad_correlation", str(exc)))
+            return
+        with state.lock:
+            msession = state.sessions.get(session_id)
+        if msession is None or msession.closed:
+            reply = make_error("unknown_session", f"no open session {session_id!r} on this channel")
+            reply["session_id"] = session_id
+            reply["request_id"] = request_id
+            self._mux_send(state, reply)
+            return
+        sql = str(message.get("sql", ""))
+        params = dict(message.get("params") or {})
+        self._mux_enqueue(state, msession, (request_id, sql, params))
+
+    def _mux_enqueue(self, state: _MuxChannelState, msession: _MuxSession, item: Any) -> None:
+        with state.lock:
+            if msession.closed:
+                return
+            msession.queue.append(item)
+            if msession.scheduled:
+                return
+            msession.scheduled = True
+        self._mux_submit(state, msession)
+
+    def _mux_submit(self, state: _MuxChannelState, msession: _MuxSession) -> None:
+        pool = self._worker_pool
+        try:
+            if pool is None:
+                raise RuntimeError("controller stopped")
+            pool.submit(self._drain_mux_session, state, msession)
+        except RuntimeError:
+            # Shutting down: drop the work, the channel is about to die.
+            with state.lock:
+                msession.scheduled = False
+
+    def _drain_mux_session(self, state: _MuxChannelState, msession: _MuxSession) -> None:
+        """Run ONE queued item of one session, then yield the worker.
+
+        One item per pool task keeps the pool fair under pipelining: a
+        session with 100 queued statements interleaves with its channel
+        peers instead of monopolising a worker until drained."""
+        with state.lock:
+            if not msession.queue:
+                msession.scheduled = False
+                return
+            item = msession.queue.popleft()
+        try:
+            if item is _CLOSE_SESSION:
+                self._finish_mux_session(state, msession)
+            else:
+                request_id, sql, params = item
+                try:
+                    reply = self._execute_for_session(msession.context, sql, params)
+                except Exception as exc:  # noqa: BLE001 - a worker must never die silently
+                    reply = make_error("internal_error", str(exc))
+                reply["session_id"] = msession.context.session_id
+                reply["request_id"] = request_id
+                self._mux_send(state, reply)
+        finally:
+            with state.lock:
+                if msession.queue and not msession.closed:
+                    # Keep ``scheduled`` held by the next task.
+                    resubmit = True
+                else:
+                    msession.scheduled = False
+                    resubmit = False
+            if resubmit:
+                self._mux_submit(state, msession)
+
+    def _finish_mux_session(self, state: _MuxChannelState, msession: _MuxSession) -> None:
+        with state.lock:
+            if msession.closed:
+                return
+            msession.closed = True
+            state.sessions.pop(msession.context.session_id, None)
+        with self._lock:
+            self._sessions.pop(msession.context.session_id, None)
+        if msession.context.in_transaction:
+            # Same contract as a dedicated session's disconnect: an
+            # abandoned transaction must not pin the scheduler's
+            # accounting or the backends' shared server sessions.
+            try:
+                self.scheduler.execute(
+                    "ROLLBACK", in_transaction=True, session_id=msession.context.session_id
+                )
+            except (SchedulerError, DriverError):
+                pass
 
 
 class ControllerGroup:

@@ -20,16 +20,204 @@ name/version to this runtime (see
 
 from __future__ import annotations
 
+import itertools
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+import uuid
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.cluster.wire import CLUSTER_PROTOCOL_VERSION, ClusterMessageType, make_connect, make_execute
+from repro.cluster.wire import (
+    CLUSTER_PROTOCOL_VERSION,
+    MULTIPLEX_MIN_VERSION,
+    ClusterMessageType,
+    make_connect,
+    make_execute,
+    make_session_close,
+    make_session_open,
+)
 from repro.dbapi.api import Connection, Cursor
 from repro.dbapi.exceptions import InterfaceError, OperationalError, ProgrammingError
 from repro.dbapi.urls import ConnectionUrl, parse_url
 from repro.errors import TransportError
 from repro.netsim.registry import DEFAULT_NETWORK_NAME, get_network
 from repro.netsim.transport import Channel, Network
+
+_FALSEY_OPTION_VALUES = {False, 0, "0", "false", "False", "off", "no"}
+
+
+def _option_enabled(value: Any, default: bool = True) -> bool:
+    if value is None:
+        return default
+    return value not in _FALSEY_OPTION_VALUES
+
+
+class _MuxPending:
+    """One in-flight request on a multiplexed channel."""
+
+    __slots__ = ("event", "reply")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: Optional[Dict[str, Any]] = None
+
+
+class MultiplexedChannel:
+    """One physical channel carrying many logical sessions (wire v3).
+
+    A background reader thread is the only receiver: it matches each
+    reply to its waiter by ``(session_id, request_id)``, so any number
+    of connections (and any number of pipelined statements per
+    connection) can have requests in flight concurrently. Sending is
+    serialised by a lock; waiting costs no thread — the caller blocks on
+    its own :class:`threading.Event`.
+
+    Lifecycle: the driver runtime pools these per
+    ``(network, host, database, user)``; the physical channel closes
+    when its last logical session does (no idle pooling, so no leaked
+    reader threads once clients are gone).
+    """
+
+    def __init__(self, channel: Channel, host: str, controller_id: str, key: Tuple[Any, ...]) -> None:
+        self._channel = channel
+        self.host = host
+        self.controller_id = controller_id
+        #: Registry key, used by the runtime to evict/release the link.
+        self.key = key
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._pending: Dict[Tuple[str, int], _MuxPending] = {}
+        self._request_ids = itertools.count(1)
+        self._sessions: set = set()
+        self._dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"mux-reader-{host}", daemon=True
+        )
+        self._reader.start()
+
+    # -- reader ------------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self._channel.recv(timeout=None)
+            except TransportError:
+                self._fail_all("controller channel lost")
+                return
+            if message.get("type") == ClusterMessageType.PONG:
+                continue
+            session_id = message.get("session_id")
+            request_id = message.get("request_id")
+            if not isinstance(session_id, str) or not isinstance(request_id, int):
+                # Uncorrelated frame (e.g. a ``bad_correlation`` error for
+                # garbage this driver never sends): no owner to wake.
+                continue
+            with self._lock:
+                pending = self._pending.pop((session_id, request_id), None)
+            if pending is not None:
+                pending.reply = message
+                pending.event.set()
+
+    def _fail_all(self, reason: str) -> None:
+        with self._lock:
+            self._dead = True
+            pendings = list(self._pending.values())
+            self._pending.clear()
+        for pending in pendings:
+            pending.reply = {
+                "type": ClusterMessageType.ERROR,
+                "code": "connection_lost",
+                "message": reason,
+            }
+            pending.event.set()
+
+    # -- requests ----------------------------------------------------------------
+
+    def _send_correlated(self, key: Tuple[str, int], message: Dict[str, Any]) -> _MuxPending:
+        pending = _MuxPending()
+        with self._lock:
+            if self._dead:
+                raise TransportError("multiplexed channel is closed")
+            self._pending[key] = pending
+        try:
+            with self._send_lock:
+                self._channel.send(message)
+        except TransportError:
+            with self._lock:
+                self._pending.pop(key, None)
+            self._fail_all("controller channel lost")
+            raise
+        return pending
+
+    def submit(self, session_id: str, sql: str, params: Optional[Dict[str, Any]]) -> _MuxPending:
+        """Fire one statement without waiting — the pipelining primitive."""
+        request_id = next(self._request_ids)
+        return self._send_correlated(
+            (session_id, request_id),
+            make_execute(sql, params, session_id=session_id, request_id=request_id),
+        )
+
+    @staticmethod
+    def wait(pending: _MuxPending, timeout: float = 30.0) -> Dict[str, Any]:
+        if not pending.event.wait(timeout):
+            raise TransportError("timed out waiting for multiplexed reply")
+        reply = pending.reply or {}
+        if reply.get("type") == ClusterMessageType.ERROR and reply.get("code") == "connection_lost":
+            raise TransportError(str(reply.get("message")))
+        return reply
+
+    def request(
+        self, session_id: str, sql: str, params: Optional[Dict[str, Any]], timeout: float = 30.0
+    ) -> Dict[str, Any]:
+        return self.wait(self.submit(session_id, sql, params), timeout=timeout)
+
+    # -- logical sessions ----------------------------------------------------------
+
+    def open_session(self) -> str:
+        session_id = uuid.uuid4().hex
+        request_id = next(self._request_ids)
+        pending = self._send_correlated(
+            (session_id, request_id), make_session_open(session_id, request_id)
+        )
+        reply = self.wait(pending, timeout=10.0)
+        if reply.get("type") != ClusterMessageType.SESSION_OPEN_OK:
+            raise TransportError(
+                f"session open failed: [{reply.get('code')}] {reply.get('message')}"
+            )
+        with self._lock:
+            self._sessions.add(session_id)
+        return session_id
+
+    def close_session(self, session_id: str) -> int:
+        """Close one logical session; returns how many remain."""
+        with self._lock:
+            self._sessions.discard(session_id)
+            dead = self._dead
+            remaining = len(self._sessions)
+        if not dead:
+            try:
+                with self._send_lock:
+                    self._channel.send(make_session_close(session_id))
+            except TransportError:
+                self._fail_all("controller channel lost")
+        return remaining
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    @property
+    def dead(self) -> bool:
+        with self._lock:
+            return self._dead
+
+    def close(self) -> None:
+        self._fail_all("channel closed")
+        try:
+            with self._send_lock:
+                self._channel.send({"type": ClusterMessageType.CLOSE})
+        except TransportError:
+            pass
+        self._channel.close()
 
 
 class ClusterCursor(Cursor):
@@ -105,27 +293,60 @@ class ClusterConnection(Connection):
         self._password = password
         self._options = options
         self._channel: Optional[Channel] = None
+        self._mux_link: Optional[MultiplexedChannel] = None
+        self._session_id: Optional[str] = None
         self._controller_id: Optional[str] = None
         self._closed = False
         self._in_transaction = False
         self._lock = threading.Lock()
         self.statements_executed = 0
         self.failovers = 0
+        # Multiplexing is attempted by default on a v3 driver; the
+        # handshake downgrades transparently against a v2 controller (or
+        # one configured with multiplexing off) — absence of the
+        # ``multiplexing`` grant in CONNECT_OK means a dedicated channel.
+        self._want_mux = driver.protocol_version >= MULTIPLEX_MIN_VERSION and _option_enabled(
+            options.get("multiplexing"), default=True
+        )
+        self._mux_channels_per_host = max(1, int(options.get("mux_channels_per_host", 1)))
         self._connect_to_any()
 
     # -- connection establishment with failover -----------------------------------
 
-    def _connect_to_any(self, exclude: Optional[str] = None) -> None:
-        # Abandoning the current channel either way: close it so the
-        # controller's session ends too. A failover away from a *healthy*
-        # controller (e.g. one answering controller_recovering) would
-        # otherwise leak its server-side session for the process lifetime.
+    def _detach(self) -> None:
+        """Drop the current attachment (dedicated channel or logical
+        session), closing server-side state so nothing leaks. A failover
+        away from a *healthy* controller (e.g. one answering
+        controller_recovering) would otherwise pin its session for the
+        process lifetime."""
         if self._channel is not None:
+            channel, self._channel = self._channel, None
             try:
-                self._channel.close()
+                channel.send({"type": ClusterMessageType.CLOSE})
+            except TransportError:
+                pass
+            try:
+                channel.close()
             except Exception:
                 pass
-            self._channel = None
+        if self._mux_link is not None:
+            link, self._mux_link = self._mux_link, None
+            session_id, self._session_id = self._session_id, None
+            if session_id is not None:
+                try:
+                    link.close_session(session_id)
+                except Exception:
+                    pass
+            self._driver._release_mux_link(link)
+
+    def _attach_mux(self, link: MultiplexedChannel, session_id: str, host: str) -> None:
+        self._mux_link = link
+        self._session_id = session_id
+        self._controller_id = link.controller_id
+        self._current_host = host
+
+    def _connect_to_any(self, exclude: Optional[str] = None) -> None:
+        self._detach()
         hosts = list(self._url.hosts)
         start = self._driver._next_start_index(len(hosts))
         ordered = hosts[start:] + hosts[:start]
@@ -133,35 +354,81 @@ class ClusterConnection(Connection):
             ordered = [host for host in ordered if host != exclude] or ordered
         last_error: Optional[Exception] = None
         for host in ordered:
+            key = (id(self._network), host, self._url.database, self._user)
+            forming = False
+            if self._want_mux:
+                # Piggyback on an already-established multiplexed channel
+                # to this controller before opening a new socket. A None
+                # checkout claims a forming slot against the per-host cap
+                # (released in the finally below, whatever the outcome).
+                link = self._driver._checkout_mux_link(key, self._mux_channels_per_host)
+                if link is not None:
+                    try:
+                        session_id = link.open_session()
+                    except TransportError as exc:
+                        last_error = exc
+                        self._driver._evict_mux_link(link)
+                        # fall through: fresh connect to the same host
+                    else:
+                        self._attach_mux(link, session_id, host)
+                        return
+                else:
+                    forming = True
             try:
-                channel = self._network.connect(host, timeout=5.0)
-                channel.send(
-                    make_connect(
-                        virtual_database=self._url.database,
-                        user=self._user,
-                        password=self._password,
-                        protocol_version=self._driver.protocol_version,
-                        options={key: str(value) for key, value in self._options.items()},
+                try:
+                    channel = self._network.connect(host, timeout=5.0)
+                    channel.send(
+                        make_connect(
+                            virtual_database=self._url.database,
+                            user=self._user,
+                            password=self._password,
+                            protocol_version=self._driver.protocol_version,
+                            options={
+                                name: str(value) for name, value in self._options.items()
+                            },
+                            multiplex=self._want_mux,
+                        )
                     )
-                )
-                reply = channel.recv(timeout=10.0)
-            except TransportError as exc:
-                last_error = exc
-                continue
-            if reply.get("type") == ClusterMessageType.ERROR:
-                last_error = OperationalError(
-                    f"[{reply.get('code')}] {reply.get('message')}"
-                )
-                channel.close()
-                continue
-            if reply.get("type") != ClusterMessageType.CONNECT_OK:
-                last_error = InterfaceError(f"unexpected handshake reply {reply.get('type')!r}")
-                channel.close()
-                continue
-            self._channel = channel
-            self._controller_id = str(reply.get("controller_id", host))
-            self._current_host = host
-            return
+                    reply = channel.recv(timeout=10.0)
+                except TransportError as exc:
+                    last_error = exc
+                    continue
+                if reply.get("type") == ClusterMessageType.ERROR:
+                    last_error = OperationalError(
+                        f"[{reply.get('code')}] {reply.get('message')}"
+                    )
+                    channel.close()
+                    continue
+                if reply.get("type") != ClusterMessageType.CONNECT_OK:
+                    last_error = InterfaceError(
+                        f"unexpected handshake reply {reply.get('type')!r}"
+                    )
+                    channel.close()
+                    continue
+                if self._want_mux and reply.get("multiplexing"):
+                    link = MultiplexedChannel(
+                        channel, host, str(reply.get("controller_id", host)), key
+                    )
+                    try:
+                        session_id = link.open_session()
+                    except TransportError as exc:
+                        last_error = exc
+                        link.close()
+                        continue
+                    self._driver._register_mux_link(link)
+                    self._attach_mux(link, session_id, host)
+                    return
+                # Dedicated mode: the controller did not grant multiplexing
+                # (older protocol, or configured off) — the handshaked
+                # channel serves this connection alone, exactly the v2
+                # behaviour.
+                self._channel = channel
+                self._controller_id = str(reply.get("controller_id", host))
+                self._current_host = host
+                return
+            finally:
+                if forming:
+                    self._driver._mux_forming_done(key)
         raise OperationalError(f"no controller reachable among {hosts!r}: {last_error}")
 
     # -- statement execution ---------------------------------------------------------
@@ -195,12 +462,23 @@ class ClusterConnection(Connection):
             raise OperationalError("unreachable")  # pragma: no cover
 
     def _execute_once(self, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        if self._mux_link is not None:
+            assert self._session_id is not None
+            try:
+                reply = self._mux_link.request(self._session_id, sql, params, timeout=30.0)
+            except TransportError as exc:
+                self._driver._evict_mux_link(self._mux_link)
+                raise OperationalError(f"controller connection lost: {exc}") from exc
+            return self._interpret_reply(reply)
         assert self._channel is not None
         try:
             self._channel.send(make_execute(sql, params))
             reply = self._channel.recv(timeout=30.0)
         except TransportError as exc:
             raise OperationalError(f"controller connection lost: {exc}") from exc
+        return self._interpret_reply(reply)
+
+    def _interpret_reply(self, reply: Dict[str, Any]) -> Dict[str, Any]:
         if reply.get("type") == ClusterMessageType.ERROR:
             code = reply.get("code")
             message = f"[{code}] {reply.get('message')}"
@@ -211,6 +489,53 @@ class ClusterConnection(Connection):
             raise InterfaceError(f"unexpected reply {reply.get('type')!r}")
         self.statements_executed += 1
         return reply
+
+    # -- statement pipelining ---------------------------------------------------------
+
+    def execute_pipeline(
+        self,
+        statements: Iterable[Union[str, Tuple[str, Optional[Dict[str, Any]]]]],
+        timeout: float = 30.0,
+    ) -> List[Dict[str, Any]]:
+        """Fire several statements back-to-back over the multiplexed
+        channel without waiting for each reply (one round-trip's worth of
+        latency overlaps the next statement's execution), then collect
+        every result in order.
+
+        On a dedicated (non-multiplexed) connection the statements simply
+        run sequentially — same results, no overlap. Transaction control
+        cannot be pipelined: a BEGIN/COMMIT in the middle of an
+        already-fired batch could not abort the statements behind it.
+        There is no transparent failover for a pipeline — by the time an
+        error surfaces, later statements may already have executed, so
+        the failure is raised as-is (results before the failing statement
+        are lost to the caller but were applied by the cluster)."""
+        prepared: List[Tuple[str, Dict[str, Any]]] = []
+        for statement in statements:
+            if isinstance(statement, str):
+                sql, params = statement, {}
+            else:
+                sql, params = statement[0], dict(statement[1] or {})
+            head = sql.split(None, 1)[0].upper() if sql.strip() else ""
+            if head in ("BEGIN", "COMMIT", "ROLLBACK", "START", "END"):
+                raise ProgrammingError(f"cannot pipeline transaction control ({head})")
+            prepared.append((sql, params))
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        if not prepared:
+            return []
+        if self._mux_link is None:
+            return [self._execute(sql, params) for sql, params in prepared]
+        with self._lock:
+            link, session_id = self._mux_link, self._session_id
+            assert link is not None and session_id is not None
+            try:
+                pendings = [link.submit(session_id, sql, params) for sql, params in prepared]
+                replies = [link.wait(pending, timeout=timeout) for pending in pendings]
+            except TransportError as exc:
+                self._driver._evict_mux_link(link)
+                raise OperationalError(f"controller connection lost: {exc}") from exc
+            return [self._interpret_reply(reply) for reply in replies]
 
     # -- DB-API -------------------------------------------------------------------------
 
@@ -239,12 +564,7 @@ class ClusterConnection(Connection):
         if self._closed:
             return
         self._closed = True
-        if self._channel is not None:
-            try:
-                self._channel.send({"type": ClusterMessageType.CLOSE})
-            except TransportError:
-                pass
-            self._channel.close()
+        self._detach()
         self._driver._forget_connection(self)
 
     @property
@@ -254,6 +574,16 @@ class ClusterConnection(Connection):
     @property
     def in_transaction(self) -> bool:
         return self._in_transaction
+
+    @property
+    def multiplexed(self) -> bool:
+        """Whether this connection rides a shared multiplexed channel."""
+        return self._mux_link is not None
+
+    @property
+    def session_id(self) -> Optional[str]:
+        """Logical session id on a multiplexed channel (None when dedicated)."""
+        return self._session_id
 
     @property
     def controller_id(self) -> Optional[str]:
@@ -286,6 +616,100 @@ class ClusterDriverRuntime:
         self._connections: List[ClusterConnection] = []
         self._round_robin = 0
         self._lock = threading.Lock()
+        #: Shared multiplexed channels, keyed
+        #: ``(id(network), host, database, user)`` — sessions for the same
+        #: virtual database and credentials share a physical channel.
+        self._mux_links: Dict[Tuple[Any, ...], List[MultiplexedChannel]] = {}
+        #: Channel establishments in flight per key, counted against the
+        #: per-host cap so a burst of concurrent connects does not
+        #: stampede past ``mux_channels_per_host`` fresh channels.
+        self._mux_forming: Dict[Tuple[Any, ...], int] = {}
+        self._mux_cond = threading.Condition(self._lock)
+
+    # -- multiplexed channel registry ------------------------------------------------
+
+    def _checkout_mux_link(
+        self, key: Tuple[Any, ...], channels_per_host: int
+    ) -> Optional[MultiplexedChannel]:
+        """An existing live channel for ``key``, or None to make the
+        caller establish a new one — the caller then owns a *forming*
+        slot and MUST report back via :meth:`_mux_forming_done`. Until
+        ``channels_per_host`` channels exist (counting in-flight
+        establishments), new sessions spread onto fresh channels; after
+        that they pile onto the least-loaded live one. A caller that
+        finds the cap reached but nothing live yet waits for a forming
+        channel instead of opening channel number cap+1."""
+        cap = max(1, channels_per_host)
+        with self._mux_cond:
+            while True:
+                links = self._mux_links.get(key, [])
+                live = [link for link in links if not link.dead]
+                if len(live) != len(links):
+                    if live:
+                        self._mux_links[key] = live
+                    else:
+                        self._mux_links.pop(key, None)
+                forming = self._mux_forming.get(key, 0)
+                if len(live) + forming < cap:
+                    self._mux_forming[key] = forming + 1
+                    return None
+                if live:
+                    return min(live, key=lambda link: link.session_count)
+                # Cap's worth of channels are mid-handshake on other
+                # threads: piggyback on the first to finish. The timeout
+                # claims a slot anyway if they all stall or fail.
+                if not self._mux_cond.wait(timeout=10.0):
+                    self._mux_forming[key] = self._mux_forming.get(key, 0) + 1
+                    return None
+
+    def _mux_forming_done(self, key: Tuple[Any, ...]) -> None:
+        """Release a forming slot claimed by a None checkout — called
+        whether the establishment registered a channel, downgraded to a
+        dedicated one, or failed."""
+        with self._mux_cond:
+            remaining = self._mux_forming.get(key, 0) - 1
+            if remaining > 0:
+                self._mux_forming[key] = remaining
+            else:
+                self._mux_forming.pop(key, None)
+            self._mux_cond.notify_all()
+
+    def _register_mux_link(self, link: MultiplexedChannel) -> None:
+        with self._mux_cond:
+            self._mux_links.setdefault(link.key, []).append(link)
+            self._mux_cond.notify_all()
+
+    def _release_mux_link(self, link: MultiplexedChannel) -> None:
+        """Called when a connection detaches: the physical channel closes
+        once its last logical session is gone, so idle channels never
+        outlive their clients (no leaked reader threads)."""
+        close_it = False
+        with self._lock:
+            if link.session_count == 0 or link.dead:
+                links = self._mux_links.get(link.key)
+                if links and link in links:
+                    links.remove(link)
+                    if not links:
+                        del self._mux_links[link.key]
+                close_it = True
+        if close_it:
+            link.close()
+
+    def _evict_mux_link(self, link: MultiplexedChannel) -> None:
+        """Drop a dead channel from the registry so no new session tries
+        to ride it; pending requests were already failed by its reader."""
+        with self._lock:
+            links = self._mux_links.get(link.key)
+            if links and link in links:
+                links.remove(link)
+                if not links:
+                    del self._mux_links[link.key]
+        link.close()
+
+    def mux_channel_count(self) -> int:
+        """Live shared channels (observability for tests and benches)."""
+        with self._lock:
+            return sum(len(links) for links in self._mux_links.values())
 
     def info(self) -> Dict[str, Any]:
         return {

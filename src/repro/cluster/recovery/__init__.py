@@ -32,7 +32,7 @@ from repro.cluster.recovery.logstore import (
     MemoryLogStore,
 )
 from repro.cluster.recovery.checkpoints import Checkpoint, CheckpointRegistry
-from repro.cluster.recovery.log import LogCompactedError, RecoveryLog
+from repro.cluster.recovery.log import GroupCommit, LogCompactedError, RecoveryLog
 from repro.cluster.recovery.dumper import (
     ColumnDump,
     DatabaseDump,
@@ -49,6 +49,7 @@ __all__ = [
     "Checkpoint",
     "CheckpointRegistry",
     "RecoveryLog",
+    "GroupCommit",
     "LogCompactedError",
     "ColumnDump",
     "TableDump",

@@ -21,7 +21,8 @@ after that index. Unlike the original in-memory list, this log:
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Optional
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.recovery.checkpoints import Checkpoint, CheckpointRegistry
 from repro.cluster.recovery.logstore import LogEntry, LogStore, MemoryLogStore
@@ -85,24 +86,62 @@ class RecoveryLog:
         tables across execute+append, which is what makes index order
         equal execution order *per table*."""
         with self._lock:
-            tables = tuple(sorted(write_tables or ()))
-            seqs: Dict[str, int] = {}
-            for table in tables:
-                seqs[table] = self._table_seqs.get(table, 0) + 1
-                self._table_seqs[table] = seqs[table]
-            entry = LogEntry(
-                index=self._store.last_index + 1,
-                sql=sql,
-                params=dict(params or {}),
-                transaction_id=transaction_id,
-                write_tables=tables,
-                table_seqs=seqs,
+            entry = self._build_entry_locked(
+                self._store.last_index + 1, sql, params, transaction_id, write_tables
             )
             self._store.append(entry)
             self._appends_since_compact += 1
-            if self.auto_compact_every and self._appends_since_compact >= self.auto_compact_every:
-                self._compact_locked()
+            self._maybe_compact_locked()
             return entry
+
+    def append_batch(
+        self,
+        specs: Iterable[Tuple[str, Optional[Dict[str, Any]], Optional[Iterable[str]]]],
+    ) -> List[LogEntry]:
+        """Append several writes as one batch: ``specs`` is an iterable of
+        ``(sql, params, write_tables)``. Indexes and per-table sequences
+        are assigned exactly as N single appends would, but the store
+        persists them through :meth:`LogStore.append_many` — one
+        flush+fsync for the whole batch on a durable store. Used for a
+        COMMIT's buffered transaction writes and by group commit."""
+        with self._lock:
+            entries: List[LogEntry] = []
+            next_index = self._store.last_index + 1
+            for sql, params, write_tables in specs:
+                entries.append(
+                    self._build_entry_locked(next_index, sql, params, None, write_tables)
+                )
+                next_index += 1
+            self._store.append_many(entries)
+            self._appends_since_compact += len(entries)
+            self._maybe_compact_locked()
+            return entries
+
+    def _build_entry_locked(
+        self,
+        index: int,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        transaction_id: Optional[str],
+        write_tables: Optional[Iterable[str]],
+    ) -> LogEntry:
+        tables = tuple(sorted(write_tables or ()))
+        seqs: Dict[str, int] = {}
+        for table in tables:
+            seqs[table] = self._table_seqs.get(table, 0) + 1
+            self._table_seqs[table] = seqs[table]
+        return LogEntry(
+            index=index,
+            sql=sql,
+            params=dict(params or {}),
+            transaction_id=transaction_id,
+            write_tables=tables,
+            table_seqs=seqs,
+        )
+
+    def _maybe_compact_locked(self) -> None:
+        if self.auto_compact_every and self._appends_since_compact >= self.auto_compact_every:
+            self._compact_locked()
 
     # -- reads -------------------------------------------------------------------
 
@@ -174,8 +213,12 @@ class RecoveryLog:
     # -- lifecycle / observability ------------------------------------------------------
 
     def flush(self) -> None:
-        with self._lock:
-            self._store.flush()
+        # Deliberately NOT under self._lock: the group-commit leader
+        # flushes while other writers keep appending — holding the append
+        # lock across a multi-millisecond fsync would serialise every
+        # writer behind the flush, and no commit group could ever form.
+        # The store synchronises its own handle against segment rolls.
+        self._store.flush()
 
     def close(self) -> None:
         with self._lock:
@@ -195,3 +238,81 @@ class RecoveryLog:
             "store": store_stats,
             "checkpoints": self.checkpoints.stats(),
         }
+
+
+class GroupCommit:
+    """Amortises recovery-log fsyncs across concurrent writers.
+
+    Appends stay immediate and ordered (the per-table sequence invariant
+    needs assignment under the writer's lock scope); only *durability*
+    is batched. A writer that appended index ``i`` calls
+    :meth:`wait_durable(i)` after releasing its lock scope and before
+    replying to the client. The first waiter becomes the group's leader:
+    it (optionally) sleeps ``window_s`` to gather stragglers, then
+    issues one ``flush()`` — a single fsync covering every entry
+    appended so far, its own and every follower's. Writers that arrive
+    while a flush is in flight wait and are covered by the *next*
+    leader's fsync, so under load the fsync rate approaches one per
+    group instead of one per statement, and no reply ever returns before
+    its entry is durable.
+
+    The coordinator is only installed when the log is durable
+    (``log_dir`` + ``log_fsync``) and group commit is enabled; the store
+    is then opened with ``fsync_on_append=False`` so the per-append
+    fsync does not pay twice.
+    """
+
+    def __init__(self, log: RecoveryLog, window_s: float = 0.0) -> None:
+        self._log = log
+        self._window_s = max(0.0, window_s)
+        self._cond = threading.Condition()
+        #: Highest index known durable (covered by a finished fsync).
+        self._flushed_through = 0
+        self._flushing = False
+        #: Observability: fsync groups led, and appends whose durability
+        #: rode on some group's fsync.
+        self.groups = 0
+        self.synced_appends = 0
+
+    def wait_durable(self, index: int) -> None:
+        """Block until log entry ``index`` is fsynced, batching with
+        concurrent waiters. Must be called without holding any scheduler
+        lock the append path needs."""
+        with self._cond:
+            self.synced_appends += 1
+            while index > self._flushed_through and self._flushing:
+                self._cond.wait(timeout=5.0)
+            if index <= self._flushed_through:
+                return
+            self._flushing = True
+        # Leader: everything appended before the flush() below is covered
+        # by its single fsync (entries are written to the OS on append;
+        # closed segments were sealed at roll time).
+        head = index
+        flushed = False
+        try:
+            if self._window_s > 0:
+                time.sleep(self._window_s)
+            head = max(head, self._log.last_index)
+            self._log.flush()
+            flushed = True
+        finally:
+            with self._cond:
+                self._flushing = False
+                if flushed:
+                    # Only a completed fsync moves the watermark: a failed
+                    # flush must leave followers retrying as new leaders
+                    # (and surfacing the error), not believing their entry
+                    # durable.
+                    self._flushed_through = max(self._flushed_through, head)
+                    self.groups += 1
+                self._cond.notify_all()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "window_s": self._window_s,
+                "groups": self.groups,
+                "synced_appends": self.synced_appends,
+                "flushed_through": self._flushed_through,
+            }

@@ -75,6 +75,7 @@ from repro.cluster.querycache import QueryCache
 from repro.cluster.recovery import (
     DatabaseDump,
     DatabaseDumper,
+    GroupCommit,
     LogCompactedError,
     RecoveryLog,
 )
@@ -159,6 +160,7 @@ class RequestScheduler:
         lock_manager: Optional[LockManager] = None,
         key_level_locking: bool = True,
         primary_keys: Optional[Dict[str, Tuple[str, str]]] = None,
+        group_commit: Optional[GroupCommit] = None,
     ) -> None:
         self._backends = list(backends)
         self._recovery_log = recovery_log
@@ -231,6 +233,12 @@ class RequestScheduler:
         self._tx_buffer: List[
             Tuple[str, Dict[str, Any], FrozenSet[str], FrozenSet[Tuple[str, Any]]]
         ] = []
+        # Group commit (docs/wire.md): when set, appends go to the store
+        # without their own fsync and each writer calls
+        # group_commit.wait_durable(index) *after* releasing its lock
+        # scope — one fsync covers every writer in the group, and no
+        # reply returns before its entry is durable.
+        self._group_commit = group_commit
         # True while a resync replay or dump restore holds the write lock:
         # the controller answers write traffic with ``controller_recovering``
         # so failover-capable drivers retry on a sibling instead of
@@ -952,7 +960,7 @@ class RequestScheduler:
                     # row identity — release and re-acquire the right
                     # scope.
                     continue
-                result, outcome = self._broadcast_under_scope(
+                result, outcome, durable_index = self._broadcast_under_scope(
                     sql, params, statement, spec, in_transaction, session_id, log_it
                 )
             break
@@ -960,6 +968,11 @@ class RequestScheduler:
             raise SchedulerError(
                 f"statement failed on every backend: {'; '.join(outcome.failure_messages())}"
             )
+        if durable_index is not None and self._group_commit is not None:
+            # Outside every lock: concurrent writers pile into one fsync
+            # group here instead of serialising their fsyncs under
+            # _state_lock, which is the whole point of group commit.
+            self._group_commit.wait_durable(durable_index)
         return result
 
     def _broadcast_under_scope(
@@ -971,8 +984,13 @@ class RequestScheduler:
         in_transaction: bool,
         session_id: Optional[str],
         log_it: bool,
-    ) -> Tuple[Optional[Tuple[List[str], List[Any], int]], Any]:
-        """Execute one broadcast while the caller holds its lock scope."""
+    ) -> Tuple[Optional[Tuple[List[str], List[Any], int]], Any, Optional[int]]:
+        """Execute one broadcast while the caller holds its lock scope.
+
+        Returns ``(result, outcome, durable_index)`` — the last log index
+        this statement appended (directly or via a COMMIT's buffer
+        flush), which the caller hands to the group-commit coordinator
+        once the scope is released; None when nothing was appended."""
         # Re-snapshot the membership under the lock: a backend enabled
         # by a resync that this write waited out must be included, or
         # it silently misses the write with no resync left to replay it.
@@ -1001,7 +1019,7 @@ class RequestScheduler:
             if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
                 failure.backend.mark_failed()
         result = outcome.result
-        self._account_broadcast_locked_scope(
+        durable_index = self._account_broadcast_locked_scope(
             sql,
             params,
             statement,
@@ -1032,7 +1050,7 @@ class RequestScheduler:
             # broadcast had not reached yet, and bumps the floor so any
             # still-in-flight read cannot store a pre-write result.
             self._cache.invalidate_tables(statement.write_tables)
-        return result, outcome
+        return result, outcome, durable_index
 
     def _account_broadcast_locked_scope(
         self,
@@ -1046,7 +1064,7 @@ class RequestScheduler:
         any_succeeded: bool,
         result: Optional[Tuple[List[str], List[Any], int]],
         held_keys: FrozenSet[Tuple[str, Any]] = frozenset(),
-    ) -> None:
+    ) -> Optional[int]:
         """Log append, transaction accounting and checkpoint advancement
         for one broadcast. Caller holds the statement's lock scope; this
         method serialises the shared accounting under ``_state_lock``
@@ -1057,9 +1075,14 @@ class RequestScheduler:
         table locks — BEGIN/COMMIT/ROLLBACK take the exclusive mode,
         which waits for every table scope to drain — so the buffered-vs-
         direct append decision made here is stable for the lock holder.
+
+        Returns the highest log index this statement appended (its own
+        entry, or the tail of a COMMIT's buffer flush) for group-commit
+        durability waits; None when nothing was appended.
         """
         with self._state_lock:
             appended: Optional[LogEntry] = None
+            durable_index: Optional[int] = None
             if log_it and any_succeeded:
                 # Logged only after at least one replica accepted it: a
                 # statement every backend rejected must not sit in the log
@@ -1086,6 +1109,7 @@ class RequestScheduler:
                     appended = self._recovery_log.append(
                         sql, params, write_tables=statement.write_tables
                     )
+                    durable_index = appended.index
             if statement.is_transaction_control:
                 if statement.command in ("BEGIN", "START"):
                     # Count every BEGIN the engine accepted — the engine
@@ -1118,14 +1142,15 @@ class RequestScheduler:
                     if not statement_rejected:
                         flushed: List[LogEntry] = []
                         if statement.command == "COMMIT" and result is not None:
-                            for buffered_sql, buffered_params, buffered_tables, _ in self._tx_buffer:
-                                flushed.append(
-                                    self._recovery_log.append(
-                                        buffered_sql,
-                                        buffered_params,
-                                        write_tables=buffered_tables,
-                                    )
-                                )
+                            # One batch append for the whole transaction:
+                            # a durable store pays one flush+fsync for all
+                            # of it instead of one per buffered write.
+                            flushed = self._recovery_log.append_batch(
+                                (buffered_sql, buffered_params, buffered_tables)
+                                for buffered_sql, buffered_params, buffered_tables, _ in self._tx_buffer
+                            )
+                        if flushed:
+                            durable_index = flushed[-1].index
                         # ROLLBACK — or a close no backend could run (those
                         # replicas are FAILED and their aborted server
                         # sessions rolled the transaction back) — discards
@@ -1163,6 +1188,7 @@ class RequestScheduler:
                     # this backend's checkpoint past our entry, the entry
                     # it just missed must stay inside its replay range.
                     failure.backend.limit_checkpoint(appended.index - 1)
+            return durable_index
 
     def _flush_tx_dirty_locked(self) -> None:
         """Evict cache entries that may have observed uncommitted state.
@@ -1193,6 +1219,7 @@ class RequestScheduler:
         cache = self._cache
         with self._pk_lock:
             pk_cached = len(self._pk_cache)
+        broadcast_stats = self._broadcaster.stats()
         return {
             "read_policy": self._policy.name,
             "placement": self._placement.stats(),
@@ -1201,7 +1228,10 @@ class RequestScheduler:
             "primary_keys_cached": pk_cached,
             "open_transactions": self.open_transactions,
             "parallel_writes": self._broadcaster.parallel,
-            "broadcaster": self._broadcaster.stats(),
+            "broadcaster": broadcast_stats,
+            # Alias: operators look for the pool size under "broadcast".
+            "broadcast": broadcast_stats,
+            "group_commit": self._group_commit.stats() if self._group_commit else None,
             "query_cache": cache.stats() if cache is not None else None,
             "recovery_log_entries": self._recovery_log.last_index,
             "recovery_log": self._recovery_log.stats(),

@@ -10,16 +10,40 @@ controller with version ``>= v`` (the controller accepts any client
 version up to its own); a driver *newer* than the controller downgrades
 itself to the controller's version during the handshake, which is what
 "backward compatible" means operationally.
+
+Version history:
+
+- **v1/v2** — one physical channel per logical session; EXECUTE/RESULT
+  alternate strictly, so messages need no correlation fields.
+- **v3** — session multiplexing: one physical channel carries many
+  logical sessions. EXECUTE/RESULT/ERROR gain ``session_id`` (which
+  logical session) and ``request_id`` (which in-flight statement of that
+  session), so statements can be pipelined — fire N executes, match the
+  responses by ``(session_id, request_id)`` — and SESSION_OPEN /
+  SESSION_OPEN_OK / SESSION_CLOSE manage logical sessions on an
+  already-handshaked channel. Multiplexing is negotiated: the CONNECT
+  carries ``multiplex=True``, and the controller grants it with
+  ``multiplexing=True`` in the CONNECT_OK only when it is configured on
+  and the negotiated version is >= 3; without the grant the channel
+  stays a dedicated v2-style session. See docs/wire.md.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import DriverError
 
 #: Protocol version spoken by the current controller/driver generation.
-CLUSTER_PROTOCOL_VERSION = 2
+CLUSTER_PROTOCOL_VERSION = 3
+
+#: First protocol version supporting session multiplexing / pipelining.
+MULTIPLEX_MIN_VERSION = 3
+
+#: Correlation field sanity bound: a request_id is a small positive
+#: integer assigned per channel; anything outside this range is a
+#: malformed frame, not a plausible 10k-pipelined client.
+_MAX_REQUEST_ID = 2**63
 
 
 class ClusterWireError(DriverError):
@@ -37,6 +61,10 @@ class ClusterMessageType:
     PONG = "seq_pong"
     # Controller-to-controller group communication.
     GROUP = "seq_group"
+    # v3 session multiplexing: logical sessions over one channel.
+    SESSION_OPEN = "seq_session_open"
+    SESSION_OPEN_OK = "seq_session_open_ok"
+    SESSION_CLOSE = "seq_session_close"
 
 
 def make_connect(
@@ -45,8 +73,9 @@ def make_connect(
     password: Optional[str],
     protocol_version: int,
     options: Optional[Dict[str, Any]] = None,
+    multiplex: bool = False,
 ) -> Dict[str, Any]:
-    return {
+    message = {
         "type": ClusterMessageType.CONNECT,
         "virtual_database": virtual_database,
         "user": user,
@@ -54,32 +83,118 @@ def make_connect(
         "protocol_version": protocol_version,
         "options": options or {},
     }
+    if multiplex:
+        # Only emitted when requested: v2 controllers ignore unknown
+        # keys, but keeping the v2-era frame byte-identical when the
+        # feature is off costs nothing.
+        message["multiplex"] = True
+    return message
 
 
-def make_connect_ok(controller_id: str, protocol_version: int, session_id: str) -> Dict[str, Any]:
-    return {
+def make_connect_ok(
+    controller_id: str,
+    protocol_version: int,
+    session_id: str,
+    multiplexing: bool = False,
+) -> Dict[str, Any]:
+    message = {
         "type": ClusterMessageType.CONNECT_OK,
         "controller_id": controller_id,
         "protocol_version": protocol_version,
         "session_id": session_id,
     }
+    if multiplexing:
+        message["multiplexing"] = True
+    return message
 
 
-def make_execute(sql: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    return {"type": ClusterMessageType.EXECUTE, "sql": sql, "params": params or {}}
+def make_execute(
+    sql: str,
+    params: Optional[Dict[str, Any]] = None,
+    session_id: Optional[str] = None,
+    request_id: Optional[int] = None,
+) -> Dict[str, Any]:
+    message = {"type": ClusterMessageType.EXECUTE, "sql": sql, "params": params or {}}
+    if session_id is not None:
+        message["session_id"] = session_id
+    if request_id is not None:
+        message["request_id"] = request_id
+    return message
 
 
 def make_result(columns: List[str], rows: List[Any], rowcount: int) -> Dict[str, Any]:
+    if not (isinstance(rows, list) and all(type(row) is list for row in rows)):
+        # Only reshape rows that need it (tuples, generators, odd row
+        # types); scheduler results already arrive as a list of lists and
+        # re-copying every row dominated result encoding on large
+        # SELECTs (see benchmarks/test_bench_overhead.py). Anything not
+        # already in exact wire shape is copied, so the frame stays
+        # byte-identical to the v2 encoder's output.
+        rows = [list(row) for row in rows]
     return {
         "type": ClusterMessageType.RESULT,
         "columns": columns,
-        "rows": [list(row) for row in rows],
+        "rows": rows,
         "rowcount": rowcount,
     }
 
 
 def make_error(code: str, message: str) -> Dict[str, Any]:
     return {"type": ClusterMessageType.ERROR, "code": code, "message": message}
+
+
+def make_session_open(session_id: str, request_id: int) -> Dict[str, Any]:
+    return {
+        "type": ClusterMessageType.SESSION_OPEN,
+        "session_id": session_id,
+        "request_id": request_id,
+    }
+
+
+def make_session_open_ok(session_id: str, request_id: int) -> Dict[str, Any]:
+    return {
+        "type": ClusterMessageType.SESSION_OPEN_OK,
+        "session_id": session_id,
+        "request_id": request_id,
+    }
+
+
+def make_session_close(session_id: str) -> Dict[str, Any]:
+    return {"type": ClusterMessageType.SESSION_CLOSE, "session_id": session_id}
+
+
+def correlate(
+    message: Dict[str, Any], require_request_id: bool = True
+) -> Tuple[str, Optional[int]]:
+    """Validate and return a v3 frame's ``(session_id, request_id)``.
+
+    Raises :class:`ClusterWireError` on a missing/ill-typed field instead
+    of letting garbage flow into the session registries, where a
+    malformed id would either hang the sender (its reply can never be
+    matched) or poison a worker. ``require_request_id=False`` accepts
+    frames that correlate by session only (SESSION_CLOSE)."""
+    session_id = message.get("session_id")
+    if not isinstance(session_id, str) or not session_id:
+        raise ClusterWireError(
+            f"malformed session_id {session_id!r} in {message.get('type')!r} frame"
+        )
+    request_id = message.get("request_id")
+    if request_id is None:
+        if require_request_id:
+            raise ClusterWireError(
+                f"missing request_id in {message.get('type')!r} frame"
+            )
+        return session_id, None
+    # bool is an int subclass; a True request_id is a bug, not id 1.
+    if (
+        not isinstance(request_id, int)
+        or isinstance(request_id, bool)
+        or not 0 < request_id < _MAX_REQUEST_ID
+    ):
+        raise ClusterWireError(
+            f"malformed request_id {request_id!r} in {message.get('type')!r} frame"
+        )
+    return session_id, request_id
 
 
 def make_group(operation: str, payload: Dict[str, Any], origin: str) -> Dict[str, Any]:

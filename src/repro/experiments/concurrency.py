@@ -28,19 +28,30 @@ pair one granularity step down (E16): writers on disjoint *rows of one
 shared table*, where table locks serialise but ``(table, key)`` locks
 overlap — throughput on synthetic latency backends, convergence on a
 real cluster racing resyncs.
+
+``run_session_scaling_experiment`` (E17) measures the massive-concurrency
+front end (docs/wire.md): thousands of logical sessions multiplexed over
+a handful of physical channels, with controller thread count bounded by
+the fixed worker pool instead of growing one thread per connection.
+``run_group_commit_experiment`` is its durability half: concurrent
+auto-commit writers on a real fsyncing ``FileLogStore``, per-statement
+fsync vs one fsync per commit group.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.backend import Backend
 from repro.cluster.broadcaster import WriteBroadcaster
+from repro.cluster.driver import ClusterDriverRuntime
 from repro.cluster.locks import LockManager
 from repro.cluster.placement import create_placement
-from repro.cluster.recovery import RecoveryLog
+from repro.cluster.recovery import FileLogStore, GroupCommit, RecoveryLog
 from repro.cluster.scheduler import RequestScheduler
 from repro.experiments.environments import build_cluster
 from repro.experiments.harness import ExperimentResult
@@ -496,4 +507,300 @@ def run_divergence_experiment(
         )
     finally:
         env.close()
+    return result
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    position = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[position]
+
+
+def run_session_scaling_experiment(
+    sessions: int = 5000,
+    channels: int = 8,
+    baseline_sessions: int = 64,
+    probe_sessions: int = 16,
+    statements_per_probe: int = 5,
+    worker_pool_size: int = 16,
+    openers: int = 16,
+) -> ExperimentResult:
+    """E17 — logical sessions vs threads: multiplexed front end.
+
+    Opens ``sessions`` logical sessions multiplexed over ``channels``
+    physical channels per controller and measures how many *threads* the
+    process grew by — the multiplexed front end stays at
+    O(channels + worker_pool_size) while the thread-per-connection
+    baseline grows one server handler (plus one client channel) per
+    session, so the baseline is run at a modest ``baseline_sessions`` and
+    its per-session thread cost extrapolated. A probe pool then issues
+    reads across a sample of the open sessions to show the fixed worker
+    pool still serves them with interactive latency (p50/p99 reported).
+    """
+    result = ExperimentResult(
+        experiment_id="E17",
+        title="Massive-concurrency front end: multiplexed sessions vs thread-per-connection",
+        parameters={
+            "sessions": sessions,
+            "channels": channels,
+            "baseline_sessions": baseline_sessions,
+            "worker_pool_size": worker_pool_size,
+            "probe_sessions": probe_sessions,
+        },
+    )
+
+    def open_many(driver: ClusterDriverRuntime, url: str, network: Any, count: int, **options: Any) -> List[Any]:
+        connections: List[Any] = [None] * count
+        errors: List[Exception] = []
+
+        def opener(start: int) -> None:
+            try:
+                for index in range(start, count, openers):
+                    connections[index] = driver.connect(url, network=network, **options)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=opener, args=(i,)) for i in range(openers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return connections
+
+    # -- multiplexed mode ------------------------------------------------------
+    env = build_cluster(
+        replicas=2,
+        controllers=1,
+        controller_options={"worker_pool_size": worker_pool_size},
+    )
+    try:
+        controller = env.controllers[0]
+        controller.scheduler.execute(
+            "CREATE TABLE scale_t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)"
+        )
+        controller.scheduler.execute("INSERT INTO scale_t (id, v) VALUES (1, 1)")
+        driver = ClusterDriverRuntime(name="mux-scale")
+        threads_before = threading.active_count()
+        opened_started = time.perf_counter()
+        connections = open_many(
+            driver,
+            env.client_url(),
+            env.network,
+            sessions,
+            mux_channels_per_host=channels,
+        )
+        open_wall = time.perf_counter() - opened_started
+        mux_thread_delta = threading.active_count() - threads_before
+        assert all(connection.multiplexed for connection in connections)
+
+        # Latency probe across a sample of the open sessions.
+        latencies: List[float] = []
+        latency_lock = threading.Lock()
+        sample_stride = max(1, sessions // (probe_sessions * statements_per_probe))
+
+        def probe(probe_index: int) -> None:
+            local: List[float] = []
+            for step in range(statements_per_probe):
+                connection = connections[
+                    ((probe_index * statements_per_probe + step) * sample_stride) % sessions
+                ]
+                cursor = connection.cursor()
+                started = time.perf_counter()
+                cursor.execute("SELECT v FROM scale_t WHERE id = 1")
+                cursor.fetchall()
+                local.append((time.perf_counter() - started) * 1000.0)
+            with latency_lock:
+                latencies.extend(local)
+
+        probe_threads = [
+            threading.Thread(target=probe, args=(index,)) for index in range(probe_sessions)
+        ]
+        for thread in probe_threads:
+            thread.start()
+        for thread in probe_threads:
+            thread.join()
+
+        # Pipelining: one session fires a burst without per-statement
+        # round-trip waits; all replies come back in order.
+        pipeline_replies = connections[0].execute_pipeline(
+            ["SELECT v FROM scale_t WHERE id = 1"] * 20
+        )
+        pipeline_ok = len(pipeline_replies) == 20 and all(
+            reply["rows"] == [[1]] for reply in pipeline_replies
+        )
+
+        # Sampled after the probe load so the lazily-spawned worker pool
+        # threads are visible — they stay bounded by worker_pool_size.
+        front_end = controller.stats()["front_end"]
+        result.add_row(
+            mode="multiplexed",
+            sessions=sessions,
+            physical_channels=driver.mux_channel_count(),
+            thread_delta=mux_thread_delta,
+            threads_per_session=round(mux_thread_delta / sessions, 4),
+            open_wall_s=round(open_wall, 3),
+            controller_worker_threads=front_end["worker_threads"],
+            controller_reader_threads=front_end["reader_threads"],
+            active_sessions=controller.stats()["active_sessions"],
+            probe_p50_ms=round(_percentile(latencies, 0.50), 3),
+            probe_p99_ms=round(_percentile(latencies, 0.99), 3),
+            pipeline_ok=pipeline_ok,
+        )
+        for connection in connections:
+            connection.close()
+    finally:
+        env.close()
+
+    # -- thread-per-connection baseline ---------------------------------------
+    env = build_cluster(replicas=2, controllers=1)
+    try:
+        controller = env.controllers[0]
+        controller.scheduler.execute(
+            "CREATE TABLE scale_t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)"
+        )
+        controller.scheduler.execute("INSERT INTO scale_t (id, v) VALUES (1, 1)")
+        driver = ClusterDriverRuntime(name="dedicated-scale")
+        threads_before = threading.active_count()
+        connections = open_many(
+            driver,
+            env.client_url(),
+            env.network,
+            baseline_sessions,
+            multiplexing=False,
+        )
+        baseline_thread_delta = threading.active_count() - threads_before
+        assert not any(connection.multiplexed for connection in connections)
+        threads_per_session = baseline_thread_delta / baseline_sessions
+        result.add_row(
+            mode="thread-per-connection",
+            sessions=baseline_sessions,
+            physical_channels=baseline_sessions,
+            thread_delta=baseline_thread_delta,
+            threads_per_session=round(threads_per_session, 4),
+            projected_threads_at_target=int(threads_per_session * sessions),
+            active_sessions=controller.stats()["active_sessions"],
+        )
+        for connection in connections:
+            connection.close()
+    finally:
+        env.close()
+
+    result.add_note(
+        f"{sessions} logical sessions ride {channels} multiplexed channels with a "
+        f"bounded thread footprint; thread-per-connection needs "
+        f"~{threads_per_session:.1f} threads per session "
+        f"(~{int(threads_per_session * sessions)} at {sessions} sessions)"
+    )
+    return result
+
+
+class _RotationalFsyncStore(FileLogStore):
+    """A :class:`FileLogStore` whose fsync charges a realistic latency.
+
+    The container's filesystem acknowledges fsync in ~0.1ms — orders of
+    magnitude faster than the commodity rotational disks of the paper's
+    era (5–10ms) or a networked volume. Like the latency-injected
+    backends above, this store re-introduces the cost the experiment is
+    about, identically in both modes: a real ``os.fsync`` plus a fixed
+    sleep per fsync *call* (not per entry), so batching N appends into
+    one fsync saves N-1 latencies exactly as it would on real hardware.
+    """
+
+    def __init__(self, directory: str, fsync_on_append: bool, fsync_latency_s: float) -> None:
+        super().__init__(directory, fsync_on_append=fsync_on_append)
+        self._fsync_latency_s = fsync_latency_s
+
+    def _fsync_handle(self) -> None:
+        super()._fsync_handle()
+        if self._fsync_latency_s > 0:
+            time.sleep(self._fsync_latency_s)
+
+
+def run_group_commit_experiment(
+    writers: int = 8,
+    writes_per_writer: int = 25,
+    fsync_latency_ms: float = 2.0,
+) -> ExperimentResult:
+    """E17b — group commit: one fsync per group vs one per statement.
+
+    Concurrent auto-commit writers on disjoint tables, recovery log on a
+    fsyncing :class:`FileLogStore` with a rotational-disk fsync cost
+    (see :class:`_RotationalFsyncStore`). The baseline fsyncs inside
+    every append (while the scheduler's accounting lock is held, so the
+    fsyncs serialise everything behind them); group commit appends
+    without fsync and batches durability *outside* the lock — the first
+    waiter fsyncs for everyone appended so far. Same durability
+    guarantee (no reply before its entry is synced), a fraction of the
+    fsyncs.
+    """
+    result = ExperimentResult(
+        experiment_id="E17b",
+        title="Group commit: batched recovery-log fsyncs under concurrent writers",
+        parameters={
+            "writers": writers,
+            "writes_per_writer": writes_per_writer,
+            "fsync_latency_ms": fsync_latency_ms,
+        },
+    )
+    timings: Dict[str, float] = {}
+    for mode in ("fsync-per-statement", "group-commit"):
+        log_dir = tempfile.mkdtemp(prefix="e17b-log-")
+        grouped = mode == "group-commit"
+        store = _RotationalFsyncStore(
+            log_dir,
+            fsync_on_append=not grouped,
+            fsync_latency_s=fsync_latency_ms / 1000.0,
+        )
+        log = RecoveryLog(store)
+        group_commit = GroupCommit(log) if grouped else None
+        backends = [Backend("sim1", lambda: _LatencyConnection(0.0))]
+        scheduler = RequestScheduler(
+            backends,
+            log,
+            broadcaster=WriteBroadcaster(parallel=False),
+            lock_manager=LockManager(conflict_aware=True),
+            group_commit=group_commit,
+        )
+        try:
+            wall, errors = _run_writers(
+                scheduler, writers, writes_per_writer, lambda i: f"gc_w{i}"
+            )
+            if errors:
+                raise errors[0]
+            writes = writers * writes_per_writer
+            store_stats = store.stats()
+            row: Dict[str, Any] = {
+                "mode": mode,
+                "writes": writes,
+                "wall_s": round(wall, 4),
+                "writes_per_s": round(writes / wall, 1) if wall > 0 else "n/a",
+                "fsyncs": store_stats["fsyncs"],
+                "writes_per_fsync": round(writes / store_stats["fsyncs"], 2)
+                if store_stats["fsyncs"]
+                else "n/a",
+                "log_entries": store_stats["last_index"],
+            }
+            if group_commit is not None:
+                row["fsync_groups"] = group_commit.stats()["groups"]
+            result.add_row(**row)
+            timings[mode] = wall
+        finally:
+            scheduler.close()
+            log.close()
+            shutil.rmtree(log_dir, ignore_errors=True)
+    speedup = (
+        timings["fsync-per-statement"] / timings["group-commit"]
+        if timings.get("group-commit")
+        else 0.0
+    )
+    result.parameters["speedup_x"] = round(speedup, 2)
+    result.add_note(
+        f"{writers} concurrent auto-commit writers are {speedup:.1f}x faster when "
+        "durability is batched into group fsyncs, with every reply still held "
+        "until its log entry is on disk"
+    )
     return result

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import TransportError
@@ -106,16 +107,33 @@ class Network(ABC):
 class ChannelServer:
     """Accept loop that dispatches each incoming channel to a handler.
 
-    The handler is called as ``handler(channel)`` on a dedicated thread
-    per connection; it owns the channel and must close it when done. This
-    is the building block used by the database server, the Sequoia
-    controller and the Drivolution server.
+    By default the handler is called as ``handler(channel)`` on a
+    dedicated thread per connection; it owns the channel and must close
+    it when done. This is the building block used by the database
+    server, the Sequoia controller and the Drivolution server.
+
+    ``workers`` caps the handler concurrency with a fixed thread pool
+    instead: at most ``workers`` handlers run at once and further
+    accepted channels queue until a worker frees up. Only suitable for
+    front ends whose handlers are short-lived or few (the controller's
+    multiplexed front end keeps one long-lived reader per *physical*
+    channel, so a small pool serves thousands of logical sessions);
+    long-lived per-client handlers (the v2 dedicated-session path) keep
+    the thread-per-connection default or idle clients starve the pool.
     """
 
-    def __init__(self, listener: Listener, handler: Callable[[Channel], None], name: str = "server"):
+    def __init__(
+        self,
+        listener: Listener,
+        handler: Callable[[Channel], None],
+        name: str = "server",
+        workers: Optional[int] = None,
+    ):
         self._listener = listener
         self._handler = handler
         self._name = name
+        self._workers = workers
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._threads: List[threading.Thread] = []
         self._accept_thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
@@ -146,11 +164,44 @@ class ChannelServer:
                 if self._listener.closed:
                     return
                 continue
+            if self._workers is not None:
+                executor = self._get_executor()
+                try:
+                    if executor is None:
+                        raise RuntimeError("server stopped")
+                    executor.submit(self._run_handler, channel)
+                except RuntimeError:
+                    # stop() shut the pool down between accept and submit.
+                    channel.close()
+                    return
+                continue
+            # Reap finished handler threads before tracking a new one: a
+            # long-lived listener used to append every per-connection
+            # thread here without ever removing it, so the list (and the
+            # dead Thread objects it pinned) grew without bound.
+            self._threads = [thread for thread in self._threads if thread.is_alive()]
             thread = threading.Thread(
                 target=self._run_handler, args=(channel,), name=f"{self._name}-conn", daemon=True
             )
             self._threads.append(thread)
             thread.start()
+
+    def _get_executor(self) -> Optional[ThreadPoolExecutor]:
+        if self._stopped.is_set():
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix=f"{self._name}-worker"
+            )
+        return self._executor
+
+    def handler_thread_count(self) -> int:
+        """Live handler threads (observability for leak tests and the
+        session-scaling bench)."""
+        if self._workers is not None:
+            executor = self._executor
+            return len(getattr(executor, "_threads", ()) or ()) if executor else 0
+        return sum(1 for thread in self._threads if thread.is_alive())
 
     def _run_handler(self, channel: Channel) -> None:
         try:
@@ -170,3 +221,9 @@ class ChannelServer:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
+        if self._executor is not None:
+            # Queued-but-unstarted handlers are abandoned; running ones
+            # finish on their own (mirrors the per-thread mode, where
+            # stop() never joins handler threads).
+            self._executor.shutdown(wait=False)
+            self._executor = None

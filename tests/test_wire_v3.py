@@ -1,0 +1,611 @@
+"""Protocol v3: multiplexed sessions, pipelining, correlation rules and
+the negotiation edges (docs/wire.md).
+
+The promises under test: a v3 driver against a v2 (or multiplexing-off)
+controller silently downgrades to one-channel-per-connection; a v2
+driver against a v3 controller is served exactly as before; malformed
+``session_id``/``request_id`` frames are answered with an error instead
+of hanging a pool worker; logical sessions multiplexed over one channel
+are accounted exactly; pipelined statements come back in order; group
+commit and the front-end thread bounds hold.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import Controller, ControllerConfig
+from repro.cluster.broadcaster import WriteBroadcaster
+from repro.cluster.driver import ClusterDriverRuntime
+from repro.cluster.wire import (
+    CLUSTER_PROTOCOL_VERSION,
+    MULTIPLEX_MIN_VERSION,
+    ClusterMessageType,
+    ClusterWireError,
+    correlate,
+    make_connect,
+    make_connect_ok,
+    make_execute,
+    make_result,
+    make_session_open,
+)
+from repro.dbapi import ProgrammingError
+from repro.errors import TransportError
+from repro.netsim import InMemoryNetwork
+from repro.netsim.transport import ChannelServer
+
+
+@pytest.fixture
+def cluster_env():
+    from repro.experiments.environments import build_cluster
+
+    env = build_cluster(replicas=2, controllers=2)
+    yield env
+    env.close()
+
+
+def _controller_by_id(env, controller_id):
+    for controller in env.controllers:
+        if controller.config.controller_id == controller_id:
+            return controller
+    raise AssertionError(f"no controller {controller_id!r}")
+
+
+class TestCorrelation:
+    def test_valid_frame(self):
+        message = make_execute("SELECT 1", session_id="s1", request_id=7)
+        assert correlate(message) == ("s1", 7)
+
+    def test_session_close_needs_no_request_id(self):
+        assert correlate({"session_id": "s1"}, require_request_id=False) == ("s1", None)
+
+    @pytest.mark.parametrize(
+        "session_id", [None, "", 42, True, ["s1"]], ids=["missing", "empty", "int", "bool", "list"]
+    )
+    def test_bad_session_id_raises(self, session_id):
+        message = {"type": ClusterMessageType.EXECUTE, "request_id": 1}
+        if session_id is not None:
+            message["session_id"] = session_id
+        with pytest.raises(ClusterWireError):
+            correlate(message)
+
+    @pytest.mark.parametrize(
+        "request_id",
+        [None, "7", True, 0, -3, 2**63],
+        ids=["missing", "str", "bool", "zero", "negative", "overflow"],
+    )
+    def test_bad_request_id_raises(self, request_id):
+        message = {"type": ClusterMessageType.EXECUTE, "session_id": "s1"}
+        if request_id is not None:
+            message["request_id"] = request_id
+        with pytest.raises(ClusterWireError):
+            correlate(message)
+
+    def test_connect_carries_multiplex_only_when_asked(self):
+        plain = make_connect("vdb", None, None, CLUSTER_PROTOCOL_VERSION)
+        assert "multiplex" not in plain
+        asked = make_connect("vdb", None, None, CLUSTER_PROTOCOL_VERSION, multiplex=True)
+        assert asked["multiplex"] is True
+
+    def test_connect_ok_carries_grant_only_when_granted(self):
+        assert "multiplexing" not in make_connect_ok("c1", 3, "s")
+        assert make_connect_ok("c1", 3, "s", multiplexing=True)["multiplexing"] is True
+
+    def test_make_result_skips_copy_for_wire_shaped_rows(self):
+        shaped = [[1], [2]]
+        assert make_result(["n"], shaped, 2)["rows"] is shaped
+        assert make_result(["n"], [(1,)], 1)["rows"] == [[1]]
+
+
+class TestNegotiationEdges:
+    def test_v3_driver_v2_controller_downgrades_silently(self, cluster_env):
+        # An old controller never sees the ``multiplex`` key's meaning —
+        # unknown CONNECT keys are ignored — and its CONNECT_OK carries
+        # no grant, so the driver runs the dedicated v2 path untouched.
+        env = cluster_env
+        old = _controller_by_id(env, env.controllers[0].config.controller_id)
+        old.stop()
+        old.config.protocol_version = MULTIPLEX_MIN_VERSION - 1
+        old.start()
+        driver = ClusterDriverRuntime(name="v3-driver")
+        connection = driver.connect(
+            f"sequoia://{old.address}/vdb", network=env.network
+        )
+        assert not connection.multiplexed
+        assert driver.mux_channel_count() == 0
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE v3v2_t (id INTEGER PRIMARY KEY)")
+        cursor.execute("SELECT COUNT(*) FROM v3v2_t")
+        assert cursor.fetchone() == (0,)
+        connection.close()
+
+    def test_multiplexing_off_controller_downgrades_silently(self):
+        from repro.experiments.environments import build_cluster
+
+        env = build_cluster(
+            replicas=1, controllers=1, controller_options={"multiplexing": False}
+        )
+        try:
+            driver = ClusterDriverRuntime(name="mux-off-driver")
+            connection = driver.connect(env.client_url(), network=env.network)
+            assert not connection.multiplexed
+            cursor = connection.cursor()
+            cursor.execute("CREATE TABLE off_t (id INTEGER PRIMARY KEY)")
+            cursor.execute("SELECT COUNT(*) FROM off_t")
+            assert cursor.fetchone() == (0,)
+            connection.close()
+        finally:
+            env.close()
+
+    def test_v2_driver_v3_controller_served_dedicated(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(
+            name="v2-driver", protocol_version=MULTIPLEX_MIN_VERSION - 1
+        )
+        connection = driver.connect(env.client_url(), network=env.network)
+        assert not connection.multiplexed
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE v2v3_t (id INTEGER PRIMARY KEY)")
+        cursor.execute("INSERT INTO v2v3_t (id) VALUES (1)")
+        cursor.execute("SELECT COUNT(*) FROM v2v3_t")
+        assert cursor.fetchone() == (1,)
+        connection.close()
+
+    def test_driver_option_disables_multiplexing(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="opt-out-driver")
+        connection = driver.connect(
+            env.client_url(), network=env.network, multiplexing=False
+        )
+        assert not connection.multiplexed
+        assert driver.mux_channel_count() == 0
+        connection.close()
+
+
+def _mux_handshake(env, controller):
+    """Raw v3 handshake on a fresh channel; returns the granted channel."""
+    channel = env.network.connect(controller.address, timeout=2.0)
+    channel.send(
+        make_connect("vdb", None, None, CLUSTER_PROTOCOL_VERSION, multiplex=True)
+    )
+    reply = channel.recv(timeout=5.0)
+    assert reply["type"] == ClusterMessageType.CONNECT_OK
+    assert reply["multiplexing"] is True
+    return channel
+
+
+class TestMalformedCorrelation:
+    def test_bad_request_id_answered_not_hung(self, cluster_env):
+        env = cluster_env
+        channel = _mux_handshake(env, env.controllers[0])
+        message = make_execute("SELECT 1")
+        message["session_id"] = "ghost"
+        message["request_id"] = "not-an-int"
+        channel.send(message)
+        reply = channel.recv(timeout=5.0)
+        assert reply["type"] == ClusterMessageType.ERROR
+        assert reply["code"] == "bad_correlation"
+        channel.close()
+
+    def test_bad_session_id_answered_not_hung(self, cluster_env):
+        env = cluster_env
+        channel = _mux_handshake(env, env.controllers[0])
+        message = make_execute("SELECT 1")
+        message["session_id"] = ""
+        message["request_id"] = 1
+        channel.send(message)
+        reply = channel.recv(timeout=5.0)
+        assert reply["type"] == ClusterMessageType.ERROR
+        assert reply["code"] == "bad_correlation"
+        channel.close()
+
+    def test_unknown_session_error_is_correlated(self, cluster_env):
+        # The error must carry the offending correlation so a real driver
+        # fails exactly the right pending request instead of timing out.
+        env = cluster_env
+        channel = _mux_handshake(env, env.controllers[0])
+        message = make_execute("SELECT 1", session_id="never-opened", request_id=9)
+        channel.send(message)
+        reply = channel.recv(timeout=5.0)
+        assert reply["type"] == ClusterMessageType.ERROR
+        assert reply["code"] == "unknown_session"
+        assert reply["session_id"] == "never-opened"
+        assert reply["request_id"] == 9
+        channel.close()
+
+    def test_duplicate_session_open_rejected(self, cluster_env):
+        env = cluster_env
+        channel = _mux_handshake(env, env.controllers[0])
+        channel.send(make_session_open("dup", 1))
+        assert channel.recv(timeout=5.0)["type"] == ClusterMessageType.SESSION_OPEN_OK
+        channel.send(make_session_open("dup", 2))
+        reply = channel.recv(timeout=5.0)
+        assert reply["type"] == ClusterMessageType.ERROR
+        assert reply["code"] == "session_exists"
+        channel.close()
+
+    def test_malformed_frames_do_not_occupy_workers(self, cluster_env):
+        # Garbage correlation is answered by the channel's reader thread;
+        # the worker pool must stay free to serve well-formed sessions.
+        env = cluster_env
+        controller = env.controllers[0]
+        channel = _mux_handshake(env, controller)
+        for index in range(20):
+            bad = make_execute("SELECT 1")
+            bad["session_id"] = index  # int, not str
+            bad["request_id"] = 1
+            channel.send(bad)
+        for _ in range(20):
+            assert channel.recv(timeout=5.0)["code"] == "bad_correlation"
+        driver = ClusterDriverRuntime(name="still-alive")
+        connection = driver.connect(env.client_url(), network=env.network)
+        cursor = connection.cursor()
+        cursor.execute("SELECT 1")
+        assert cursor.fetchone() == (1,)
+        connection.close()
+        channel.close()
+
+
+class TestMultiplexedSessions:
+    def test_sessions_share_one_physical_channel(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="share-driver")
+        url = f"sequoia://{env.controllers[0].address}/vdb"
+        connections = [
+            driver.connect(url, network=env.network) for _ in range(10)
+        ]
+        assert all(connection.multiplexed for connection in connections)
+        assert driver.mux_channel_count() == 1
+        controller = env.controllers[0]
+        assert controller.stats()["active_sessions"] == 10
+        assert controller.stats()["front_end"]["mux_channels"] == 1
+        # Sessions are independent: each sees its own results.
+        cursor = connections[0].cursor()
+        cursor.execute("CREATE TABLE share_t (id INTEGER PRIMARY KEY)")
+        for index, connection in enumerate(connections):
+            c = connection.cursor()
+            c.execute("INSERT INTO share_t (id) VALUES ($i)", {"i": index})
+        cursor.execute("SELECT COUNT(*) FROM share_t")
+        assert cursor.fetchone() == (10,)
+        for connection in connections:
+            connection.close()
+        # Last session out closes the shared channel (no leaked readers).
+        assert driver.mux_channel_count() == 0
+        deadline = time.time() + 2.0
+        while controller.stats()["active_sessions"] and time.time() < deadline:
+            time.sleep(0.01)
+        assert controller.stats()["active_sessions"] == 0
+
+    def test_transactions_are_per_logical_session(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="tx-mux-driver")
+        url = f"sequoia://{env.controllers[0].address}/vdb"
+        a = driver.connect(url, network=env.network)
+        b = driver.connect(url, network=env.network)
+        assert a.multiplexed and b.multiplexed and driver.mux_channel_count() == 1
+        cursor_a = a.cursor()
+        cursor_a.execute("CREATE TABLE tx_mux_t (id INTEGER PRIMARY KEY)")
+        a.begin()
+        cursor_a.execute("INSERT INTO tx_mux_t (id) VALUES (1)")
+        # b is NOT inside a's transaction: its reads run at autocommit.
+        cursor_b = b.cursor()
+        cursor_b.execute("SELECT 1")
+        assert cursor_b.fetchone() == (1,)
+        a.rollback()
+        cursor_b.execute("SELECT COUNT(*) FROM tx_mux_t")
+        assert cursor_b.fetchone() == (0,)
+        a.close()
+        b.close()
+
+    def test_abandoned_mux_transaction_rolled_back_on_channel_death(self, cluster_env):
+        env = cluster_env
+        controller = env.controllers[0]
+        channel = _mux_handshake(env, controller)
+        channel.send(make_session_open("doomed", 1))
+        assert channel.recv(timeout=5.0)["type"] == ClusterMessageType.SESSION_OPEN_OK
+        channel.send(make_execute("BEGIN", session_id="doomed", request_id=2))
+        assert channel.recv(timeout=5.0)["type"] == ClusterMessageType.RESULT
+        assert controller.stats()["active_sessions"] == 1
+        channel.close()
+        deadline = time.time() + 2.0
+        while controller.stats()["active_sessions"] and time.time() < deadline:
+            time.sleep(0.01)
+        assert controller.stats()["active_sessions"] == 0
+        # The rollback released the cluster-wide transaction: a new
+        # autocommit write is logged immediately, not buffered.
+        scheduler_stats = controller.scheduler.stats()
+        assert scheduler_stats["open_transactions"] == 0
+
+
+class TestPipelining:
+    def test_pipeline_results_in_order(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="pipe-driver")
+        connection = driver.connect(env.client_url(), network=env.network)
+        assert connection.multiplexed
+        connection.execute_pipeline(
+            ["CREATE TABLE pipe_t (id INTEGER PRIMARY KEY, v INTEGER)"]
+        )
+        inserts = [
+            ("INSERT INTO pipe_t (id, v) VALUES ($i, $v)", {"i": n, "v": n * 10})
+            for n in range(20)
+        ]
+        replies = connection.execute_pipeline(inserts)
+        assert len(replies) == 20
+        replies = connection.execute_pipeline(
+            [("SELECT v FROM pipe_t WHERE id = $i", {"i": n}) for n in range(20)]
+        )
+        assert [reply["rows"] for reply in replies] == [[[n * 10]] for n in range(20)]
+        connection.close()
+
+    def test_pipeline_rejects_transaction_control(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="pipe-tx-driver")
+        connection = driver.connect(env.client_url(), network=env.network)
+        with pytest.raises(ProgrammingError):
+            connection.execute_pipeline(["BEGIN", "SELECT 1"])
+        connection.close()
+
+    def test_pipeline_on_dedicated_connection_falls_back(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="pipe-ded-driver")
+        connection = driver.connect(
+            env.client_url(), network=env.network, multiplexing=False
+        )
+        assert not connection.multiplexed
+        replies = connection.execute_pipeline(["SELECT 1", "SELECT 2"])
+        assert [reply["rows"] for reply in replies] == [[[1]], [[2]]]
+        connection.close()
+
+
+class TestMuxFailover:
+    def test_mux_connection_fails_over_when_controller_dies(self, cluster_env):
+        env = cluster_env
+        driver = ClusterDriverRuntime(name="mux-fo-driver")
+        connection = driver.connect(env.client_url(), network=env.network)
+        assert connection.multiplexed
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE mux_fo_t (id INTEGER PRIMARY KEY)")
+        dead = _controller_by_id(env, connection.controller_id)
+        dead.stop()
+        env.network.kill_endpoint(dead.address)
+        cursor.execute("SELECT COUNT(*) FROM mux_fo_t")
+        assert cursor.fetchone() == (0,)
+        assert connection.failovers == 1
+        assert connection.multiplexed  # re-attached multiplexed elsewhere
+        assert connection.controller_id != dead.config.controller_id
+        connection.close()
+
+    def test_channel_death_fails_all_sessions_then_each_recovers(self, cluster_env):
+        env = cluster_env
+        # Sessions spread over both controllers (round-robin host pick);
+        # killing one controller must fail over exactly the sessions on
+        # its channel while the rest keep working undisturbed.
+        driver = ClusterDriverRuntime(name="mux-herd-driver")
+        connections = [
+            driver.connect(env.client_url(), network=env.network) for _ in range(6)
+        ]
+        assert all(connection.multiplexed for connection in connections)
+        first = connections[0]
+        cursor = first.cursor()
+        cursor.execute("CREATE TABLE herd_t (id INTEGER PRIMARY KEY)")
+        victim = env.controllers[0]
+        doomed = sum(
+            1
+            for connection in connections
+            if connection.controller_id == victim.config.controller_id
+        )
+        victim.stop()
+        env.network.kill_endpoint(victim.address)
+        for connection in connections:
+            c = connection.cursor()
+            c.execute("SELECT COUNT(*) FROM herd_t")
+            assert c.fetchone() == (0,)
+        assert sum(connection.failovers for connection in connections) == doomed
+        survivor_id = env.controllers[1].config.controller_id
+        assert all(
+            connection.controller_id == survivor_id for connection in connections
+        )
+        for connection in connections:
+            connection.close()
+
+
+class TestChannelServerFrontEnd:
+    def test_dead_handler_threads_are_reaped(self):
+        net = InMemoryNetwork()
+
+        def handler(channel):
+            channel.recv(timeout=2.0)
+
+        server = ChannelServer(net.listen("svc:1"), handler, name="reap").start()
+        try:
+            for _ in range(30):
+                client = net.connect("svc:1")
+                client.send({"bye": True})
+                client.close()
+            deadline = time.time() + 5.0
+            while server.handler_thread_count() > 5 and time.time() < deadline:
+                time.sleep(0.02)
+            # The thread list must not grow one dead entry per historical
+            # connection: finished handlers are reaped on each accept.
+            assert server.handler_thread_count() <= 5
+        finally:
+            server.stop()
+
+    def test_worker_pool_mode_bounds_threads(self):
+        net = InMemoryNetwork()
+        served = []
+
+        def handler(channel):
+            message = channel.recv(timeout=2.0)
+            served.append(message["n"])
+            channel.send({"ok": message["n"]})
+
+        server = ChannelServer(
+            net.listen("svc:1"), handler, name="pooled", workers=4
+        ).start()
+        try:
+            clients = [net.connect("svc:1") for _ in range(12)]
+            for index, client in enumerate(clients):
+                client.send({"n": index})
+            for index, client in enumerate(clients):
+                assert client.recv(timeout=5.0) == {"ok": index}
+            assert server.handler_thread_count() <= 4
+            assert sorted(served) == list(range(12))
+        finally:
+            server.stop()
+
+
+class TestBroadcasterAutoSizing:
+    def test_pool_grows_to_fan_out(self):
+        broadcaster = WriteBroadcaster(parallel=True)
+        try:
+            stats = broadcaster.stats()
+            assert stats["auto_sized"] is True
+            assert stats["effective_max_workers"] == WriteBroadcaster.DEFAULT_MAX_WORKERS
+            executor = broadcaster._get_executor(fan_out=12)
+            assert executor is not None
+            assert broadcaster.stats()["effective_max_workers"] == 12
+            # Grow-only: a narrower broadcast does not shrink the pool.
+            broadcaster._get_executor(fan_out=3)
+            assert broadcaster.stats()["effective_max_workers"] == 12
+        finally:
+            broadcaster.close()
+
+    def test_explicit_cap_stays_fixed(self):
+        broadcaster = WriteBroadcaster(parallel=True, max_workers=2)
+        try:
+            broadcaster._get_executor(fan_out=16)
+            stats = broadcaster.stats()
+            assert stats["auto_sized"] is False
+            assert stats["max_workers"] == 2
+            assert stats["effective_max_workers"] == 2
+        finally:
+            broadcaster.close()
+
+    def test_scheduler_stats_surface_broadcast_pool(self, cluster_env):
+        stats = cluster_env.controllers[0].scheduler.stats()
+        assert "broadcast" in stats
+        assert stats["broadcast"]["effective_max_workers"] >= 1
+        assert stats["broadcast"] == stats["broadcaster"]
+
+
+class TestGroupCommitUnit:
+    def test_append_batch_matches_single_appends(self, tmp_path):
+        from repro.cluster.recovery import FileLogStore, RecoveryLog
+
+        single = RecoveryLog(FileLogStore(str(tmp_path / "single"), fsync_on_append=True))
+        batched = RecoveryLog(FileLogStore(str(tmp_path / "batched"), fsync_on_append=True))
+        specs = [
+            (f"UPDATE t{n % 2} SET v = {n}", {"n": n}, [f"t{n % 2}"]) for n in range(6)
+        ]
+        for sql, params, tables in specs:
+            single.append(sql, params, write_tables=tables)
+        entries = batched.append_batch(specs)
+        assert [entry.index for entry in entries] == [
+            entry.index for entry in single.entries_after(0)
+        ]
+        assert [entry.table_seqs for entry in entries] == [
+            entry.table_seqs for entry in single.entries_after(0)
+        ]
+        # Batch tail fsync: one sync for the whole batch vs one each.
+        assert batched.store.stats()["fsyncs"] < single.store.stats()["fsyncs"]
+        single.close()
+        batched.close()
+
+    def test_wait_durable_batches_concurrent_writers(self, tmp_path):
+        from repro.cluster.recovery import FileLogStore, GroupCommit, RecoveryLog
+
+        store = FileLogStore(str(tmp_path / "log"), fsync_on_append=False)
+        log = RecoveryLog(store)
+        coordinator = GroupCommit(log)
+        errors = []
+
+        def writer(index):
+            try:
+                for n in range(20):
+                    entry = log.append(
+                        f"UPDATE w{index} SET v = {n}", write_tables=[f"w{index}"]
+                    )
+                    coordinator.wait_durable(entry.index)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = coordinator.stats()
+        assert stats["synced_appends"] == 120
+        assert stats["flushed_through"] == log.last_index
+        # Batching actually happened: fewer fsync groups than appends.
+        assert stats["groups"] <= store.stats()["fsyncs"]
+        assert store.stats()["fsyncs"] < 120
+        log.close()
+
+    def test_failed_flush_does_not_claim_durability(self, tmp_path):
+        from repro.cluster.recovery import FileLogStore, GroupCommit, RecoveryLog
+
+        store = FileLogStore(str(tmp_path / "log"), fsync_on_append=False)
+        log = RecoveryLog(store)
+        coordinator = GroupCommit(log)
+        entry = log.append("UPDATE t SET v = 1", write_tables=["t"])
+
+        original_flush = log.flush
+        calls = []
+
+        def failing_flush():
+            calls.append(True)
+            if len(calls) == 1:
+                raise OSError("disk went away")
+            original_flush()
+
+        log.flush = failing_flush
+        with pytest.raises(OSError):
+            coordinator.wait_durable(entry.index)
+        assert coordinator.stats()["flushed_through"] == 0
+        # The next waiter becomes a fresh leader and succeeds.
+        coordinator.wait_durable(entry.index)
+        assert coordinator.stats()["flushed_through"] >= entry.index
+        log.close()
+
+    def test_controller_group_commit_gated_by_config(self, tmp_path):
+        network = InMemoryNetwork()
+        durable = Controller(
+            ControllerConfig(
+                controller_id="gc-on",
+                log_dir=str(tmp_path / "gc-on"),
+                log_fsync=True,
+                group_commit=True,
+            ),
+            network,
+            "gc-on:25322",
+            backends=[],
+        )
+        assert durable.group_commit is not None
+        # The store must not double-pay: fsync rides the group flush.
+        assert durable.recovery_log.store.fsync_on_append is False
+        plain = Controller(
+            ControllerConfig(
+                controller_id="gc-off",
+                log_dir=str(tmp_path / "gc-off"),
+                log_fsync=True,
+                group_commit=False,
+            ),
+            network,
+            "gc-off:25322",
+            backends=[],
+        )
+        assert plain.group_commit is None
+        assert plain.recovery_log.store.fsync_on_append is True
+        memory_only = Controller(
+            ControllerConfig(controller_id="gc-mem", group_commit=True),
+            network,
+            "gc-mem:25322",
+            backends=[],
+        )
+        # No durable log -> nothing to group; the coordinator stays off.
+        assert memory_only.group_commit is None
