@@ -1,6 +1,9 @@
-"""E12 — bootloader overhead: connect and per-statement latency."""
+"""E12 — bootloader overhead: connect and per-statement latency, plus
+dispatch-layer micro-checks (wire-frame shaping, batched dispatch)."""
 
 from benchmarks.conftest import run_and_report
+from repro.cluster.backend import Backend
+from repro.cluster.broadcaster import WriteBroadcaster
 from repro.cluster.wire import make_result
 from repro.experiments import overhead
 
@@ -21,3 +24,77 @@ def test_bench_e12_overhead(benchmark):
     mixed = [(1, "a"), (2, "b")]
     reshaped = make_result(["id", "name"], mixed, 2)["rows"]
     assert reshaped is not mixed and reshaped == [[1, "a"], [2, "b"]]
+
+
+class _CountingConnection:
+    """Fake DB-API connection counting how it is driven: ``calls`` is
+    per-statement executes, ``batch_calls`` native batch round trips."""
+
+    threadsafety = 1
+
+    def __init__(self):
+        self.calls = 0
+        self.batch_calls = 0
+        self.closed = False
+        self.driver_info = {"name": "counting"}
+
+    def cursor(self):
+        connection = self
+
+        class _Cursor:
+            description = [("ok", None, None, None, None, None, None)]
+            rowcount = 1
+
+            def execute(self, sql, params=None):
+                connection.calls += 1
+
+            def fetchall(self):
+                return [[1]]
+
+            def close(self):
+                pass
+
+        return _Cursor()
+
+    def execute_batch(self, pairs):
+        self.batch_calls += 1
+        return [(["ok"], [[1]], 1) for _ in pairs]
+
+    def close(self):
+        self.closed = True
+
+
+def test_bench_batch_dispatch(benchmark):
+    """Batched dispatch micro-bench: broadcasting N statements as one
+    batch costs exactly one native round trip on the connection, where
+    the per-statement loop pays N — counted, not timed, so a loaded CI
+    runner cannot flake it."""
+    BATCH = 16
+    connection = _CountingConnection()
+    backend = Backend("b1", lambda: connection)
+    broadcaster = WriteBroadcaster(parallel=False)
+    statements = [(f"UPDATE t SET v = {i} WHERE id = {i}", None) for i in range(BATCH)]
+
+    def dispatch_batch():
+        return broadcaster.broadcast_batch([backend], statements)
+
+    batched = benchmark.pedantic(dispatch_batch, rounds=1, iterations=1)
+    assert connection.batch_calls == 1
+    assert connection.calls == 0
+    assert batched.statement_count == BATCH
+    assert all(
+        outcome.ok for per_backend in batched.outcomes for outcome in per_backend
+    )
+    # Statement-major re-slicing matches the scalar outcome shape.
+    assert batched.per_statement(0).result == (["ok"], [[1]], 1)
+
+    for sql, params in statements:
+        broadcaster.broadcast([backend], sql, params)
+    assert connection.calls == BATCH  # one round trip per statement
+    assert connection.batch_calls == 1  # unchanged
+    stats = broadcaster.stats()
+    assert stats["batch_broadcasts"] == 1
+    assert stats["batched_statements"] == BATCH
+    # Each broadcast (batched or not) counts as one fan-out round.
+    assert stats["broadcasts"] == 1 + BATCH
+    broadcaster.close()

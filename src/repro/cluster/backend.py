@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.recovery.dumper import DatabaseDump, DatabaseDumper
 from repro.cluster.recovery.logstore import LogEntry
@@ -33,6 +33,11 @@ from repro.errors import DriverError
 #: silently roll it back), and the scheduler uses the same distinction to
 #: decide whether a failed write means the backend itself is unhealthy.
 STATEMENT_FAULTS = (ProgrammingError, IntegrityError, DataError, NotSupportedError)
+
+#: Resync replays the log tail through execute_batch in chunks of this
+#: many entries: bounded memory per round trip, still ~100× fewer round
+#: trips than statement-at-a-time replay on a long tail.
+_RESYNC_BATCH_SIZE = 128
 
 
 class BackendState(enum.Enum):
@@ -180,6 +185,88 @@ class Backend:
             with self._lock:
                 self.statements_executed += 1
         return columns, rows, rowcount
+
+    def execute_batch(
+        self,
+        statements: List[Tuple[str, Optional[Dict[str, Any]]]],
+        track: bool = True,
+    ) -> List[Tuple[Optional[Tuple[List[str], List[Any], int]], Optional[Exception]]]:
+        """Run an ordered list of ``(sql, params)`` pairs in one round trip.
+
+        The whole batch costs **one** per-backend lock acquisition (one
+        simulated round trip) instead of one per statement. Returns one
+        ``(result, error)`` pair per statement, positionally: ``result``
+        is the usual ``(columns, rows, rowcount)`` triple, ``error`` the
+        exception that statement raised (statement faults are captured
+        per position; a connection-level failure poisons the failing
+        statement *and everything after it* — order means later
+        statements must not run past a dead connection).
+
+        Connections that offer a native ``execute_batch(pairs)`` — the
+        wire-level batch — get the whole list at once and must return one
+        outcome per statement (a ``(columns, rows, rowcount)`` triple or
+        an Exception instance, in order). Everything else falls back to a
+        per-statement loop that still pays the lock only once."""
+        if not statements:
+            return []
+        with self._lock:
+            connection = self._ensure_connection()
+            if getattr(connection, "threadsafety", 1) < 2:
+                return self._run_batch(connection, statements, track)
+        return self._run_batch(connection, statements, track)
+
+    def _run_batch(
+        self,
+        connection: Any,
+        statements: List[Tuple[str, Optional[Dict[str, Any]]]],
+        track: bool,
+    ) -> List[Tuple[Optional[Tuple[List[str], List[Any], int]], Optional[Exception]]]:
+        native = getattr(connection, "execute_batch", None)
+        if callable(native):
+            try:
+                raw = native([(sql, dict(params or {})) for sql, params in statements])
+                if not isinstance(raw, list) or len(raw) != len(statements):
+                    raise DriverError(
+                        f"native batch returned "
+                        f"{len(raw) if isinstance(raw, list) else type(raw).__name__}"
+                        f" outcomes for {len(statements)} statements"
+                    )
+            except Exception as exc:
+                if not isinstance(exc, STATEMENT_FAULTS):
+                    # The batch call itself died: connection-level fault.
+                    self.close_connection()
+                return [(None, exc)] * len(statements)
+            outcomes: List[
+                Tuple[Optional[Tuple[List[str], List[Any], int]], Optional[Exception]]
+            ] = []
+            succeeded = 0
+            for item in raw:
+                if isinstance(item, Exception):
+                    outcomes.append((None, item))
+                else:
+                    columns, rows, rowcount = item
+                    outcomes.append(((columns, rows, rowcount), None))
+                    succeeded += 1
+            if track and succeeded:
+                with self._lock:
+                    self.statements_executed += succeeded
+            return outcomes
+        outcomes = []
+        for position, (sql, params) in enumerate(statements):
+            try:
+                outcomes.append((self._run_statement(connection, sql, params, track), None))
+            except STATEMENT_FAULTS as exc:
+                # That statement was bad; the connection — and the rest of
+                # the batch — are fine.
+                outcomes.append((None, exc))
+            except Exception as exc:
+                # _run_statement already dropped the cached connection on a
+                # DriverError; the remaining statements have nowhere to run
+                # and must not be skipped silently.
+                for _ in range(position, len(statements)):
+                    outcomes.append((None, exc))
+                break
+        return outcomes
 
     def ping(self) -> bool:
         """Liveness probe: can the replica still answer?
@@ -341,6 +428,28 @@ class Backend:
             self.state = BackendState.RECOVERING
             replayed = 0
             replay_floor: Dict[str, int] = {}
+            # Replayable entries accumulate and are applied through
+            # execute_batch in chunks: a long tail replay costs one
+            # round trip per chunk instead of one per entry. A chunk is
+            # flushed before any *skipped* entry advances the checkpoint,
+            # so the checkpoint never claims an index whose predecessors
+            # are still unapplied.
+            pending: List[LogEntry] = []
+
+            def flush() -> None:
+                nonlocal replayed
+                if not pending:
+                    return
+                batch = [(entry.sql, entry.params) for entry in pending]
+                for entry, (result, error) in zip(pending, self.execute_batch(batch)):
+                    if error is not None:
+                        raise error
+                    replayed += 1
+                    for table, seq in entry.table_seqs.items():
+                        self._record_applied_seq_locked(table, seq)
+                    self.checkpoint_index = entry.index
+                pending.clear()
+
             try:
                 for entry in entries:
                     for table, seq in entry.table_seqs.items():
@@ -360,11 +469,13 @@ class Backend:
                     if not already_applied and (
                         entry_filter is None or entry_filter(entry)
                     ):
-                        self.execute(entry.sql, entry.params)
-                        replayed += 1
-                        for table, seq in entry.table_seqs.items():
-                            self._record_applied_seq_locked(table, seq)
-                    self.checkpoint_index = entry.index
+                        pending.append(entry)
+                        if len(pending) >= _RESYNC_BATCH_SIZE:
+                            flush()
+                    else:
+                        flush()
+                        self.checkpoint_index = entry.index
+                flush()
             except Exception:
                 # A replay that stops half-way leaves the replica behind
                 # its peers; it must not re-enter the read rotation.

@@ -71,6 +71,24 @@ class BroadcastOutcome:
         return [f"{o.backend.name}: {o.error}" for o in self.failed]
 
 
+@dataclass
+class BatchBroadcastOutcome:
+    """Aggregate of one *batch* of statements across the target backends.
+
+    ``outcomes[b][i]`` is backend ``b``'s outcome for statement ``i`` —
+    backend-major because that is how the work is dispatched (one task
+    per backend carrying the whole batch). :meth:`per_statement`
+    re-slices statement-major so the scheduler can account each
+    statement exactly as if it had been broadcast alone."""
+
+    backends: List[Backend] = field(default_factory=list)
+    statement_count: int = 0
+    outcomes: List[List[BackendOutcome]] = field(default_factory=list)
+
+    def per_statement(self, index: int) -> BroadcastOutcome:
+        return BroadcastOutcome([per_backend[index] for per_backend in self.outcomes])
+
+
 class WriteBroadcaster:
     """Executes one statement on many backends, optionally in parallel."""
 
@@ -94,6 +112,8 @@ class WriteBroadcaster:
         # runs disjoint-table broadcasts through here concurrently.
         self.broadcasts = 0
         self.statements_dispatched = 0
+        self.batch_broadcasts = 0
+        self.batched_statements = 0
         self._in_flight = 0
 
     def _get_executor(self, fan_out: int = 0) -> Optional[ThreadPoolExecutor]:
@@ -144,6 +164,45 @@ class WriteBroadcaster:
             with self._lock:
                 self._in_flight -= 1
 
+    def broadcast_batch(
+        self,
+        backends: List[Backend],
+        statements: List[Tuple[str, Optional[Dict[str, Any]]]],
+    ) -> BatchBroadcastOutcome:
+        """Execute an ordered batch of statements on every target backend
+        — **one task per replica carrying the whole batch**, so the
+        round-trip cost of N coalesced writes equals that of one."""
+        with self._lock:
+            self.broadcasts += 1  # one fan-out round trip, however many statements
+            self.batch_broadcasts += 1
+            self.statements_dispatched += len(backends) * len(statements)
+            self.batched_statements += len(statements)
+            self._in_flight += 1
+        try:
+            executor = (
+                self._get_executor(len(backends))
+                if self.parallel and len(backends) > 1
+                else None
+            )
+            if executor is None:
+                per_backend = [
+                    self._run_batch_one(backend, statements) for backend in backends
+                ]
+            else:
+                futures = [
+                    executor.submit(self._run_batch_one, backend, statements)
+                    for backend in backends
+                ]
+                per_backend = [future.result() for future in futures]
+            return BatchBroadcastOutcome(
+                backends=list(backends),
+                statement_count=len(statements),
+                outcomes=per_backend,
+            )
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -153,6 +212,8 @@ class WriteBroadcaster:
                 "auto_sized": self._configured_max_workers is None,
                 "broadcasts": self.broadcasts,
                 "statements_dispatched": self.statements_dispatched,
+                "batch_broadcasts": self.batch_broadcasts,
+                "batched_statements": self.batched_statements,
                 "in_flight": self._in_flight,
             }
 
@@ -175,6 +236,26 @@ class WriteBroadcaster:
         finally:
             backend.finish_request()
         return BackendOutcome(backend=backend, result=result)
+
+    @staticmethod
+    def _run_batch_one(
+        backend: Backend,
+        statements: List[Tuple[str, Optional[Dict[str, Any]]]],
+    ) -> List[BackendOutcome]:
+        backend.begin_request()
+        try:
+            pairs = backend.execute_batch(statements)
+        except Exception as exc:  # noqa: BLE001 - aggregated per backend
+            # execute_batch captures per-statement faults itself; anything
+            # escaping it is a replica-level fault poisoning the whole
+            # batch on this backend (same rationale as _run_one).
+            return [BackendOutcome(backend=backend, error=exc) for _ in statements]
+        finally:
+            backend.finish_request()
+        return [
+            BackendOutcome(backend=backend, result=result, error=error)
+            for result, error in pairs
+        ]
 
     def close(self) -> None:
         with self._lock:

@@ -96,6 +96,13 @@ class ClassifiedStatement:
     #: Empty when there is no WHERE, when a top-level OR widens the set,
     #: or when no conjunct is a simple equality.
     where_equalities: Tuple[Tuple[str, KeyExpr], ...] = ()
+    #: Top-level AND-connected ``column IN (scalar, scalar, ...)``
+    #: conjuncts, as ``(column, (KeyExpr, ...))`` pairs. Same soundness
+    #: argument as :attr:`where_equalities`: an AND-conjunct only shrinks
+    #: the matched rows, so ``pk IN (a, b)`` bounds the statement to at
+    #: most the rows with those keys. ``NOT IN`` and ``IN (SELECT ...)``
+    #: never match (they don't bound the row set by listed keys).
+    where_in_lists: Tuple[Tuple[str, Tuple[KeyExpr, ...]], ...] = ()
     #: Columns assigned by an UPDATE's SET list. An UPDATE that assigns
     #: the primary key moves the row to a *second* key, so the scheduler
     #: must fall back to a table lock when the PK is in here.
@@ -375,13 +382,54 @@ def _match_equality(conjunct: List[Token]) -> Optional[Tuple[str, KeyExpr]]:
     return None
 
 
-def _extract_where_equalities(tokens: List[Token], start: int) -> Tuple[Tuple[str, KeyExpr], ...]:
-    """Collect the simple equality conjuncts of a DML WHERE clause. A
-    depth-0 OR abandons extraction entirely: a disjunction *widens* the
-    matched rows, so no single conjunct bounds the statement any more."""
+def _match_in_list(conjunct: List[Token]) -> Optional[Tuple[str, Tuple[KeyExpr, ...]]]:
+    """Match ``column IN (scalar, scalar, ...)`` exactly. Every element
+    must be one scalar — a subquery, expression or empty list fails the
+    match (the conjunct is then simply ignored, which is always safe:
+    ignoring an AND-conjunct can only widen the *assumed* row set, and
+    the caller falls back to a coarser lock). ``column NOT IN (...)``
+    cannot match: after the column name the next token is NOT, never the
+    IN keyword."""
+    conjunct = _strip_outer_parens(conjunct)
+    column, index = _read_column_name(conjunct, 0)
+    if column is None or not _is_ident(conjunct[index] if index < len(conjunct) else None, "IN"):
+        return None
+    index += 1
+    if not _is_op(conjunct[index] if index < len(conjunct) else None, "("):
+        return None
+    # The parenthesized list must be the conjunct's tail — trailing
+    # tokens mean this is some larger expression we don't understand.
+    if _skip_balanced(conjunct, index) != len(conjunct):
+        return None
+    elements: List[KeyExpr] = []
+    index += 1
+    end = len(conjunct) - 1  # the closing ")"
+    while index < end:
+        expr, index = _scalar_expr(conjunct, index)
+        if expr is None:
+            return None
+        elements.append(expr)
+        if index < end:
+            if not _is_op(conjunct[index], ","):
+                return None
+            index += 1
+            if index >= end:
+                return None  # trailing comma
+    if not elements:
+        return None
+    return column, tuple(elements)
+
+
+def _extract_where_predicates(
+    tokens: List[Token], start: int
+) -> Tuple[Tuple[Tuple[str, KeyExpr], ...], Tuple[Tuple[str, Tuple[KeyExpr, ...]], ...]]:
+    """Collect the simple equality and IN-list conjuncts of a DML WHERE
+    clause. A depth-0 OR abandons extraction entirely: a disjunction
+    *widens* the matched rows, so no single conjunct bounds the
+    statement any more."""
     where = _find_keyword(tokens, start, "WHERE")
     if where < 0:
-        return ()
+        return (), ()
     region: List[Token] = []
     depth = 0
     for index in range(where + 1, len(tokens)):
@@ -408,17 +456,22 @@ def _extract_where_equalities(tokens: List[Token], start: int) -> Tuple[Tuple[st
         elif _is_op(token, ")"):
             depth -= 1
         if depth == 0 and _is_ident(token, "OR"):
-            return ()
+            return (), ()
         if depth == 0 and _is_ident(token, "AND"):
             conjuncts.append([])
         else:
             conjuncts[-1].append(token)
     equalities = []
+    in_lists = []
     for conjunct in conjuncts:
         matched = _match_equality(conjunct)
         if matched is not None:
             equalities.append(matched)
-    return tuple(equalities)
+            continue
+        in_matched = _match_in_list(conjunct)
+        if in_matched is not None:
+            in_lists.append(in_matched)
+    return tuple(equalities), tuple(in_lists)
 
 
 def _extract_set_columns(tokens: List[Token], start: int) -> FrozenSet[str]:
@@ -622,12 +675,13 @@ def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
         and command == "SELECT"
     )
     where_equalities: Tuple[Tuple[str, KeyExpr], ...] = ()
+    where_in_lists: Tuple[Tuple[str, Tuple[KeyExpr, ...]], ...] = ()
     set_columns: FrozenSet[str] = frozenset()
     insert_columns: Optional[Tuple[str, ...]] = None
     insert_values: Optional[Tuple[KeyExpr, ...]] = None
     if kind is StatementKind.WRITE:
         if command in ("UPDATE", "DELETE"):
-            where_equalities = _extract_where_equalities(tokens, cmd_index)
+            where_equalities, where_in_lists = _extract_where_predicates(tokens, cmd_index)
         if command == "UPDATE":
             set_columns = _extract_set_columns(tokens, cmd_index)
         if command == "INSERT":
@@ -640,6 +694,7 @@ def _classify_tokens(tokens: List[Token]) -> ClassifiedStatement:
         referenced_tables=frozenset(referenced_tables),
         cacheable=cacheable,
         where_equalities=where_equalities,
+        where_in_lists=where_in_lists,
         set_columns=set_columns,
         insert_columns=insert_columns,
         insert_values=insert_values,

@@ -47,6 +47,7 @@ from repro.cluster.scheduler import RequestScheduler, SchedulerError
 from repro.core.clock import Clock, wall_clock
 from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
+    ERROR_SERVER_BUSY,
     MULTIPLEX_MIN_VERSION,
     ClusterMessageType,
     ClusterWireError,
@@ -111,6 +112,26 @@ class ControllerConfig:
     #: more writers before its fsync. 0 (default) piggybacks only on
     #: natural concurrency and adds no latency.
     group_commit_window_ms: float = 0.0
+    #: Coalesce concurrent auto-commit writers with matching replica
+    #: sets into one broadcast round trip + one batch log append (the
+    #: execution-side mirror of group commit — see WriteBatcher in
+    #: docs/scheduling.md). Off keeps the per-statement broadcast path
+    #: byte-identical to previous releases.
+    write_batching: bool = True
+    #: Extra window (milliseconds) a write-batch leader waits to gather
+    #: more writers before its round. 0 (default) batches only what
+    #: queued while the previous round was in flight.
+    write_batch_window_ms: float = 0.0
+    #: Admission control: statements a single multiplexed session may
+    #: have queued before further EXECUTEs get a retryable
+    #: ``server_busy`` ERROR (bounds per-session memory under runaway
+    #: pipelining). None = unbounded, the pre-admission behaviour.
+    max_session_queue_depth: Optional[int] = 256
+    #: Admission control: statements queued-or-executing across the
+    #: whole controller before EXECUTEs get ``server_busy`` (bounds
+    #: total queueing when the worker pool saturates — clients back off
+    #: and retry instead of queueing unboundedly). None (default) = off.
+    max_in_flight_statements: Optional[int] = None
     #: Conflict-aware write scheduling: writes acquire table-level locks
     #: from the classifier's table sets, so statements touching disjoint
     #: tables execute and broadcast in parallel (see docs/scheduling.md).
@@ -275,6 +296,8 @@ class Controller:
             lock_manager=LockManager(conflict_aware=config.conflict_aware_locking),
             key_level_locking=config.key_level_locking,
             group_commit=self.group_commit,
+            write_batching=config.write_batching,
+            write_batch_window_s=config.write_batch_window_ms / 1000.0,
         )
         self.failure_detector = FailureDetector(
             self.scheduler,
@@ -302,6 +325,13 @@ class Controller:
         #: Statements served to clients (observability for experiments).
         self.statements_served = 0
         self.failed_statements = 0
+        # Admission control (guarded by _lock): statements admitted and
+        # not yet finished — queued in a session FIFO or executing on a
+        # worker — against config.max_in_flight_statements.
+        self._in_flight_statements = 0
+        self._in_flight_peak = 0
+        #: EXECUTEs refused with a ``server_busy`` ERROR (either bound).
+        self.server_busy_rejections = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -378,11 +408,54 @@ class Controller:
 
     # -- observability ---------------------------------------------------------
 
+    def _admit_statement(self) -> bool:
+        """Claim one controller-wide in-flight slot, or refuse.
+
+        Fast path: with no configured limit nothing is counted and no
+        lock is taken — the pre-admission hot path is untouched."""
+        limit = self.config.max_in_flight_statements
+        if limit is None:
+            return True
+        with self._lock:
+            if self._in_flight_statements >= limit:
+                return False
+            self._in_flight_statements += 1
+            if self._in_flight_statements > self._in_flight_peak:
+                self._in_flight_peak = self._in_flight_statements
+            return True
+
+    def _release_statement(self, count: int = 1) -> None:
+        if self.config.max_in_flight_statements is None or count <= 0:
+            return
+        with self._lock:
+            self._in_flight_statements = max(0, self._in_flight_statements - count)
+
+    def _busy_reply(
+        self, detail: str, session_id: Optional[str] = None, request_id: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """A retryable ``server_busy`` ERROR frame: the statement never
+        reached a backend, so the driver may retry it with backoff."""
+        with self._lock:
+            self.server_busy_rejections += 1
+        reply = make_error(
+            ERROR_SERVER_BUSY,
+            f"controller {self.config.controller_id} is saturated ({detail}); "
+            "retry with backoff",
+        )
+        if session_id is not None:
+            reply["session_id"] = session_id
+        if request_id is not None:
+            reply["request_id"] = request_id
+        return reply
+
     def stats(self) -> Dict[str, Any]:
         """Controller-level counters plus the scheduling subsystem's stats."""
         with self._lock:
             active_sessions = len(self._sessions)
             mux_channels = len(self._mux_channels)
+            in_flight = self._in_flight_statements
+            in_flight_peak = self._in_flight_peak
+            busy_rejections = self.server_busy_rejections
         scheduler_stats = self.scheduler.stats()
         pool = self._worker_pool
         return {
@@ -401,6 +474,12 @@ class Controller:
                     else 0
                 ),
                 "group_commit": self.group_commit.stats() if self.group_commit else None,
+                "write_batching": self.config.write_batching,
+                "max_session_queue_depth": self.config.max_session_queue_depth,
+                "max_in_flight_statements": self.config.max_in_flight_statements,
+                "in_flight_statements": in_flight,
+                "in_flight_peak": in_flight_peak,
+                "server_busy_rejections": busy_rejections,
             },
             # Same object as scheduler["placement"] — surfaced top-level
             # for operators, computed once.
@@ -825,7 +904,24 @@ class Controller:
                 continue
             sql = str(message.get("sql", ""))
             params = dict(message.get("params") or {})
-            reply = self._execute_for_session(session, sql, params)
+            # A dedicated session has no queue (EXECUTE/RESULT alternate
+            # strictly), so only the controller-wide bound applies here.
+            # An open transaction bypasses admission: its work was
+            # admitted at BEGIN, it may hold lock scopes other admitted
+            # statements are blocked on, and refusing its COMMIT while
+            # those blocked statements fill every slot would deadlock
+            # the controller against itself.
+            if session.in_transaction:
+                reply = self._execute_for_session(session, sql, params)
+            elif not self._admit_statement():
+                reply = self._busy_reply(
+                    f"max_in_flight_statements={self.config.max_in_flight_statements}"
+                )
+            else:
+                try:
+                    reply = self._execute_for_session(session, sql, params)
+                finally:
+                    self._release_statement()
             try:
                 channel.send(reply)
             except TransportError:
@@ -941,17 +1037,56 @@ class Controller:
             return
         sql = str(message.get("sql", ""))
         params = dict(message.get("params") or {})
-        self._mux_enqueue(state, msession, (request_id, sql, params))
+        # Admission control. The depth check-then-enqueue is race-free:
+        # this reader thread is the session queue's only producer, and
+        # workers only ever shrink it.
+        depth_limit = self.config.max_session_queue_depth
+        if depth_limit is not None:
+            with state.lock:
+                depth = len(msession.queue)
+            if depth >= depth_limit:
+                self._mux_send(
+                    state,
+                    self._busy_reply(
+                        f"session queue depth at max_session_queue_depth={depth_limit}",
+                        session_id,
+                        request_id,
+                    ),
+                )
+                return
+        # An open transaction bypasses the in-flight bound: its work was
+        # admitted at BEGIN, it may hold lock scopes other admitted
+        # statements are blocked on, and refusing its COMMIT while those
+        # blocked statements fill every slot would deadlock the
+        # controller against itself. (The depth bound above still
+        # applies — it caps per-session memory, not concurrency.)
+        holds_slot = not msession.context.in_transaction
+        if holds_slot and not self._admit_statement():
+            self._mux_send(
+                state,
+                self._busy_reply(
+                    f"max_in_flight_statements={self.config.max_in_flight_statements}",
+                    session_id,
+                    request_id,
+                ),
+            )
+            return
+        if not self._mux_enqueue(state, msession, (request_id, sql, params, holds_slot)):
+            # The session closed between the lookup and the enqueue (its
+            # close rode the FIFO); the admitted slot must not leak.
+            if holds_slot:
+                self._release_statement()
 
-    def _mux_enqueue(self, state: _MuxChannelState, msession: _MuxSession, item: Any) -> None:
+    def _mux_enqueue(self, state: _MuxChannelState, msession: _MuxSession, item: Any) -> bool:
         with state.lock:
             if msession.closed:
-                return
+                return False
             msession.queue.append(item)
             if msession.scheduled:
-                return
+                return True
             msession.scheduled = True
         self._mux_submit(state, msession)
+        return True
 
     def _mux_submit(self, state: _MuxChannelState, msession: _MuxSession) -> None:
         pool = self._worker_pool
@@ -979,11 +1114,16 @@ class Controller:
             if item is _CLOSE_SESSION:
                 self._finish_mux_session(state, msession)
             else:
-                request_id, sql, params = item
+                request_id, sql, params, holds_slot = item
                 try:
                     reply = self._execute_for_session(msession.context, sql, params)
                 except Exception as exc:  # noqa: BLE001 - a worker must never die silently
                     reply = make_error("internal_error", str(exc))
+                finally:
+                    # The statement's admission slot frees whether it
+                    # succeeded, failed, or raised.
+                    if holds_slot:
+                        self._release_statement()
                 reply["session_id"] = msession.context.session_id
                 reply["request_id"] = request_id
                 self._mux_send(state, reply)
@@ -1004,6 +1144,17 @@ class Controller:
                 return
             msession.closed = True
             state.sessions.pop(msession.context.session_id, None)
+            # Statements still queued behind the close (or behind a dead
+            # channel) will never run; their admission slots must free.
+            # (In-transaction statements never held one — see
+            # ``holds_slot`` in :meth:`_mux_execute`.)
+            abandoned = sum(
+                1
+                for item in msession.queue
+                if item is not _CLOSE_SESSION and item[3]
+            )
+            msession.queue.clear()
+        self._release_statement(abandoned)
         with self._lock:
             self._sessions.pop(msession.context.session_id, None)
         if msession.context.in_transaction:

@@ -21,12 +21,15 @@ name/version to this runtime (see
 from __future__ import annotations
 
 import itertools
+import random
 import threading
+import time
 import uuid
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
+    ERROR_SERVER_BUSY,
     MULTIPLEX_MIN_VERSION,
     ClusterMessageType,
     make_connect,
@@ -48,6 +51,17 @@ def _option_enabled(value: Any, default: bool = True) -> bool:
     if value is None:
         return default
     return value not in _FALSEY_OPTION_VALUES
+
+
+class _ServerBusy(Exception):
+    """Internal marker for a ``server_busy`` admission-control rejection.
+
+    Deliberately *not* an OperationalError: the generic failover path
+    must never see it — a saturated controller is healthy, and failing
+    over to a sibling would just move the herd. The retry loop in
+    :meth:`ClusterConnection._execute` converts it to backoff-and-retry
+    on the same host, or to a plain OperationalError once the retry
+    budget is spent."""
 
 
 class _MuxPending:
@@ -301,6 +315,15 @@ class ClusterConnection(Connection):
         self._lock = threading.Lock()
         self.statements_executed = 0
         self.failovers = 0
+        #: server_busy admission rejections retried (and total time slept
+        #: backing off) — the saturation-visibility twin of ``failovers``.
+        self.server_busy_retries = 0
+        self.busy_backoff_seconds = 0.0
+        self._busy_retries = max(0, int(options.get("busy_retries", 8)))
+        self._busy_backoff_s = max(0.0, float(options.get("busy_backoff_ms", 2.0))) / 1000.0
+        self._busy_backoff_cap_s = (
+            max(0.0, float(options.get("busy_backoff_cap_ms", 50.0))) / 1000.0
+        )
         # Multiplexing is attempted by default on a v3 driver; the
         # handshake downgrades transparently against a v2 controller (or
         # one configured with multiplexing off) — absence of the
@@ -443,9 +466,30 @@ class ClusterConnection(Connection):
             # next host. ``failovers`` counts *successful* reconnects —
             # a reconnect that fails raises without bumping the counter.
             attempts = max(2, len(self._url.hosts))
-            for attempt in range(attempts):
+            busy_left = self._busy_retries
+            attempt = 0
+            while attempt < attempts:
                 try:
                     return self._execute_once(sql, params)
+                except _ServerBusy as exc:
+                    # Admission-control rejection: the controller refused
+                    # the statement *before* any backend saw it, so
+                    # retrying the same host is safe even mid-transaction
+                    # (the session — and the transaction it owns — is
+                    # alive and well; the controller is merely saturated).
+                    # Failing over would only move the herd, so the retry
+                    # stays put, with capped jittered exponential backoff.
+                    if busy_left <= 0:
+                        raise OperationalError(str(exc)) from exc
+                    used = self._busy_retries - busy_left
+                    busy_left -= 1
+                    delay = min(
+                        self._busy_backoff_cap_s, self._busy_backoff_s * (2**used)
+                    ) * (0.5 + random.random() * 0.5)
+                    self.server_busy_retries += 1
+                    self.busy_backoff_seconds += delay
+                    if delay > 0:
+                        time.sleep(delay)
                 except OperationalError:
                     # Transparent failover: only safe outside a transaction
                     # — mid-transaction the controller's session (and the
@@ -455,7 +499,8 @@ class ClusterConnection(Connection):
                     if self._in_transaction:
                         self._closed = True
                         raise
-                    if attempt + 1 >= attempts:
+                    attempt += 1
+                    if attempt >= attempts:
                         raise
                     self._connect_to_any(exclude=getattr(self, "_current_host", None))
                     self.failovers += 1
@@ -482,6 +527,8 @@ class ClusterConnection(Connection):
         if reply.get("type") == ClusterMessageType.ERROR:
             code = reply.get("code")
             message = f"[{code}] {reply.get('message')}"
+            if code == ERROR_SERVER_BUSY:
+                raise _ServerBusy(message)
             if code in ("execution_failed",):
                 raise ProgrammingError(message)
             raise OperationalError(message)
@@ -503,8 +550,12 @@ class ClusterConnection(Connection):
         every result in order.
 
         On a dedicated (non-multiplexed) connection the statements simply
-        run sequentially — same results, no overlap. Transaction control
-        cannot be pipelined: a BEGIN/COMMIT in the middle of an
+        run sequentially — same results, no overlap. Pipelining inside an
+        open transaction is supported over wire v3: a session's queued
+        statements execute strictly FIFO on the controller, so the fired
+        batch lands in order within the transaction, and the final COMMIT
+        (issued separately) flushes it. Transaction *control* cannot be
+        pipelined: a BEGIN/COMMIT in the middle of an
         already-fired batch could not abort the statements behind it.
         There is no transparent failover for a pipeline — by the time an
         error surfaces, later statements may already have executed, so
@@ -535,7 +586,21 @@ class ClusterConnection(Connection):
             except TransportError as exc:
                 self._driver._evict_mux_link(link)
                 raise OperationalError(f"controller connection lost: {exc}") from exc
-            return [self._interpret_reply(reply) for reply in replies]
+            results = []
+            for reply in replies:
+                try:
+                    results.append(self._interpret_reply(reply))
+                except _ServerBusy as exc:
+                    # Not auto-retried here: the statements behind the
+                    # rejected one were already fired, and re-firing this
+                    # one now would reorder it after them. The statement
+                    # never executed, so the *caller* may re-issue it.
+                    raise OperationalError(
+                        f"{exc} (not auto-retried mid-pipeline: later statements "
+                        "were already fired; the rejected statement never ran and "
+                        "may be re-issued)"
+                    ) from exc
+            return results
 
     # -- DB-API -------------------------------------------------------------------------
 
@@ -589,6 +654,15 @@ class ClusterConnection(Connection):
     def controller_id(self) -> Optional[str]:
         """Which controller this connection is currently attached to."""
         return self._controller_id
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-connection counters (observability for tests/benches)."""
+        return {
+            "statements_executed": self.statements_executed,
+            "failovers": self.failovers,
+            "server_busy_retries": self.server_busy_retries,
+            "busy_backoff_seconds": self.busy_backoff_seconds,
+        }
 
     @property
     def driver_info(self) -> Dict[str, Any]:

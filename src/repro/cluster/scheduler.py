@@ -57,7 +57,8 @@ behaviour is the worst case, never violated.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cluster.backend import Backend, STATEMENT_FAULTS
 from repro.cluster.broadcaster import WriteBroadcaster
@@ -85,6 +86,7 @@ from repro.errors import DriverError
 __all__ = [
     "RequestScheduler",
     "SchedulerError",
+    "WriteBatcher",
     "LockManager",
     "LockScope",
     "NoHostingBackendError",
@@ -145,6 +147,148 @@ def _canonical_key(value: Any, data_type: str) -> Any:
     return _NO_KEY
 
 
+class _BatchItem:
+    """One writer's statement while it sits in a WriteBatcher queue."""
+
+    __slots__ = (
+        "sql",
+        "params",
+        "statement",
+        "spec",
+        "targets",
+        "done",
+        "result",
+        "outcome",
+        "durable_index",
+        "error",
+    )
+
+    def __init__(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        statement: ClassifiedStatement,
+        spec: Any,
+        targets: List[Backend],
+    ) -> None:
+        self.sql = sql
+        self.params = params
+        self.statement = statement
+        self.spec = spec
+        self.targets = targets
+        self.done = False
+        self.result: Optional[Tuple[List[str], List[Any], int]] = None
+        self.outcome: Any = None
+        self.durable_index: Optional[int] = None
+        self.error: Optional[Exception] = None
+
+
+class WriteBatcher:
+    """Coalesces concurrent auto-commit writers into one broadcast round
+    trip — the execution-side mirror of :class:`GroupCommit`.
+
+    Writers whose placement-resolved replica sets match queue under one
+    *group key* (the sorted target names); the first writer to find the
+    group leaderless elects itself leader, drains the queue and runs the
+    whole batch through ``WriteBroadcaster.broadcast_batch`` +
+    ``RecoveryLog.append_batch`` — one fan-out and one log append cover
+    every writer in the group, and (under group commit) one fsync.
+    Writers arriving while a round is in flight queue up for the next
+    leader, so batching *emerges from broadcast latency* exactly as
+    group-commit batching emerges from fsync latency; ``window_s`` adds
+    an optional fixed collection window on top.
+
+    Every queued writer still holds its own lock scope for the whole
+    round (the scopes are pairwise disjoint, or they could not be
+    concurrent), so the append order within a batch is an execution
+    order no conflicting statement can interleave — per-table log order
+    is preserved by construction: two same-table statements can share a
+    round only under disjoint key scopes, and the batch applies them in
+    append order on every replica. Deadlock-free: the leader acquires no
+    lock scopes, and an exclusive acquirer (BEGIN, resync, DDL with an
+    unknown table set) simply waits for the round's scopes to drain."""
+
+    def __init__(self, scheduler: "RequestScheduler", window_s: float = 0.0, max_batch: int = 64) -> None:
+        self._scheduler = scheduler
+        self._window_s = max(0.0, window_s)
+        self._max_batch = max(1, max_batch)
+        self._cond = threading.Condition()
+        self._queues: Dict[Tuple[str, ...], List[_BatchItem]] = {}
+        self._leading: Set[Tuple[str, ...]] = set()
+        # Counters guarded by _cond.
+        self.rounds = 0
+        self.batched_statements = 0
+        self.max_batch_size = 0
+
+    def run(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        statement: ClassifiedStatement,
+        spec: Any,
+        targets: List[Backend],
+    ) -> Tuple[Optional[Tuple[List[str], List[Any], int]], Any, Optional[int]]:
+        """Queue one statement and return its
+        ``(result, outcome, durable_index)`` once a round executed it —
+        either by leading a round or by riding a sibling leader's."""
+        item = _BatchItem(sql, params, statement, spec, targets)
+        key = tuple(sorted(backend.name for backend in targets))
+        with self._cond:
+            self._queues.setdefault(key, []).append(item)
+            while not item.done and key in self._leading:
+                self._cond.wait()
+            if not item.done:
+                self._leading.add(key)
+        if not item.done:
+            self._lead(key)
+        if item.error is not None:
+            raise item.error
+        return item.result, item.outcome, item.durable_index
+
+    def _lead(self, key: Tuple[str, ...]) -> None:
+        batch: List[_BatchItem] = []
+        try:
+            if self._window_s > 0.0:
+                # Optional fixed collection window; with the default 0 the
+                # batch is whatever queued while the previous round was in
+                # flight.
+                time.sleep(self._window_s)
+            with self._cond:
+                queued = self._queues.pop(key, [])
+                if len(queued) > self._max_batch:
+                    self._queues[key] = queued[self._max_batch :]
+                    queued = queued[: self._max_batch]
+                batch = queued
+                self.rounds += 1
+                self.batched_statements += len(batch)
+                self.max_batch_size = max(self.max_batch_size, len(batch))
+            try:
+                self._scheduler._execute_batch_round(batch)
+            except Exception as exc:  # noqa: BLE001 - delivered per writer
+                for item in batch:
+                    if item.error is None:
+                        item.error = exc
+        finally:
+            with self._cond:
+                for item in batch:
+                    item.done = True
+                self._leading.discard(key)
+                self._cond.notify_all()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            rounds = self.rounds
+            batched = self.batched_statements
+            return {
+                "rounds": rounds,
+                "batched_statements": batched,
+                "max_batch_size": self.max_batch_size,
+                "avg_batch_size": round(batched / rounds, 2) if rounds else 0.0,
+                "window_s": self._window_s,
+                "max_batch": self._max_batch,
+            }
+
+
 class RequestScheduler:
     """Routes statements to backends according to the placement map
     (RAIDb-1 full replication by default; RAIDb-0/2 when configured)."""
@@ -161,6 +305,8 @@ class RequestScheduler:
         key_level_locking: bool = True,
         primary_keys: Optional[Dict[str, Tuple[str, str]]] = None,
         group_commit: Optional[GroupCommit] = None,
+        write_batching: bool = False,
+        write_batch_window_s: float = 0.0,
     ) -> None:
         self._backends = list(backends)
         self._recovery_log = recovery_log
@@ -239,6 +385,13 @@ class RequestScheduler:
         # scope — one fsync covers every writer in the group, and no
         # reply returns before its entry is durable.
         self._group_commit = group_commit
+        # Write-path batching, the execution-side mirror of group commit:
+        # eligible concurrent auto-commit writers coalesce into one
+        # broadcast round trip + one batch log append (see WriteBatcher).
+        # Off (None) keeps the per-statement path byte-identical.
+        self._write_batcher = (
+            WriteBatcher(self, window_s=write_batch_window_s) if write_batching else None
+        )
         # True while a resync replay or dump restore holds the write lock:
         # the controller answers write traffic with ``controller_recovering``
         # so failover-capable drivers retry on a sibling instead of
@@ -761,22 +914,57 @@ class RequestScheduler:
             return tables
         pk_column, data_type, ordinal = resolved
         expr = self._key_expr_for(statement, pk_column, ordinal)
-        if expr is None:
+        if expr is not None:
+            key = self._resolve_lock_key(expr, params, data_type)
+            if key is _NO_KEY:
+                return tables
+            return LockScope(keys=frozenset({(table, key)}))
+        exprs = self._key_exprs_from_in_list(statement, pk_column)
+        if exprs is None:
             return tables
+        keys = set()
+        for element in exprs:
+            key = self._resolve_lock_key(element, params, data_type)
+            if key is _NO_KEY:
+                # One unresolvable element poisons the whole list: the
+                # statement may touch a row no listed key covers.
+                return tables
+            keys.add((table, key))
+        return LockScope(keys=frozenset(keys))
+
+    @staticmethod
+    def _resolve_lock_key(expr: Any, params: Optional[Dict[str, Any]], data_type: str) -> Any:
+        """Resolve one classifier KeyExpr to a canonical lock key, or
+        ``_NO_KEY`` when it cannot be proven to address one row."""
         expr_kind, payload = expr
         if expr_kind == "value":
             value = payload
         elif expr_kind == "param":
             # Positional params ("?") can't be matched to a value here.
             if payload == "?" or not params or payload not in params:
-                return tables
+                return _NO_KEY
             value = params[payload]
         else:  # opaque
-            return tables
-        key = _canonical_key(value, data_type)
-        if key is _NO_KEY:
-            return tables
-        return LockScope(keys=frozenset({(table, key)}))
+            return _NO_KEY
+        return _canonical_key(value, data_type)
+
+    @staticmethod
+    def _key_exprs_from_in_list(
+        statement: ClassifiedStatement, pk_column: str
+    ) -> Optional[Tuple[Any, ...]]:
+        """The ``pk IN (...)`` elements bounding an UPDATE/DELETE's touched
+        keys, or None. Sound because an AND-conjunct IN list means every
+        touched row's PK is among the listed values; a PK-reassigning
+        UPDATE moves rows to a key *outside* the list, so it never
+        qualifies (INSERT has no WHERE at all)."""
+        if statement.command not in ("UPDATE", "DELETE"):
+            return None
+        if statement.command == "UPDATE" and pk_column in statement.set_columns:
+            return None
+        for column, exprs in statement.where_in_lists:
+            if column == pk_column:
+                return exprs
+        return None
 
     # -- routing -----------------------------------------------------------------
 
@@ -960,9 +1148,22 @@ class RequestScheduler:
                     # row identity — release and re-acquire the right
                     # scope.
                     continue
-                result, outcome, durable_index = self._broadcast_under_scope(
-                    sql, params, statement, spec, in_transaction, session_id, log_it
-                )
+                if self._batch_eligible(statement, in_transaction, log_it):
+                    # Safe to decide here: while this scope is held no
+                    # BEGIN/disable/resync/placement swap can run (all
+                    # take the exclusive mode), so the eligibility and
+                    # target snapshot cannot go stale before the round.
+                    enabled = self.enabled_backends()
+                    if not enabled:
+                        raise SchedulerError("no enabled backend available")
+                    targets = self._write_targets(enabled, statement)
+                    result, outcome, durable_index = self._write_batcher.run(
+                        sql, params, statement, spec, targets
+                    )
+                else:
+                    result, outcome, durable_index = self._broadcast_under_scope(
+                        sql, params, statement, spec, in_transaction, session_id, log_it
+                    )
             break
         if result is None:
             raise SchedulerError(
@@ -1051,6 +1252,105 @@ class RequestScheduler:
             # still-in-flight read cannot store a pre-write result.
             self._cache.invalidate_tables(statement.write_tables)
         return result, outcome, durable_index
+
+    def _batch_eligible(
+        self, statement: ClassifiedStatement, in_transaction: bool, log_it: bool
+    ) -> bool:
+        """Whether this statement may ride a WriteBatcher round.
+
+        Only plain logged auto-commit DML qualifies: transaction control
+        and in-transaction statements carry per-session state, DDL runs
+        placement/PK-cache side effects the batch round does not
+        replicate, and an unknown table set means an exclusive scope —
+        which cannot coexist with the sibling scopes a batch implies.
+        Checked *after* scope acquisition, so the ``_open_transactions``
+        read is stable: BEGIN takes the exclusive mode, which drains
+        every held scope first."""
+        if self._write_batcher is None or in_transaction or not log_it:
+            return False
+        if statement.command not in _KEYABLE_COMMANDS:
+            return False
+        if not statement.write_tables or statement.lock_tables is None:
+            return False
+        if statement.referenced_tables:
+            return False
+        with self._state_lock:
+            return self._open_transactions == 0
+
+    def _execute_batch_round(self, items: List[_BatchItem]) -> None:
+        """Execute one coalesced batch of auto-commit writes: one
+        broadcast round trip carrying every statement, one batch log
+        append, per-statement accounting identical to the scalar path.
+
+        Called by the WriteBatcher leader. Every item's writer still
+        holds its own lock scope (pairwise disjoint), all items resolved
+        the same target replica set, and eligibility excluded DDL /
+        transaction control / tx-buffered writes — so none of the scalar
+        path's DROP-unpin, PK-invalidate or tx-buffer branches apply."""
+        if not items:
+            return
+        targets = items[0].targets
+        cache = self._cache
+        if cache is not None:
+            # Pre-invalidate, as in the scalar path: entries cached
+            # against the pre-write state must not survive the write.
+            for item in items:
+                cache.invalidate_tables(item.statement.write_tables)
+        batch = self._broadcaster.broadcast_batch(
+            targets, [(item.sql, item.params) for item in items]
+        )
+        per_statement = [batch.per_statement(i) for i in range(len(items))]
+        for outcome in per_statement:
+            # Same divergence rule as the scalar path, per statement: a
+            # statement fault everywhere blames the statement; a strict
+            # subset (or any replica fault) fails the backend.
+            any_succeeded = bool(outcome.succeeded)
+            for failure in outcome.failed:
+                if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
+                    failure.backend.mark_failed()
+        with self._state_lock:
+            appended: List[Optional[LogEntry]] = [None] * len(items)
+            to_append = [
+                index
+                for index, outcome in enumerate(per_statement)
+                if outcome.succeeded
+            ]
+            if to_append:
+                entries = self._recovery_log.append_batch(
+                    (
+                        items[index].sql,
+                        items[index].params,
+                        items[index].statement.write_tables,
+                    )
+                    for index in to_append
+                )
+                for index, entry in zip(to_append, entries):
+                    appended[index] = entry
+            last_index = self._recovery_log.last_index
+            # Every advancement before any clamp: a backend that applied
+            # statement 1 but failed statement 3 must *end* clamped below
+            # entry 3 — the reverse order could leave its checkpoint past
+            # an entry it missed.
+            for index, outcome in enumerate(per_statement):
+                entry = appended[index]
+                for success in outcome.succeeded:
+                    success.backend.advance_checkpoint(
+                        last_index, entry.table_seqs if entry is not None else None
+                    )
+            for index, outcome in enumerate(per_statement):
+                entry = appended[index]
+                if entry is None:
+                    continue
+                for failure in outcome.failed:
+                    failure.backend.limit_checkpoint(entry.index - 1)
+        if cache is not None:
+            for item in items:
+                cache.invalidate_tables(item.statement.write_tables)
+        for index, item in enumerate(items):
+            item.outcome = per_statement[index]
+            item.result = per_statement[index].result
+            entry = appended[index]
+            item.durable_index = entry.index if entry is not None else None
 
     def _account_broadcast_locked_scope(
         self,
@@ -1232,6 +1532,7 @@ class RequestScheduler:
             # Alias: operators look for the pool size under "broadcast".
             "broadcast": broadcast_stats,
             "group_commit": self._group_commit.stats() if self._group_commit else None,
+            "write_batching": self._write_batcher.stats() if self._write_batcher else None,
             "query_cache": cache.stats() if cache is not None else None,
             "recovery_log_entries": self._recovery_log.last_index,
             "recovery_log": self._recovery_log.stats(),

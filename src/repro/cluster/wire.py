@@ -40,6 +40,14 @@ CLUSTER_PROTOCOL_VERSION = 3
 #: First protocol version supporting session multiplexing / pipelining.
 MULTIPLEX_MIN_VERSION = 3
 
+#: ERROR code for admission-control rejections: the controller's
+#: worker pool is saturated past its configured bounds and the EXECUTE
+#: was refused *before* reaching a backend, so the statement never ran
+#: and the driver may safely retry it — with backoff — even inside a
+#: transaction. Unknown to v2-era drivers, which surface it as a plain
+#: OperationalError (still correct: the statement did not execute).
+ERROR_SERVER_BUSY = "server_busy"
+
 #: Correlation field sanity bound: a request_id is a small positive
 #: integer assigned per channel; anything outside this range is a
 #: malformed frame, not a plausible 10k-pipelined client.

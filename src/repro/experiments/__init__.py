@@ -27,6 +27,15 @@ E13   Request-scheduling subsystem (policy matrix :mod:`repro.experiments.policy
       + parallel write broadcast; docs/scheduling.md)
 E14   Partial replication (RAIDb-0/2 placement,   :mod:`repro.experiments.partial_replication`
       subset-dump recovery; docs/placement.md)
+E15   Conflict-aware parallel write scheduling    :mod:`repro.experiments.concurrency`
+      (+ E15b divergence; docs/scheduling.md)
+E16   Key-level locking (+ E16b divergence;       :mod:`repro.experiments.concurrency`
+      docs/scheduling.md)
+E17   Multiplexed session scaling + group commit  :mod:`repro.experiments.concurrency`
+      (E17b; docs/wire.md)
+E18   Cross-session write batching (+ E18b        :mod:`repro.experiments.concurrency`
+      divergence, E18c admission control;
+      docs/scheduling.md)
 ====  ==========================================  =================================
 """
 

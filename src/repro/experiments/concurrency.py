@@ -36,6 +36,16 @@ the fixed worker pool instead of growing one thread per connection.
 ``run_group_commit_experiment`` is its durability half: concurrent
 auto-commit writers on a real fsyncing ``FileLogStore``, per-statement
 fsync vs one fsync per commit group.
+
+``run_write_batching_experiment`` (E18) measures cross-session write
+batching (docs/scheduling.md): concurrent disjoint auto-commit writers
+on round-trip-charged backends, one broadcast round trip per statement
+vs one per coalesced batch. ``run_batched_divergence_experiment`` is its
+safety half (batched writes racing disable/resync cycles must still
+converge), and ``run_admission_experiment`` drives a small worker pool
+past its configured in-flight bound to show saturation degrades into
+retryable ``server_busy`` rejections with bounded client latency — not
+collapse — and zero lost writes.
 """
 
 from __future__ import annotations
@@ -695,6 +705,378 @@ def run_session_scaling_experiment(
         f"~{threads_per_session:.1f} threads per session "
         f"(~{int(threads_per_session * sessions)} at {sessions} sessions)"
     )
+    return result
+
+
+class _RoundTripConnection:
+    """Synthetic backend connection charging one fixed latency per *call*
+    — per statement through ``cursor.execute``, per batch through the
+    native ``execute_batch`` — so N coalesced statements cost one network
+    round trip, exactly the economics write batching exploits.
+
+    Declares DB-API ``threadsafety`` level 1 (threads may not share the
+    connection): the per-backend connection lock serialises concurrent
+    per-statement round trips, as it would against a real single
+    connection. ``counters`` is shared with the experiment so round
+    trips survive reconnects."""
+
+    threadsafety = 1
+
+    def __init__(self, latency_s: float, counters: Dict[str, int]) -> None:
+        self._latency_s = latency_s
+        self._counters = counters
+        self.closed = False
+        self.driver_info = {"name": "roundtrip-sim"}
+
+    def _charge(self, statements: int) -> None:
+        self._counters["round_trips"] = self._counters.get("round_trips", 0) + 1
+        self._counters["statements"] = self._counters.get("statements", 0) + statements
+        if self._latency_s > 0:
+            time.sleep(self._latency_s)
+
+    def cursor(self) -> "_RoundTripCursor":
+        return _RoundTripCursor(self)
+
+    def execute_batch(
+        self, pairs: List[Tuple[str, Dict[str, Any]]]
+    ) -> List[Tuple[List[str], List[Any], int]]:
+        self._charge(len(pairs))
+        return [(["ok"], [[1]], 1) for _ in pairs]
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class _RoundTripCursor:
+    description = [("ok", None, None, None, None, None, None)]
+    rowcount = 1
+
+    def __init__(self, connection: _RoundTripConnection) -> None:
+        self._connection = connection
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> None:
+        self._connection._charge(1)
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        return [(1,)]
+
+    def close(self) -> None:
+        pass
+
+
+def run_write_batching_experiment(
+    writers: int = 8,
+    writes_per_writer: int = 20,
+    round_trip_ms: float = 2.0,
+) -> ExperimentResult:
+    """E18 — cross-session write batching: coalesced broadcast round trips.
+
+    Concurrent disjoint-table auto-commit writers against one backend
+    whose connection charges a fixed latency per round trip (see
+    :class:`_RoundTripConnection`). Per-statement dispatch pays one round
+    trip per write, serialised on the connection; with write batching the
+    WriteBatcher coalesces whatever queued while the previous round was
+    in flight into one ``execute_batch`` round trip — batching emerges
+    from the round-trip latency itself, exactly as group-commit batching
+    emerges from fsync latency."""
+    result = ExperimentResult(
+        experiment_id="E18",
+        title="Cross-session write batching: one round trip per batch, not per statement",
+        parameters={
+            "writers": writers,
+            "writes_per_writer": writes_per_writer,
+            "round_trip_ms": round_trip_ms,
+        },
+    )
+    latency_s = round_trip_ms / 1000.0
+    timings: Dict[str, float] = {}
+    for mode, batching in (("per-statement", False), ("batched", True)):
+        counters: Dict[str, int] = {}
+        backends = [Backend("sim1", lambda: _RoundTripConnection(latency_s, counters))]
+        scheduler = RequestScheduler(
+            backends,
+            RecoveryLog(),
+            broadcaster=WriteBroadcaster(parallel=True, max_workers=writers),
+            lock_manager=LockManager(conflict_aware=True),
+            write_batching=batching,
+        )
+        try:
+            wall, errors = _run_writers(
+                scheduler, writers, writes_per_writer, lambda i: f"wb_w{i}"
+            )
+            if errors:
+                raise errors[0]
+            writes = writers * writes_per_writer
+            # The PK probe per table costs one round trip too; count only
+            # the write statements when reporting coalescing.
+            round_trips = counters.get("round_trips", 0)
+            row: Dict[str, Any] = {
+                "mode": mode,
+                "writes": writes,
+                "wall_s": round(wall, 4),
+                "writes_per_s": round(writes / wall, 1) if wall > 0 else "n/a",
+                "round_trips": round_trips,
+                "writes_per_round_trip": round(writes / round_trips, 2)
+                if round_trips
+                else "n/a",
+                "log_entries": scheduler.stats()["recovery_log_entries"],
+            }
+            batch_stats = scheduler.stats()["write_batching"]
+            if batch_stats is not None:
+                row["batch_rounds"] = batch_stats["rounds"]
+                row["avg_batch_size"] = batch_stats["avg_batch_size"]
+                row["max_batch_size"] = batch_stats["max_batch_size"]
+            result.add_row(**row)
+            timings[mode] = wall
+        finally:
+            scheduler.close()
+    speedup = (
+        timings["per-statement"] / timings["batched"] if timings.get("batched") else 0.0
+    )
+    result.parameters["speedup_x"] = round(speedup, 2)
+    result.add_note(
+        f"{writers} disjoint auto-commit writers are {speedup:.1f}x faster when "
+        f"concurrent writes coalesce into batched round trips "
+        f"({round_trip_ms}ms per round trip), with every reply still held until "
+        "its write is applied and logged"
+    )
+    return result
+
+
+def run_batched_divergence_experiment(
+    backends: int = 4,
+    writers: int = 4,
+    writes_per_writer: int = 30,
+    rows_per_table: int = 5,
+) -> ExperimentResult:
+    """E18b — the safety half of :func:`run_write_batching_experiment`:
+    batched disjoint writers race disable/resync cycles on a real hash-2
+    cluster (the E15b harness with write batching explicitly on); every
+    write must survive into the log, every replica must converge, and
+    per-table log order must stay strictly increasing."""
+    result = ExperimentResult(
+        experiment_id="E18b",
+        title="Replica convergence under batched writers racing a resync",
+        parameters={
+            "backends": backends,
+            "writers": writers,
+            "writes_per_writer": writes_per_writer,
+        },
+    )
+    env = build_cluster(
+        replicas=backends,
+        controllers=1,
+        controller_options={"placement": "hash:2", "write_batching": True},
+    )
+    try:
+        controller = env.controllers[0]
+        scheduler = controller.scheduler
+        for writer_index in range(writers):
+            scheduler.execute(
+                f"CREATE TABLE batched_w{writer_index} "
+                "(id INTEGER NOT NULL PRIMARY KEY, v INTEGER)"
+            )
+            for row in range(rows_per_table):
+                scheduler.execute(
+                    f"INSERT INTO batched_w{writer_index} (id, v) VALUES ($i, $v)",
+                    {"i": row, "v": 0},
+                )
+        base_index = controller.recovery_log.last_index
+
+        resync_errors: List[Exception] = []
+        stop = threading.Event()
+
+        def resync_cycler() -> None:
+            # The resync takes the exclusive lock, draining in-flight
+            # batch rounds (their writers hold lock scopes for the whole
+            # round) before replaying — racing it is the point.
+            try:
+                while not stop.is_set():
+                    controller.disable_backend("db1")
+                    time.sleep(0.002)
+                    controller.enable_backend("db1")
+                    time.sleep(0.002)
+            except Exception as exc:  # noqa: BLE001
+                resync_errors.append(exc)
+
+        cycler = threading.Thread(target=resync_cycler, name="resync-cycler")
+        cycler.start()
+        wall, errors = _run_writers(
+            scheduler, writers, writes_per_writer, lambda i: f"batched_w{i}"
+        )
+        stop.set()
+        cycler.join(timeout=30.0)
+        if errors:
+            raise errors[0]
+        if resync_errors:
+            raise resync_errors[0]
+
+        entries = controller.recovery_log.entries_after(base_index)
+        per_table_seqs: Dict[str, List[int]] = {}
+        for entry in entries:
+            for table, seq in entry.table_seqs.items():
+                per_table_seqs.setdefault(table, []).append(seq)
+        per_table_order_ok = all(
+            seqs == sorted(seqs) and len(seqs) == len(set(seqs))
+            for seqs in per_table_seqs.values()
+        )
+        checksums = cluster_checksums(env)
+        converged = all(
+            len(set(copies.values())) == 1 for copies in checksums.values()
+        )
+        batch_stats = scheduler.stats()["write_batching"]
+        result.add_row(
+            writes=writers * writes_per_writer,
+            logged=len(entries),
+            all_writes_logged=len(entries) == writers * writes_per_writer,
+            wall_s=round(wall, 4),
+            replicas_converged=converged,
+            per_table_order_ok=per_table_order_ok,
+            batch_rounds=batch_stats["rounds"] if batch_stats else 0,
+            batched_statements=batch_stats["batched_statements"] if batch_stats else 0,
+        )
+        result.add_note(
+            "every hosting replica holds identical rows after batched disjoint "
+            "writers raced repeated disable/resync cycles; no write was lost to "
+            "a batch round and per-table log sequences stay strictly increasing"
+        )
+    finally:
+        env.close()
+    return result
+
+
+def run_admission_experiment(
+    clients: int = 24,
+    writes_per_client: int = 15,
+    worker_pool_size: int = 4,
+    max_in_flight: int = 8,
+) -> ExperimentResult:
+    """E18c — admission control under saturation: a client herd several
+    times the controller's in-flight bound hammers one table through the
+    multiplexed front end. Excess EXECUTEs are refused with retryable
+    ``server_busy`` (never queued unboundedly), drivers back off and
+    retry, and the run must show bounded client-observed latency and zero
+    lost writes — saturation degrades, it does not collapse."""
+    result = ExperimentResult(
+        experiment_id="E18c",
+        title="Admission control: bounded latency and no lost writes at saturation",
+        parameters={
+            "clients": clients,
+            "writes_per_client": writes_per_client,
+            "worker_pool_size": worker_pool_size,
+            "max_in_flight_statements": max_in_flight,
+        },
+    )
+    env = build_cluster(
+        replicas=2,
+        controllers=1,
+        controller_options={
+            "worker_pool_size": worker_pool_size,
+            "max_in_flight_statements": max_in_flight,
+            "max_session_queue_depth": 4,
+            "write_batching": True,
+        },
+    )
+    try:
+        controller = env.controllers[0]
+        scheduler = controller.scheduler
+        scheduler.execute(
+            "CREATE TABLE adm (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)"
+        )
+        for row in range(clients):
+            scheduler.execute(
+                "INSERT INTO adm (id, v) VALUES ($i, $v)", {"i": row, "v": -1}
+            )
+        base_index = controller.recovery_log.last_index
+        driver = ClusterDriverRuntime(name="admission-herd")
+        connections = [
+            driver.connect(
+                env.client_url(),
+                network=env.network,
+                busy_retries=10_000,
+                busy_backoff_ms=1.0,
+                busy_backoff_cap_ms=20.0,
+            )
+            for _ in range(clients)
+        ]
+        latencies: List[float] = []
+        latency_lock = threading.Lock()
+        errors: List[Exception] = []
+        barrier = threading.Barrier(clients + 1)
+
+        def client_body(client_index: int) -> None:
+            connection = connections[client_index]
+            cursor = connection.cursor()
+            local: List[float] = []
+            barrier.wait()
+            try:
+                for write_index in range(writes_per_client):
+                    started = time.perf_counter()
+                    cursor.execute(
+                        "UPDATE adm SET v = $v WHERE id = $i",
+                        {"v": write_index, "i": client_index},
+                    )
+                    local.append((time.perf_counter() - started) * 1000.0)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            with latency_lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=client_body, args=(index,), name=f"client-{index}")
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        writes = clients * writes_per_client
+        logged = len(controller.recovery_log.entries_after(base_index))
+        checksums = cluster_checksums(env)
+        converged = all(
+            len(set(copies.values())) == 1 for copies in checksums.values()
+        )
+        rows_ok = True
+        for engine in env.replica_engines:
+            session = engine.open_session(env.database_name)
+            rows = sorted(session.execute("SELECT id, v FROM adm").rows)
+            if rows != [(i, writes_per_client - 1) for i in range(clients)]:
+                rows_ok = False
+        front_end = controller.stats()["front_end"]
+        retries = sum(connection.stats()["server_busy_retries"] for connection in connections)
+        backoff_s = sum(
+            connection.stats()["busy_backoff_seconds"] for connection in connections
+        )
+        for connection in connections:
+            connection.close()
+        result.add_row(
+            writes=writes,
+            logged=logged,
+            all_writes_logged=logged == writes,
+            wall_s=round(wall, 4),
+            p50_ms=round(_percentile(latencies, 0.50), 3),
+            p99_ms=round(_percentile(latencies, 0.99), 3),
+            server_busy_rejections=front_end["server_busy_rejections"],
+            server_busy_retries=retries,
+            busy_backoff_s=round(backoff_s, 4),
+            in_flight_peak=front_end["in_flight_peak"],
+            replicas_converged=converged,
+            final_rows_ok=rows_ok,
+        )
+        result.add_note(
+            f"{clients} clients against max_in_flight_statements={max_in_flight}: "
+            "excess statements are refused with retryable server_busy, the "
+            "in-flight peak respects the bound, and every write survives — "
+            "bounded degradation instead of collapse"
+        )
+    finally:
+        env.close()
     return result
 
 
