@@ -14,9 +14,8 @@ This package implements the pieces those case studies exercise:
 - :mod:`repro.cluster.recovery` — the durable recovery subsystem:
   pluggable log stores (in-memory / segmented JSONL files), named
   checkpoints with compaction, dump-based backend cold start and the
-  heartbeat failure detector (see docs/recovery.md);
-  :mod:`repro.cluster.recovery_log` remains as the compatibility import
-  path for the log itself,
+  heartbeat failure detector (see docs/recovery.md) — the old
+  ``repro.cluster.recovery_log`` compatibility shim has been removed,
 - :mod:`repro.cluster.backend` — backend management (enable / disable /
   checkpoint / resync), with a pluggable connection factory so backends
   can be reached through a legacy driver *or* through a Drivolution

@@ -17,6 +17,7 @@ compare both modes on latency-injected backends.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -140,8 +141,15 @@ class WriteBroadcaster:
         return executor
 
     def broadcast(
-        self, backends: List[Backend], sql: str, params: Optional[Dict[str, Any]] = None
+        self,
+        backends: List[Backend],
+        sql: str,
+        params: Optional[Dict[str, Any]] = None,
+        trace=None,
     ) -> BroadcastOutcome:
+        """``trace`` (an optional :class:`repro.obs.Trace`) receives one
+        ``replica:<name>`` child span per backend under the caller's
+        ``execute`` span; None (the default) times nothing."""
         with self._lock:
             self.broadcasts += 1
             self.statements_dispatched += len(backends)
@@ -154,10 +162,11 @@ class WriteBroadcaster:
             )
             if executor is None:
                 return BroadcastOutcome(
-                    [self._run_one(backend, sql, params) for backend in backends]
+                    [self._run_one(backend, sql, params, trace) for backend in backends]
                 )
             futures = [
-                executor.submit(self._run_one, backend, sql, params) for backend in backends
+                executor.submit(self._run_one, backend, sql, params, trace)
+                for backend in backends
             ]
             return BroadcastOutcome([future.result() for future in futures])
         finally:
@@ -168,10 +177,12 @@ class WriteBroadcaster:
         self,
         backends: List[Backend],
         statements: List[Tuple[str, Optional[Dict[str, Any]]]],
+        trace=None,
     ) -> BatchBroadcastOutcome:
         """Execute an ordered batch of statements on every target backend
         — **one task per replica carrying the whole batch**, so the
-        round-trip cost of N coalesced writes equals that of one."""
+        round-trip cost of N coalesced writes equals that of one.
+        ``trace`` (the batch leader's) gets per-replica child spans."""
         with self._lock:
             self.broadcasts += 1  # one fan-out round trip, however many statements
             self.batch_broadcasts += 1
@@ -186,11 +197,11 @@ class WriteBroadcaster:
             )
             if executor is None:
                 per_backend = [
-                    self._run_batch_one(backend, statements) for backend in backends
+                    self._run_batch_one(backend, statements, trace) for backend in backends
                 ]
             else:
                 futures = [
-                    executor.submit(self._run_batch_one, backend, statements)
+                    executor.submit(self._run_batch_one, backend, statements, trace)
                     for backend in backends
                 ]
                 per_backend = [future.result() for future in futures]
@@ -218,8 +229,15 @@ class WriteBroadcaster:
             }
 
     @staticmethod
-    def _run_one(backend: Backend, sql: str, params: Optional[Dict[str, Any]]) -> BackendOutcome:
+    def _run_one(
+        backend: Backend,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        trace=None,
+    ) -> BackendOutcome:
         backend.begin_request()
+        started = time.monotonic() if trace is not None else 0.0
+        outcome: Optional[BackendOutcome] = None
         try:
             result = backend.execute(sql, params)
         except Exception as exc:  # noqa: BLE001 - aggregated per backend
@@ -232,17 +250,34 @@ class WriteBroadcaster:
             # A non-DriverError is a replica fault by definition (it is
             # not one of STATEMENT_FAULTS), so the scheduler fails the
             # backend exactly as for a dead connection.
-            return BackendOutcome(backend=backend, error=exc)
+            outcome = BackendOutcome(backend=backend, error=exc)
+            return outcome
         finally:
             backend.finish_request()
+            if trace is not None:
+                # The span name carries the backend; the error attr only
+                # appears on failure so the common-case record stays a
+                # bare [name, start, duration] on the wire.
+                if outcome is None:
+                    trace.record(
+                        f"replica:{backend.name}", started, time.monotonic(),
+                        parent="execute",
+                    )
+                else:
+                    trace.record(
+                        f"replica:{backend.name}", started, time.monotonic(),
+                        parent="execute", error=True,
+                    )
         return BackendOutcome(backend=backend, result=result)
 
     @staticmethod
     def _run_batch_one(
         backend: Backend,
         statements: List[Tuple[str, Optional[Dict[str, Any]]]],
+        trace=None,
     ) -> List[BackendOutcome]:
         backend.begin_request()
+        started = time.monotonic() if trace is not None else 0.0
         try:
             pairs = backend.execute_batch(statements)
         except Exception as exc:  # noqa: BLE001 - aggregated per backend
@@ -252,6 +287,13 @@ class WriteBroadcaster:
             return [BackendOutcome(backend=backend, error=exc) for _ in statements]
         finally:
             backend.finish_request()
+            if trace is not None:
+                trace.record(
+                    f"replica:{backend.name}",
+                    started,
+                    time.monotonic(),
+                    parent="execute",
+                )
         return [
             BackendOutcome(backend=backend, result=result, error=error)
             for result, error in pairs

@@ -49,8 +49,10 @@ from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
     ERROR_SERVER_BUSY,
     MULTIPLEX_MIN_VERSION,
+    TRACE_MIN_VERSION,
     ClusterMessageType,
     ClusterWireError,
+    attach_trace,
     correlate,
     make_connect_ok,
     make_error,
@@ -58,6 +60,7 @@ from repro.cluster.wire import (
     make_result,
     make_session_open_ok,
 )
+from repro.obs import MetricsRegistry, SlowQueryLog, Trace, render_json, render_prometheus
 from repro.core.constants import DEFAULT_LEASE_TIME_MS, ExpirationPolicy, RenewPolicy
 from repro.core.package import DriverPackage
 from repro.core.registry import DriverPermission
@@ -180,6 +183,19 @@ class ControllerConfig:
     #: pings again (falls back to a dump-based cold start when the log
     #: was compacted past their checkpoint).
     auto_resync: bool = True
+    #: Per-statement tracing (see docs/observability.md): every statement
+    #: gets a Trace whose stage spans feed the latency histogram and the
+    #: slow-query log, and v3 clients that negotiated tracing get the
+    #: span list back on their RESULT/ERROR frames. Off (the default)
+    #: keeps the statement path free of trace objects entirely.
+    tracing: bool = False
+    #: Statements faster than this never enter the slow-query log
+    #: (its fast path is then a single float compare). 0 captures
+    #: everything the capacity bound allows. Only meaningful with
+    #: ``tracing`` on.
+    slow_query_threshold_ms: float = 0.0
+    #: How many slowest-since-startup statements the slow-query log keeps.
+    slow_query_capacity: int = 32
 
 
 @dataclass
@@ -332,6 +348,26 @@ class Controller:
         self._in_flight_peak = 0
         #: EXECUTEs refused with a ``server_busy`` ERROR (either bound).
         self.server_busy_rejections = 0
+        # Observability: one registry unifies first-class instruments
+        # with every subsystem's existing stats() dict (registered as
+        # collectors, so their shapes stay untouched). The slow-query
+        # log and the latency histogram are only fed when tracing is on.
+        self.metrics = MetricsRegistry()
+        self.slow_queries = SlowQueryLog(
+            capacity=config.slow_query_capacity,
+            threshold_ms=config.slow_query_threshold_ms,
+        )
+        self._statement_latency = self.metrics.histogram(
+            "statement_latency_seconds", "End-to-end latency of traced statements"
+        )
+        self._traced_statements = self.metrics.counter(
+            "traced_statements", "Statements executed with a trace attached"
+        )
+        self.metrics.register_collector("controller", self._controller_stats)
+        self.metrics.register_collector("front_end", self._front_end_stats)
+        self.metrics.register_collector("scheduler", self.scheduler.stats)
+        self.metrics.register_collector("recovery", self._recovery_stats)
+        self.metrics.register_collector("slow_queries", self.slow_queries.stats)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -448,52 +484,133 @@ class Controller:
             reply["request_id"] = request_id
         return reply
 
-    def stats(self) -> Dict[str, Any]:
-        """Controller-level counters plus the scheduling subsystem's stats."""
+    def _controller_stats(self) -> Dict[str, Any]:
         with self._lock:
             active_sessions = len(self._sessions)
+        return {
+            "statements_served": self.statements_served,
+            "failed_statements": self.failed_statements,
+            "active_sessions": active_sessions,
+        }
+
+    def _front_end_stats(self) -> Dict[str, Any]:
+        with self._lock:
             mux_channels = len(self._mux_channels)
             in_flight = self._in_flight_statements
             in_flight_peak = self._in_flight_peak
             busy_rejections = self.server_busy_rejections
-        scheduler_stats = self.scheduler.stats()
         pool = self._worker_pool
         return {
+            "multiplexing": self.config.multiplexing,
+            "worker_pool_size": self.config.worker_pool_size,
+            "worker_threads": len(getattr(pool, "_threads", ()) or ()) if pool else 0,
+            "mux_channels": mux_channels,
+            "reader_threads": (
+                self._channel_server.handler_thread_count()
+                if self._channel_server is not None
+                else 0
+            ),
+            "group_commit": self.group_commit.stats() if self.group_commit else None,
+            "write_batching": self.config.write_batching,
+            "max_session_queue_depth": self.config.max_session_queue_depth,
+            "max_in_flight_statements": self.config.max_in_flight_statements,
+            "in_flight_statements": in_flight,
+            "in_flight_peak": in_flight_peak,
+            "server_busy_rejections": busy_rejections,
+        }
+
+    def _recovery_stats(self) -> Dict[str, Any]:
+        return {
+            "log": self.recovery_log.stats(),
+            "failure_detector": self.failure_detector.stats(),
+            "cold_starts": self.scheduler.cold_starts,
+            "durable": self.config.log_dir is not None,
+            "heartbeat_errors": self.heartbeat_errors,
+            "last_heartbeat_error": self.last_heartbeat_error,
+        }
+
+    def _obs_stats(self) -> Dict[str, Any]:
+        return {
+            "tracing": self.config.tracing,
+            "traced_statements": self._traced_statements.value,
+            "statement_latency": self._statement_latency.snapshot(),
+            "slow_queries": self.slow_queries.stats(),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Controller-level counters plus the scheduling subsystem's stats.
+
+        The sub-dicts are produced by the same callables the metrics
+        registry runs as collectors, so this view and
+        :meth:`metrics_snapshot` can never drift apart."""
+        scheduler_stats = self.scheduler.stats()
+        stats = {
             "controller_id": self.config.controller_id,
-            "statements_served": self.statements_served,
-            "failed_statements": self.failed_statements,
-            "active_sessions": active_sessions,
-            "front_end": {
-                "multiplexing": self.config.multiplexing,
-                "worker_pool_size": self.config.worker_pool_size,
-                "worker_threads": len(getattr(pool, "_threads", ()) or ()) if pool else 0,
-                "mux_channels": mux_channels,
-                "reader_threads": (
-                    self._channel_server.handler_thread_count()
-                    if self._channel_server is not None
-                    else 0
-                ),
-                "group_commit": self.group_commit.stats() if self.group_commit else None,
-                "write_batching": self.config.write_batching,
-                "max_session_queue_depth": self.config.max_session_queue_depth,
-                "max_in_flight_statements": self.config.max_in_flight_statements,
-                "in_flight_statements": in_flight,
-                "in_flight_peak": in_flight_peak,
-                "server_busy_rejections": busy_rejections,
-            },
+            "front_end": self._front_end_stats(),
             # Same object as scheduler["placement"] — surfaced top-level
             # for operators, computed once.
             "placement": scheduler_stats["placement"],
             "scheduler": scheduler_stats,
-            "recovery": {
-                "log": self.recovery_log.stats(),
-                "failure_detector": self.failure_detector.stats(),
-                "cold_starts": self.scheduler.cold_starts,
-                "durable": self.config.log_dir is not None,
-                "heartbeat_errors": self.heartbeat_errors,
-                "last_heartbeat_error": self.last_heartbeat_error,
-            },
+            "recovery": self._recovery_stats(),
+            "obs": self._obs_stats(),
         }
+        stats.update(self._controller_stats())
+        return stats
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The unified registry snapshot: instruments plus every
+        registered subsystem's stats tree."""
+        return self.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """The registry flattened to Prometheus text exposition format."""
+        return render_prometheus(self.metrics.flattened())
+
+    def metrics_json(self) -> str:
+        """The registry snapshot as stable-key-order JSON."""
+        return render_json(self.metrics_snapshot())
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _start_trace(self, message: Optional[Dict[str, Any]] = None) -> Optional[Trace]:
+        """A Trace for one statement, or None when tracing is off.
+
+        Honours the client's ``trace_id`` when the EXECUTE carried one
+        (so driver- and server-side records correlate) and marks the
+        trace ``wire_requested`` so the reply carries the spans back;
+        server-initiated traces feed only the histogram/slow log and
+        leave the reply frame untouched."""
+        if not self.config.tracing:
+            return None
+        trace_id = message.get("trace_id") if message is not None else None
+        if not isinstance(trace_id, str) or not trace_id:
+            trace_id = None
+        return Trace(trace_id=trace_id, wire_requested=trace_id is not None)
+
+    def _finish_trace(
+        self, trace: Optional[Trace], sql: str, reply: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Seal a statement's trace: histogram + slow-query log, and the
+        span list onto the reply frame iff the client asked for it."""
+        if trace is None:
+            return reply
+        total = trace.finish()
+        self._traced_statements.inc()
+        self._statement_latency.observe(total)
+        # stage_seconds is passed as a callable: the slow log only
+        # evaluates it for statements that actually make the table.
+        self.slow_queries.record(
+            sql,
+            total,
+            stages=trace.stage_seconds,
+            trace_id=trace.trace_id,
+            **trace.attrs,
+        )
+        if trace.wire_requested:
+            # Pre-serialised: one flat string through the frame codec
+            # instead of a per-span tree walk (see Trace.to_wire_json).
+            attach_trace(reply, trace.to_wire_json())
+        return reply
 
     # -- backends ----------------------------------------------------------------
 
@@ -808,6 +925,11 @@ class Controller:
             and client_version >= MULTIPLEX_MIN_VERSION
             and self._worker_pool is not None
         )
+        grant_tracing = bool(
+            connect.get("trace")
+            and self.config.tracing
+            and client_version >= TRACE_MIN_VERSION
+        )
         if grant_multiplexing:
             # No base session: logical sessions arrive via SESSION_OPEN.
             # The handshake's session_id names the channel for tracing.
@@ -817,6 +939,7 @@ class Controller:
                     client_version,
                     uuid.uuid4().hex,
                     multiplexing=True,
+                    tracing=grant_tracing,
                 )
             )
             self._serve_mux_channel(channel)
@@ -826,7 +949,14 @@ class Controller:
         with self._lock:
             self._sessions[session_id] = session
         try:
-            channel.send(make_connect_ok(self.config.controller_id, client_version, session_id))
+            channel.send(
+                make_connect_ok(
+                    self.config.controller_id,
+                    client_version,
+                    session_id,
+                    tracing=grant_tracing,
+                )
+            )
             self._serve_session(channel, session)
         finally:
             with self._lock:
@@ -843,7 +973,13 @@ class Controller:
                 except (SchedulerError, DriverError):
                     pass
 
-    def _execute_for_session(self, session: SessionContext, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _execute_for_session(
+        self,
+        session: SessionContext,
+        sql: str,
+        params: Dict[str, Any],
+        trace: Optional[Trace] = None,
+    ) -> Dict[str, Any]:
         """Run one statement for a session and build the reply frame.
 
         Shared by the dedicated (v2) loop and the multiplexed workers;
@@ -852,7 +988,12 @@ class Controller:
         per-session FIFO), so SessionContext needs no lock. The
         controller-wide counters are shared across workers and bump
         under ``_lock``."""
-        statement = classify(sql)
+        if trace is None:
+            statement = classify(sql)
+        else:
+            with trace.span("classify"):
+                statement = classify(sql)
+            trace.annotate(command=statement.command, session=session.session_id)
         if (
             self.scheduler.resync_in_progress
             and self.peers()
@@ -875,6 +1016,7 @@ class Controller:
                 params,
                 in_transaction=session.in_transaction,
                 session_id=session.session_id,
+                trace=trace,
             )
         except (SchedulerError, DriverError) as exc:
             session.failed += 1
@@ -911,17 +1053,21 @@ class Controller:
             # statements are blocked on, and refusing its COMMIT while
             # those blocked statements fill every slot would deadlock
             # the controller against itself.
-            if session.in_transaction:
-                reply = self._execute_for_session(session, sql, params)
-            elif not self._admit_statement():
+            in_transaction = session.in_transaction
+            if not in_transaction and not self._admit_statement():
                 reply = self._busy_reply(
                     f"max_in_flight_statements={self.config.max_in_flight_statements}"
                 )
             else:
+                # Rejected statements never ran, so they are not traced;
+                # everything that reaches the scheduler is.
+                trace = self._start_trace(message)
                 try:
-                    reply = self._execute_for_session(session, sql, params)
+                    reply = self._execute_for_session(session, sql, params, trace)
                 finally:
-                    self._release_statement()
+                    if not in_transaction:
+                        self._release_statement()
+                reply = self._finish_trace(trace, sql, reply)
             try:
                 channel.send(reply)
             except TransportError:
@@ -1071,7 +1217,15 @@ class Controller:
                 ),
             )
             return
-        if not self._mux_enqueue(state, msession, (request_id, sql, params, holds_slot)):
+        # The queue-wait span opens on this reader thread and closes on
+        # the worker that dequeues the item — exactly the time the
+        # statement sat in the session FIFO behind its predecessors.
+        trace = self._start_trace(message)
+        if trace is not None:
+            # No session attr: _execute_for_session annotates the trace
+            # with the session id, so the wire span stays a bare record.
+            trace.begin("queue")
+        if not self._mux_enqueue(state, msession, (request_id, sql, params, holds_slot, trace)):
             # The session closed between the lookup and the enqueue (its
             # close rode the FIFO); the admitted slot must not leak.
             if holds_slot:
@@ -1114,9 +1268,11 @@ class Controller:
             if item is _CLOSE_SESSION:
                 self._finish_mux_session(state, msession)
             else:
-                request_id, sql, params, holds_slot = item
+                request_id, sql, params, holds_slot, trace = item
+                if trace is not None:
+                    trace.end("queue")
                 try:
-                    reply = self._execute_for_session(msession.context, sql, params)
+                    reply = self._execute_for_session(msession.context, sql, params, trace)
                 except Exception as exc:  # noqa: BLE001 - a worker must never die silently
                     reply = make_error("internal_error", str(exc))
                 finally:
@@ -1124,6 +1280,7 @@ class Controller:
                     # succeeded, failed, or raised.
                     if holds_slot:
                         self._release_statement()
+                reply = self._finish_trace(trace, sql, reply)
                 reply["session_id"] = msession.context.session_id
                 reply["request_id"] = request_id
                 self._mux_send(state, reply)

@@ -31,6 +31,7 @@ from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
     ERROR_SERVER_BUSY,
     MULTIPLEX_MIN_VERSION,
+    TRACE_MIN_VERSION,
     ClusterMessageType,
     make_connect,
     make_execute,
@@ -90,12 +91,23 @@ class MultiplexedChannel:
     reader threads once clients are gone).
     """
 
-    def __init__(self, channel: Channel, host: str, controller_id: str, key: Tuple[Any, ...]) -> None:
+    def __init__(
+        self,
+        channel: Channel,
+        host: str,
+        controller_id: str,
+        key: Tuple[Any, ...],
+        tracing: bool = False,
+    ) -> None:
         self._channel = channel
         self.host = host
         self.controller_id = controller_id
         #: Registry key, used by the runtime to evict/release the link.
         self.key = key
+        #: Whether the controller granted tracing on this channel
+        #: (``tracing=True`` in the CONNECT_OK) — sessions that want
+        #: spans back may then send a ``trace_id`` per EXECUTE.
+        self.tracing = tracing
         self._send_lock = threading.Lock()
         self._lock = threading.Lock()
         self._pending: Dict[Tuple[str, int], _MuxPending] = {}
@@ -161,12 +173,20 @@ class MultiplexedChannel:
             raise
         return pending
 
-    def submit(self, session_id: str, sql: str, params: Optional[Dict[str, Any]]) -> _MuxPending:
+    def submit(
+        self,
+        session_id: str,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        trace_id: Optional[str] = None,
+    ) -> _MuxPending:
         """Fire one statement without waiting — the pipelining primitive."""
         request_id = next(self._request_ids)
         return self._send_correlated(
             (session_id, request_id),
-            make_execute(sql, params, session_id=session_id, request_id=request_id),
+            make_execute(
+                sql, params, session_id=session_id, request_id=request_id, trace_id=trace_id
+            ),
         )
 
     @staticmethod
@@ -179,9 +199,14 @@ class MultiplexedChannel:
         return reply
 
     def request(
-        self, session_id: str, sql: str, params: Optional[Dict[str, Any]], timeout: float = 30.0
+        self,
+        session_id: str,
+        sql: str,
+        params: Optional[Dict[str, Any]],
+        timeout: float = 30.0,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        return self.wait(self.submit(session_id, sql, params), timeout=timeout)
+        return self.wait(self.submit(session_id, sql, params, trace_id=trace_id), timeout=timeout)
 
     # -- logical sessions ----------------------------------------------------------
 
@@ -332,6 +357,23 @@ class ClusterConnection(Connection):
             options.get("multiplexing"), default=True
         )
         self._mux_channels_per_host = max(1, int(options.get("mux_channels_per_host", 1)))
+        # Tracing is opt-in (``trace=true`` in the URL options or connect
+        # kwargs) and negotiated like multiplexing: without the
+        # controller's ``tracing`` grant every frame stays untraced.
+        self._want_trace = driver.protocol_version >= TRACE_MIN_VERSION and _option_enabled(
+            options.get("trace"), default=False
+        )
+        self._tracing = False
+        #: Most recent traced statement: ``{"trace_id", "latency_s",
+        #: "spans"}`` with the server's span payload in wire form (see
+        #: ``repro.obs.Trace.spans_from_wire`` to rehydrate).
+        self.last_trace: Optional[Dict[str, Any]] = None
+        self.traced_statements = 0
+        # Per-statement trace ids are a connection-unique prefix plus a
+        # counter: as unique as a fresh uuid4 per statement, without
+        # paying uuid generation on every traced execute.
+        self._trace_id_prefix = uuid.uuid4().hex[:16]
+        self._trace_seq = 0
         self._connect_to_any()
 
     # -- connection establishment with failover -----------------------------------
@@ -367,6 +409,7 @@ class ClusterConnection(Connection):
         self._session_id = session_id
         self._controller_id = link.controller_id
         self._current_host = host
+        self._tracing = self._want_trace and link.tracing
 
     def _connect_to_any(self, exclude: Optional[str] = None) -> None:
         self._detach()
@@ -410,6 +453,7 @@ class ClusterConnection(Connection):
                                 name: str(value) for name, value in self._options.items()
                             },
                             multiplex=self._want_mux,
+                            trace=self._want_trace,
                         )
                     )
                     reply = channel.recv(timeout=10.0)
@@ -430,7 +474,11 @@ class ClusterConnection(Connection):
                     continue
                 if self._want_mux and reply.get("multiplexing"):
                     link = MultiplexedChannel(
-                        channel, host, str(reply.get("controller_id", host)), key
+                        channel,
+                        host,
+                        str(reply.get("controller_id", host)),
+                        key,
+                        tracing=bool(reply.get("tracing")),
                     )
                     try:
                         session_id = link.open_session()
@@ -448,6 +496,7 @@ class ClusterConnection(Connection):
                 self._channel = channel
                 self._controller_id = str(reply.get("controller_id", host))
                 self._current_host = host
+                self._tracing = self._want_trace and bool(reply.get("tracing"))
                 return
             finally:
                 if forming:
@@ -507,20 +556,46 @@ class ClusterConnection(Connection):
             raise OperationalError("unreachable")  # pragma: no cover
 
     def _execute_once(self, sql: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        # On a tracing-granted channel every statement carries a fresh
+        # trace_id; the reply's span list (plus the round-trip latency
+        # observed right here) lands in ``last_trace``. Untraced
+        # connections skip all of it — no id, no timing, v2-identical
+        # frames.
+        if self._tracing:
+            self._trace_seq += 1
+            trace_id = f"{self._trace_id_prefix}-{self._trace_seq:x}"
+            started = time.monotonic()
+        else:
+            trace_id = None
+            started = 0.0
         if self._mux_link is not None:
             assert self._session_id is not None
             try:
-                reply = self._mux_link.request(self._session_id, sql, params, timeout=30.0)
+                reply = self._mux_link.request(
+                    self._session_id, sql, params, timeout=30.0, trace_id=trace_id
+                )
             except TransportError as exc:
                 self._driver._evict_mux_link(self._mux_link)
                 raise OperationalError(f"controller connection lost: {exc}") from exc
-            return self._interpret_reply(reply)
-        assert self._channel is not None
-        try:
-            self._channel.send(make_execute(sql, params))
-            reply = self._channel.recv(timeout=30.0)
-        except TransportError as exc:
-            raise OperationalError(f"controller connection lost: {exc}") from exc
+        else:
+            assert self._channel is not None
+            try:
+                self._channel.send(make_execute(sql, params, trace_id=trace_id))
+                reply = self._channel.recv(timeout=30.0)
+            except TransportError as exc:
+                raise OperationalError(f"controller connection lost: {exc}") from exc
+        if trace_id is not None:
+            # Captured before interpretation so failed statements are
+            # traceable too.
+            self.traced_statements += 1
+            # The span payload stays in wire form (a pre-serialised JSON
+            # string) — parsing it belongs to whoever inspects the trace,
+            # not to the statement latency path.
+            self.last_trace = {
+                "trace_id": trace_id,
+                "latency_s": time.monotonic() - started,
+                "spans": reply.get("trace") or [],
+            }
         return self._interpret_reply(reply)
 
     def _interpret_reply(self, reply: Dict[str, Any]) -> Dict[str, Any]:
@@ -655,6 +730,11 @@ class ClusterConnection(Connection):
         """Which controller this connection is currently attached to."""
         return self._controller_id
 
+    @property
+    def tracing(self) -> bool:
+        """Whether statements on this connection carry trace ids."""
+        return self._tracing
+
     def stats(self) -> Dict[str, Any]:
         """Per-connection counters (observability for tests/benches)."""
         return {
@@ -662,6 +742,8 @@ class ClusterConnection(Connection):
             "failovers": self.failovers,
             "server_busy_retries": self.server_busy_retries,
             "busy_backoff_seconds": self.busy_backoff_seconds,
+            "tracing": self._tracing,
+            "traced_statements": self.traced_statements,
         }
 
     @property

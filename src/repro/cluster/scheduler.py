@@ -108,6 +108,15 @@ _SCHEMA_COMMANDS = ("CREATE", "DROP", "ALTER")
 _NO_KEY = object()
 
 
+def _scope_kind(spec: Any) -> str:
+    """Human name of a lock-scope spec for trace/log attribution."""
+    if spec is None:
+        return "exclusive"
+    if isinstance(spec, LockScope):
+        return "key"
+    return "table"
+
+
 def _canonical_key(value: Any, data_type: str) -> Any:
     """Reduce one resolved predicate value to the canonical key the lock
     manager compares, honouring the engine's comparison coercions (see
@@ -161,6 +170,8 @@ class _BatchItem:
         "outcome",
         "durable_index",
         "error",
+        "trace",
+        "batch_meta",
     )
 
     def __init__(
@@ -170,6 +181,7 @@ class _BatchItem:
         statement: ClassifiedStatement,
         spec: Any,
         targets: List[Backend],
+        trace: Any = None,
     ) -> None:
         self.sql = sql
         self.params = params
@@ -181,6 +193,12 @@ class _BatchItem:
         self.outcome: Any = None
         self.durable_index: Optional[int] = None
         self.error: Optional[Exception] = None
+        #: Optional repro.obs Trace of this writer's statement. The round
+        #: leader's trace receives the execute/log_append spans; riders
+        #: record a batch_wait span attributed via ``batch_meta``.
+        self.trace = trace
+        #: Set by the round: ``(leader_trace_id, batch_size)``.
+        self.batch_meta: Optional[Tuple[Optional[str], int]] = None
 
 
 class WriteBatcher:
@@ -227,32 +245,69 @@ class WriteBatcher:
         statement: ClassifiedStatement,
         spec: Any,
         targets: List[Backend],
+        trace: Any = None,
     ) -> Tuple[Optional[Tuple[List[str], List[Any], int]], Any, Optional[int]]:
         """Queue one statement and return its
         ``(result, outcome, durable_index)`` once a round executed it —
-        either by leading a round or by riding a sibling leader's."""
-        item = _BatchItem(sql, params, statement, spec, targets)
+        either by leading a round or by riding a sibling leader's.
+
+        Loops until this item's round actually ran: when more than
+        ``max_batch`` writers queue behind one leader, the overflow —
+        possibly including the next elected leader's own item — stays
+        queued for a follow-up round, so election must retry rather than
+        assume one round covered the electing writer.
+
+        With ``trace`` set, a writer that rode a sibling's round records
+        a ``batch_wait`` span attributed to the leader's trace id and the
+        round's batch size; a writer that led gets the round's
+        ``execute``/``log_append`` spans instead (recorded by the round
+        itself)."""
+        item = _BatchItem(sql, params, statement, spec, targets, trace=trace)
         key = tuple(sorted(backend.name for backend in targets))
+        queued_at = time.monotonic() if trace is not None else 0.0
+        led = False
         with self._cond:
             self._queues.setdefault(key, []).append(item)
-            while not item.done and key in self._leading:
-                self._cond.wait()
-            if not item.done:
+        while True:
+            with self._cond:
+                while not item.done and key in self._leading:
+                    self._cond.wait()
+                if item.done:
+                    break
                 self._leading.add(key)
-        if not item.done:
-            self._lead(key)
+            led = True
+            self._lead(key, item)
+            if item.done:
+                break
+        if trace is not None and not led:
+            leader_trace_id, batch_size = item.batch_meta or (None, 0)
+            trace.record(
+                "batch_wait",
+                queued_at,
+                time.monotonic(),
+                leader_trace=leader_trace_id,
+                batch_size=batch_size,
+            )
         if item.error is not None:
             raise item.error
         return item.result, item.outcome, item.durable_index
 
-    def _lead(self, key: Tuple[str, ...]) -> None:
+    def _lead(self, key: Tuple[str, ...], leader: Optional[_BatchItem] = None) -> None:
         batch: List[_BatchItem] = []
         try:
             if self._window_s > 0.0:
                 # Optional fixed collection window; with the default 0 the
                 # batch is whatever queued while the previous round was in
-                # flight.
+                # flight. The leader's trace gets the window as a
+                # ``batch_wait`` span (role=leader) so the sleep doesn't
+                # read as unattributed latency — riders record theirs in
+                # :meth:`run`.
+                leader_trace = leader.trace if leader is not None else None
+                if leader_trace is not None:
+                    leader_trace.begin("batch_wait", role="leader")
                 time.sleep(self._window_s)
+                if leader_trace is not None:
+                    leader_trace.end("batch_wait")
             with self._cond:
                 queued = self._queues.pop(key, [])
                 if len(queued) > self._max_batch:
@@ -263,7 +318,7 @@ class WriteBatcher:
                 self.batched_statements += len(batch)
                 self.max_batch_size = max(self.max_batch_size, len(batch))
             try:
-                self._scheduler._execute_batch_round(batch)
+                self._scheduler._execute_batch_round(batch, leader)
             except Exception as exc:  # noqa: BLE001 - delivered per writer
                 for item in batch:
                     if item.error is None:
@@ -974,21 +1029,27 @@ class RequestScheduler:
         params: Optional[Dict[str, Any]] = None,
         in_transaction: bool = False,
         session_id: Optional[str] = None,
+        trace: Any = None,
     ) -> Tuple[List[str], List[Any], int]:
         """Execute one statement with replication semantics.
 
         ``session_id`` (optional) names the client session for
         observability: a BEGIN records it as the open transaction's
         owner, so a refused disable/enable can tell the operator *which*
-        session to chase instead of just "a transaction is open"."""
+        session to chase instead of just "a transaction is open".
+
+        ``trace`` (optional :class:`repro.obs.Trace`) receives stage
+        spans — cache/lock/execute/batch_wait/log_append/fsync_wait —
+        as the statement moves through the pipeline; None (the default,
+        and the only value on the untraced hot path) times nothing."""
         enabled = self.enabled_backends()
         if not enabled:
             raise SchedulerError("no enabled backend available")
         statement = classify(sql)
         if statement.is_read and not in_transaction:
-            return self._execute_read(enabled, sql, params, statement)
+            return self._execute_read(enabled, sql, params, statement, trace)
         return self._execute_broadcast(
-            enabled, sql, params, statement, in_transaction, session_id=session_id
+            enabled, sql, params, statement, in_transaction, session_id=session_id, trace=trace
         )
 
     def _read_candidate_filter(
@@ -1021,11 +1082,17 @@ class RequestScheduler:
         sql: str,
         params: Optional[Dict[str, Any]],
         statement: ClassifiedStatement,
+        trace: Any = None,
     ) -> Tuple[List[str], List[Any], int]:
         cache = self._cache
         use_cache = cache is not None and statement.cacheable
         if use_cache:
-            cached = cache.get(sql, params)
+            if trace is None:
+                cached = cache.get(sql, params)
+            else:
+                with trace.span("cache") as cache_span:
+                    cached = cache.get(sql, params)
+                    cache_span.set(hit=cached is not None)
             if cached is not None:
                 return cached
             stamp = cache.stamp()
@@ -1041,10 +1108,14 @@ class RequestScheduler:
             enabled, candidate_filter=self._read_candidate_filter(enabled, statement)
         )
         backend.begin_request()
+        if trace is not None:
+            trace.begin("execute", backend=backend.name)
         try:
             result = backend.execute(sql, params)
         finally:
             backend.finish_request()
+            if trace is not None:
+                trace.end("execute")
         if use_cache:
             cache.put(sql, params, statement.read_tables, result, stamp=stamp)
         return result
@@ -1124,6 +1195,7 @@ class RequestScheduler:
         statement: ClassifiedStatement,
         in_transaction: bool = False,
         session_id: Optional[str] = None,
+        trace: Any = None,
     ) -> Tuple[List[str], List[Any], int]:
         # Anything reaching this path that is not a genuine read is
         # replicated; only genuine writes are logged for resync —
@@ -1135,8 +1207,17 @@ class RequestScheduler:
         # global mode for transaction control / unknown table sets — see
         # _lock_scope_spec and ClassifiedStatement.lock_tables.
         while True:
+            # The lock span opens *before* scope resolution: resolving a
+            # key scope may probe the schema catalog (first statement per
+            # table), and that probe is part of the cost of taking the
+            # right lock — leaving it outside would show up as a mystery
+            # gap between classify and lock in the trace.
+            if trace is not None:
+                trace.begin("lock")
             spec = self._lock_scope_spec(statement, params)
             with self._locks.scope(spec):
+                if trace is not None:
+                    trace.end("lock", kind=_scope_kind(spec))
                 if isinstance(spec, LockScope) and (
                     self._lock_scope_spec(statement, params) != spec
                 ):
@@ -1158,11 +1239,12 @@ class RequestScheduler:
                         raise SchedulerError("no enabled backend available")
                     targets = self._write_targets(enabled, statement)
                     result, outcome, durable_index = self._write_batcher.run(
-                        sql, params, statement, spec, targets
+                        sql, params, statement, spec, targets, trace=trace
                     )
                 else:
                     result, outcome, durable_index = self._broadcast_under_scope(
-                        sql, params, statement, spec, in_transaction, session_id, log_it
+                        sql, params, statement, spec, in_transaction, session_id, log_it,
+                        trace=trace,
                     )
             break
         if result is None:
@@ -1173,7 +1255,11 @@ class RequestScheduler:
             # Outside every lock: concurrent writers pile into one fsync
             # group here instead of serialising their fsyncs under
             # _state_lock, which is the whole point of group commit.
-            self._group_commit.wait_durable(durable_index)
+            if trace is None:
+                self._group_commit.wait_durable(durable_index)
+            else:
+                with trace.span("fsync_wait", durable_index=durable_index):
+                    self._group_commit.wait_durable(durable_index)
         return result
 
     def _broadcast_under_scope(
@@ -1185,6 +1271,7 @@ class RequestScheduler:
         in_transaction: bool,
         session_id: Optional[str],
         log_it: bool,
+        trace: Any = None,
     ) -> Tuple[Optional[Tuple[List[str], List[Any], int]], Any, Optional[int]]:
         """Execute one broadcast while the caller holds its lock scope.
 
@@ -1208,7 +1295,13 @@ class RequestScheduler:
             # Safe under concurrent writers: this writer holds its
             # tables' locks, so only it can invalidate them here.
             self._cache.invalidate_tables(statement.write_tables)
-        outcome = self._broadcaster.broadcast(targets, sql, params)
+        if trace is None:
+            outcome = self._broadcaster.broadcast(targets, sql, params)
+        else:
+            # No backend-list attr: the per-replica child spans already
+            # name every backend this execute fanned out to.
+            with trace.span("execute"):
+                outcome = self._broadcaster.broadcast(targets, sql, params, trace=trace)
         # A statement fault on *every* backend blames the statement —
         # the replicas agree and stay healthy. A fault on a strict
         # subset while others accepted the write is divergence: the
@@ -1220,6 +1313,8 @@ class RequestScheduler:
             if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
                 failure.backend.mark_failed()
         result = outcome.result
+        if trace is not None:
+            trace.begin("log_append", logged=log_it and any_succeeded)
         durable_index = self._account_broadcast_locked_scope(
             sql,
             params,
@@ -1232,6 +1327,8 @@ class RequestScheduler:
             result,
             held_keys=spec.keys if isinstance(spec, LockScope) else frozenset(),
         )
+        if trace is not None:
+            trace.end("log_append")
         if statement.command == "DROP" and any_succeeded:
             # Keep the map bounded under table churn; a recreated
             # table gets a fresh assignment.
@@ -1277,7 +1374,9 @@ class RequestScheduler:
         with self._state_lock:
             return self._open_transactions == 0
 
-    def _execute_batch_round(self, items: List[_BatchItem]) -> None:
+    def _execute_batch_round(
+        self, items: List[_BatchItem], leader: Optional[_BatchItem] = None
+    ) -> None:
         """Execute one coalesced batch of auto-commit writes: one
         broadcast round trip carrying every statement, one batch log
         append, per-statement accounting identical to the scalar path.
@@ -1286,9 +1385,20 @@ class RequestScheduler:
         holds its own lock scope (pairwise disjoint), all items resolved
         the same target replica set, and eligibility excluded DDL /
         transaction control / tx-buffered writes — so none of the scalar
-        path's DROP-unpin, PK-invalidate or tx-buffer branches apply."""
+        path's DROP-unpin, PK-invalidate or tx-buffer branches apply.
+
+        Trace attribution: the round's ``execute``/``log_append`` spans
+        land on the *leader's* trace (the leading thread genuinely
+        spends that time inside its own statement); every item gets
+        ``batch_meta`` so riders can attribute their ``batch_wait``."""
         if not items:
             return
+        leader_trace = leader.trace if leader is not None else None
+        for item in items:
+            item.batch_meta = (
+                leader_trace.trace_id if leader_trace is not None else None,
+                len(items),
+            )
         targets = items[0].targets
         cache = self._cache
         if cache is not None:
@@ -1296,9 +1406,17 @@ class RequestScheduler:
             # against the pre-write state must not survive the write.
             for item in items:
                 cache.invalidate_tables(item.statement.write_tables)
-        batch = self._broadcaster.broadcast_batch(
-            targets, [(item.sql, item.params) for item in items]
-        )
+        if leader_trace is None:
+            batch = self._broadcaster.broadcast_batch(
+                targets, [(item.sql, item.params) for item in items]
+            )
+        else:
+            with leader_trace.span("execute", batch_size=len(items)):
+                batch = self._broadcaster.broadcast_batch(
+                    targets,
+                    [(item.sql, item.params) for item in items],
+                    trace=leader_trace,
+                )
         per_statement = [batch.per_statement(i) for i in range(len(items))]
         for outcome in per_statement:
             # Same divergence rule as the scalar path, per statement: a
@@ -1308,6 +1426,8 @@ class RequestScheduler:
             for failure in outcome.failed:
                 if any_succeeded or not isinstance(failure.error, STATEMENT_FAULTS):
                     failure.backend.mark_failed()
+        if leader_trace is not None:
+            leader_trace.begin("log_append", batch_size=len(items))
         with self._state_lock:
             appended: List[Optional[LogEntry]] = [None] * len(items)
             to_append = [
@@ -1343,6 +1463,8 @@ class RequestScheduler:
                     continue
                 for failure in outcome.failed:
                     failure.backend.limit_checkpoint(entry.index - 1)
+        if leader_trace is not None:
+            leader_trace.end("log_append")
         if cache is not None:
             for item in items:
                 cache.invalidate_tables(item.statement.write_tables)

@@ -26,6 +26,16 @@ Version history:
   ``multiplexing=True`` in the CONNECT_OK only when it is configured on
   and the negotiated version is >= 3; without the grant the channel
   stays a dedicated v2-style session. See docs/wire.md.
+- **v3 tracing extension** — per-statement tracing rides the same
+  negotiation style: CONNECT may carry ``trace=True``, the controller
+  grants with ``tracing=True`` in the CONNECT_OK only when
+  ``ControllerConfig.tracing`` is on and the negotiated version is
+  >= 3. On a granted channel EXECUTE may carry an optional
+  ``trace_id``, and the matching RESULT/ERROR carries back ``trace``
+  (the server-side span list, see ``repro.obs.trace``). Every field is
+  conditional: untraced frames — and all frames to v2 or non-tracing
+  peers — stay byte-identical to the pre-tracing encoding. See
+  docs/observability.md.
 """
 
 from __future__ import annotations
@@ -39,6 +49,11 @@ CLUSTER_PROTOCOL_VERSION = 3
 
 #: First protocol version supporting session multiplexing / pipelining.
 MULTIPLEX_MIN_VERSION = 3
+
+#: First protocol version supporting the optional tracing fields
+#: (CONNECT ``trace`` / CONNECT_OK ``tracing`` / EXECUTE ``trace_id`` /
+#: RESULT-ERROR ``trace``).
+TRACE_MIN_VERSION = 3
 
 #: ERROR code for admission-control rejections: the controller's
 #: worker pool is saturated past its configured bounds and the EXECUTE
@@ -82,6 +97,7 @@ def make_connect(
     protocol_version: int,
     options: Optional[Dict[str, Any]] = None,
     multiplex: bool = False,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     message = {
         "type": ClusterMessageType.CONNECT,
@@ -96,6 +112,8 @@ def make_connect(
         # keys, but keeping the v2-era frame byte-identical when the
         # feature is off costs nothing.
         message["multiplex"] = True
+    if trace:
+        message["trace"] = True
     return message
 
 
@@ -104,6 +122,7 @@ def make_connect_ok(
     protocol_version: int,
     session_id: str,
     multiplexing: bool = False,
+    tracing: bool = False,
 ) -> Dict[str, Any]:
     message = {
         "type": ClusterMessageType.CONNECT_OK,
@@ -113,6 +132,8 @@ def make_connect_ok(
     }
     if multiplexing:
         message["multiplexing"] = True
+    if tracing:
+        message["tracing"] = True
     return message
 
 
@@ -121,12 +142,15 @@ def make_execute(
     params: Optional[Dict[str, Any]] = None,
     session_id: Optional[str] = None,
     request_id: Optional[int] = None,
+    trace_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     message = {"type": ClusterMessageType.EXECUTE, "sql": sql, "params": params or {}}
     if session_id is not None:
         message["session_id"] = session_id
     if request_id is not None:
         message["request_id"] = request_id
+    if trace_id is not None:
+        message["trace_id"] = trace_id
     return message
 
 
@@ -149,6 +173,19 @@ def make_result(columns: List[str], rows: List[Any], rowcount: int) -> Dict[str,
 
 def make_error(code: str, message: str) -> Dict[str, Any]:
     return {"type": ClusterMessageType.ERROR, "code": code, "message": message}
+
+
+def attach_trace(message: Dict[str, Any], spans: Any) -> Dict[str, Any]:
+    """Attach server-side spans to a RESULT/ERROR frame: a span list, or
+    the controller's pre-serialised JSON string (one flat value through
+    the frame codec; ``Trace.spans_from_wire`` accepts both).
+
+    Deliberately separate from ``make_result``/``make_error`` so the
+    untraced reply path — the overwhelmingly common one — keeps its
+    exact frame shape and the ``make_result`` no-copy fast path."""
+    if spans and spans != "[]":
+        message["trace"] = spans
+    return message
 
 
 def make_session_open(session_id: str, request_id: int) -> Dict[str, Any]:

@@ -1,0 +1,101 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+``render_prometheus`` turns the registry's flat samples into the
+Prometheus text exposition format (version 0.0.4 — ``# TYPE`` lines plus
+``name value`` samples). ``parse_prometheus_text`` is the strict inverse
+used by the CI smoke: if the renderer ever emits something a scraper
+would reject, the round-trip test fails rather than a production scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "sanitize_metric_name",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "render_json",
+]
+
+_VALID_METRIC = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+|[Nn]a[Nn]|[-+]?[Ii]nf))$"
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary metric path into a legal Prometheus name."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or not _VALID_METRIC.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def render_prometheus(
+    samples: List[Tuple[str, float]], prefix: str = "repro"
+) -> str:
+    """Render flat ``(path, value)`` samples as Prometheus text.
+
+    Counter-style samples (``*_total``) get ``# TYPE ... counter``;
+    everything else is a gauge. Duplicate paths keep the last value —
+    exposition forbids repeated series.
+    """
+    deduped: Dict[str, float] = {}
+    for path, value in samples:
+        name = sanitize_metric_name(f"{prefix}_{path}" if prefix else path)
+        deduped[name] = value
+    lines: List[str] = []
+    for name in sorted(deduped):
+        value = deduped[name]
+        kind = "counter" if name.endswith("_total") else "gauge"
+        lines.append(f"# TYPE {name} {kind}")
+        if value == int(value) and abs(value) < 1e15:
+            rendered = str(int(value))
+        else:
+            rendered = repr(float(value))
+        lines.append(f"{name} {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Strictly parse Prometheus exposition text; raises ``ValueError``
+    on any malformed line. Returns ``{metric_name: value}``."""
+    metrics: Dict[str, float] = {}
+    typed: Dict[str, str] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if parts[1] == "TYPE":
+                    if len(parts) < 4:
+                        raise ValueError(f"line {line_number}: malformed TYPE: {raw!r}")
+                    name, kind = parts[2], parts[3]
+                    if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                        raise ValueError(f"line {line_number}: unknown type {kind!r}")
+                    if name in typed:
+                        raise ValueError(f"line {line_number}: duplicate TYPE for {name}")
+                    typed[name] = kind
+                continue  # other comments are legal and ignored
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"line {line_number}: malformed sample: {raw!r}")
+        name = match.group("name")
+        if name in metrics:
+            raise ValueError(f"line {line_number}: duplicate sample for {name}")
+        metrics[name] = float(match.group("value"))
+    return metrics
+
+
+def render_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """JSON export of a registry snapshot (stable key order)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True, default=str)

@@ -1,0 +1,313 @@
+"""Unified metrics registry: counters, gauges, streaming histograms.
+
+Every subsystem keeps producing its existing ``stats()`` dict — those
+shapes are load-bearing for tests and tools — but registers it here as a
+*collector* so one registry can flatten the whole tree into a uniform
+snapshot for export (Prometheus text, JSON). On top of the collectors
+the registry owns first-class instruments:
+
+- :class:`Counter` — monotone, thread-safe ``inc``.
+- :class:`Gauge` — settable point-in-time value.
+- :class:`StreamingHistogram` — bounded-memory latency distribution with
+  p50/p95/p99 and loss-free ``merge()``.
+
+The histogram uses fixed log-scaled buckets (a simple HDR-style layout):
+memory is O(buckets) regardless of observation count, quantiles are
+accurate to the bucket width (~7% relative error with the default 48
+buckets per decade... actually ``_GROWTH`` below), and two histograms
+over the same layout merge by bucket-wise addition — which is what makes
+per-thread or per-subsystem recording cheap to combine at snapshot time.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "StreamingHistogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotone counter. ``inc`` only; exported as ``*_total``."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotone; use a Gauge for decrements")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Point-in-time value; ``set``/``add`` from any thread."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+# Log-scaled bucket layout. Bucket i covers values in
+# [_MIN * _GROWTH**i, _MIN * _GROWTH**(i+1)); values below _MIN land in
+# bucket 0, values at/above the top range in the overflow bucket. With
+# growth 1.15 a bucket's relative width is 15%, which bounds quantile
+# error well under typical run-to-run latency noise while keeping the
+# whole histogram at ~160 ints for a 1µs..100s span.
+_MIN = 1e-6
+_GROWTH = 1.15
+_LOG_GROWTH = math.log(_GROWTH)
+_BUCKETS = int(math.ceil(math.log(100.0 / _MIN) / _LOG_GROWTH)) + 1
+
+
+class StreamingHistogram:
+    """Bounded-memory distribution of non-negative observations
+    (seconds). Quantiles interpolate within the winning bucket; two
+    histograms merge loss-free by bucket-wise addition."""
+
+    __slots__ = ("name", "help", "_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str = "", help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._counts = [0] * (_BUCKETS + 1)  # +1 overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        if value < _MIN:
+            return 0
+        index = int(math.log(value / _MIN) / _LOG_GROWTH) + 1
+        return min(index, _BUCKETS)
+
+    @staticmethod
+    def _bucket_upper(index: int) -> float:
+        if index >= _BUCKETS:
+            return math.inf
+        return _MIN * (_GROWTH ** index)
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        index = self._bucket_index(value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other`` into this histogram (loss-free: layouts are
+        identical by construction)."""
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other._count, other._sum
+            other_min, other_max = other._min, other._max
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._count += count
+            self._sum += total
+            if other_min is not None and (self._min is None or other_min < self._min):
+                self._min = other_min
+            if other_max is not None and (self._max is None or other_max > self._max):
+                self._max = other_max
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (0..1); 0.0 on an empty histogram."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            seen = 0
+            for index, bucket_count in enumerate(self._counts):
+                seen += bucket_count
+                if seen >= target and bucket_count:
+                    upper = self._bucket_upper(index)
+                    if math.isinf(upper):
+                        return self._max if self._max is not None else 0.0
+                    lower = 0.0 if index == 0 else self._bucket_upper(index - 1)
+                    # Linear interpolation within the bucket.
+                    into = (target - (seen - bucket_count)) / bucket_count
+                    value = lower + (upper - lower) * max(0.0, min(1.0, into))
+                    # Clamp to the observed extremes so tiny samples
+                    # don't report values never seen.
+                    if self._max is not None:
+                        value = min(value, self._max)
+                    if self._min is not None:
+                        value = max(value, self._min)
+                    return value
+            return self._max if self._max is not None else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        return {
+            "count": count,
+            "sum": round(total, 6),
+            "min": round(low, 6) if low is not None else None,
+            "max": round(high, 6) if high is not None else None,
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+
+class MetricsRegistry:
+    """One namespace for everything a controller (or driver) measures.
+
+    Two populations live here:
+
+    - **instruments** (:class:`Counter` / :class:`Gauge` /
+      :class:`StreamingHistogram`) created via the ``counter`` /
+      ``gauge`` / ``histogram`` factories — get-or-create by name, so
+      subsystems can grab the same instrument without plumbing;
+    - **collectors** — named callables returning the subsystem's
+      existing ``stats()`` dict, folded into the snapshot under their
+      name so ``Controller.stats()`` keeps its historical shape while
+      the registry's :meth:`snapshot` sees the same numbers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+        self._collectors: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    # -- instrument factories (get-or-create) ------------------------------------
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name, help_text)
+            return instrument
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name, help_text)
+            return instrument
+
+    def histogram(self, name: str, help_text: str = "") -> StreamingHistogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = StreamingHistogram(name, help_text)
+            return instrument
+
+    # -- collectors --------------------------------------------------------------
+
+    def register_collector(self, name: str, producer: Callable[[], Dict[str, Any]]) -> None:
+        with self._lock:
+            self._collectors[name] = producer
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    # -- snapshot ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time view: collector trees plus instrument values.
+
+        Each collector runs outside the registry lock (collectors take
+        their own subsystem locks; holding ours too would order-invert
+        against concurrent ``counter()`` calls from those subsystems).
+        """
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+            collectors = list(self._collectors.items())
+        snap: Dict[str, Any] = {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
+            "histograms": {h.name: h.snapshot() for h in histograms},
+            "subsystems": {},
+        }
+        for name, producer in collectors:
+            try:
+                snap["subsystems"][name] = producer()
+            except Exception as exc:  # a failing subsystem must not kill export
+                snap["subsystems"][name] = {"error": type(exc).__name__}
+        return snap
+
+    def flattened(self) -> List[Tuple[str, float]]:
+        """The snapshot as flat ``(metric_path, numeric_value)`` samples
+        — the input shape for the Prometheus renderer. Non-numeric
+        leaves are dropped; histogram snapshots expand per-field."""
+        samples: List[Tuple[str, float]] = []
+        snap = self.snapshot()
+        for name, value in sorted(snap["counters"].items()):
+            samples.append((f"{name}_total", float(value)))
+        for name, value in sorted(snap["gauges"].items()):
+            samples.append((name, float(value)))
+        for name, hist in sorted(snap["histograms"].items()):
+            for field in ("count", "sum", "p50", "p95", "p99"):
+                value = hist.get(field)
+                if value is not None:
+                    samples.append((f"{name}_{field}", float(value)))
+        _flatten_tree(snap["subsystems"], "", samples)
+        return samples
+
+
+def _flatten_tree(tree: Dict[str, Any], prefix: str, out: List[Tuple[str, float]]) -> None:
+    for key in sorted(tree):
+        value = tree[key]
+        path = f"{prefix}_{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            _flatten_tree(value, path, out)
+        elif isinstance(value, bool):
+            out.append((path, 1.0 if value else 0.0))
+        elif isinstance(value, (int, float)):
+            out.append((path, float(value)))
+        # strings / lists / None: not numeric samples — skipped.

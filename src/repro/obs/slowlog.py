@@ -1,0 +1,115 @@
+"""Slow-query capture: the N slowest statements with stage breakdowns.
+
+A bounded min-heap keyed on total latency keeps the slowest ``capacity``
+statements seen since startup (not a sliding window — the interesting
+tail outliers are exactly the ones a window would age out). SQL is
+redacted before storage: every literal is replaced with ``?`` so captured
+statements never leak row values into metrics endpoints or logs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import re
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SlowQueryLog", "redact_sql"]
+
+# String literals first (so numbers inside strings don't double-match),
+# then standalone numeric literals.
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+_NUMBER_LITERAL = re.compile(r"\b\d+(?:\.\d+)?\b")
+
+
+def redact_sql(sql: str) -> str:
+    """Replace string and numeric literals with ``?`` placeholders.
+
+    ``INSERT INTO users VALUES (42, 'alice')`` becomes
+    ``INSERT INTO users VALUES (?, ?)`` — structure preserved, values
+    gone.
+    """
+    redacted = _STRING_LITERAL.sub("?", sql)
+    return _NUMBER_LITERAL.sub("?", redacted)
+
+
+class SlowQueryLog:
+    """Bounded store of the slowest statements.
+
+    ``record`` is O(log capacity) and only takes the lock when the
+    statement clears the threshold, so with a sensible
+    ``threshold_ms`` the fast path is one float compare.
+    """
+
+    def __init__(self, capacity: int = 32, threshold_ms: float = 0.0) -> None:
+        self.capacity = max(1, int(capacity))
+        self.threshold_s = max(0.0, float(threshold_ms)) / 1000.0
+        self._lock = threading.Lock()
+        # Heap of (duration, tiebreak, entry); smallest duration on top
+        # so eviction drops the least-slow entry.
+        self._heap: List[Any] = []
+        self._tiebreak = itertools.count()
+        self._recorded = 0
+
+    def record(
+        self,
+        sql: str,
+        duration_s: float,
+        stages: Any = None,
+        trace_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> bool:
+        """Consider a finished statement; returns True if captured.
+
+        ``stages`` may be the stage dict itself or a zero-arg callable
+        producing it (e.g. ``trace.stage_seconds``): redaction, stage
+        summing and entry construction only happen for statements that
+        actually make the table, so in steady state — heap full,
+        statement no slower than the current floor — the cost is a
+        compare and a counter bump."""
+        if duration_s < self.threshold_s:
+            return False
+        with self._lock:
+            self._recorded += 1
+            full = len(self._heap) >= self.capacity
+            if full and duration_s <= self._heap[0][0]:
+                return False
+            if callable(stages):
+                stages = stages()
+            entry = {
+                "sql": redact_sql(sql),
+                "duration_ms": round(duration_s * 1000.0, 3),
+                "stages_ms": {
+                    name: round(seconds * 1000.0, 3)
+                    for name, seconds in sorted((stages or {}).items())
+                },
+                "trace_id": trace_id,
+            }
+            if attrs:
+                entry["attrs"] = dict(attrs)
+            item = (duration_s, next(self._tiebreak), entry)
+            if full:
+                heapq.heapreplace(self._heap, item)
+            else:
+                heapq.heappush(self._heap, item)
+            return True
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Captured statements, slowest first."""
+        with self._lock:
+            ranked = sorted(self._heap, key=lambda item: item[0], reverse=True)
+            return [dict(entry) for _, _, entry in ranked]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "threshold_ms": round(self.threshold_s * 1000.0, 3),
+                "captured": len(self._heap),
+                "recorded": self._recorded,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()

@@ -121,7 +121,10 @@ class MetricsCollector:
         records = self.records()
         succeeded = [record for record in records if record.ok]
         failed = [record for record in records if not record.ok]
-        latencies = [record.latency for record in succeeded if record.latency > 0]
+        # >= 0, not > 0: a sub-clock-resolution request legitimately
+        # records latency 0.0, and dropping those skewed every
+        # percentile (and the mean) upward on fast in-memory runs.
+        latencies = [record.latency for record in succeeded if record.latency >= 0]
         errors_by_type: Dict[str, int] = {}
         for record in failed:
             key = record.error.split(":")[0] if record.error else "unknown"

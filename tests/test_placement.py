@@ -1,11 +1,10 @@
 """Tests for the table-placement subsystem (RAIDb-0/1/2): the map and
 policies, placement-aware routing in the scheduler, filtered recovery
 replay, table-subset dumps, classifier name canonicalisation and the
-deprecated recovery_log import path."""
+removal of the deprecated recovery_log import path."""
 
 import importlib
 import sys
-import warnings
 
 import pytest
 
@@ -475,15 +474,15 @@ class TestFilteredResync:
         scheduler.close()
 
 
-class TestRecoveryLogShimDeprecation:
-    def test_import_warns_but_still_works(self):
+class TestRecoveryLogShimRemoved:
+    def test_shim_is_gone(self):
+        """The deprecated ``repro.cluster.recovery_log`` import path has
+        been removed after its deprecation period; the canonical package
+        is ``repro.cluster.recovery``."""
         sys.modules.pop("repro.cluster.recovery_log", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            module = importlib.import_module("repro.cluster.recovery_log")
-        assert any(
-            issubclass(warning.category, DeprecationWarning) for warning in caught
-        ), "importing the shim must emit a DeprecationWarning"
+        with pytest.raises(ImportError):
+            importlib.import_module("repro.cluster.recovery_log")
+        module = importlib.import_module("repro.cluster.recovery")
         assert module.RecoveryLog is RecoveryLog
 
 

@@ -1,5 +1,7 @@
 """Tests for the workload generator and metrics collection."""
 
+import pytest
+
 from repro.core.clock import SimulatedClock
 from repro.dbapi import legacy_driver
 from repro.dbapi.driver_factory import build_pydb_driver
@@ -56,6 +58,24 @@ class TestMetricsCollector:
         assert summary.latency_p99 == 0.020
         assert summary.latency_p50 <= summary.latency_p95 <= summary.latency_p99
         assert summary.latency_p99 <= summary.max_latency
+
+    def test_zero_latency_successes_count_toward_percentiles(self):
+        """Regression: the summary used ``latency > 0`` and silently
+        dropped sub-clock-resolution (0.0) latencies from the percentile
+        population, biasing every percentile and the mean upward on fast
+        in-memory runs. A population of nine instant requests and one
+        slow one must report p50 = 0, not p50 = the slow one."""
+        metrics = MetricsCollector(clock=SimulatedClock())
+        for _ in range(9):
+            metrics.record_success(latency=0.0)
+        metrics.record_success(latency=0.1)
+        summary = metrics.summary()
+        assert summary.latency_p50 == 0.0
+        assert summary.latency_p99 == 0.1
+        assert summary.mean_latency == pytest.approx(0.01)
+        # Genuinely invalid (negative) latencies stay excluded.
+        metrics.record_success(latency=-1.0)
+        assert metrics.summary().latency_p50 == 0.0
 
 
 class TestClientApplication:

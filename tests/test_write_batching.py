@@ -214,7 +214,7 @@ class _FakeRoundScheduler:
         self.fail = fail
         self._first = True
 
-    def _execute_batch_round(self, items):
+    def _execute_batch_round(self, items, leader=None):
         self.batches.append([item.sql for item in items])
         if self.fail is not None:
             raise self.fail
