@@ -1,5 +1,8 @@
 """Recovery-subsystem benchmarks: resync throughput and recovery time
-vs. log length, with compaction (dump-based cold start) on and off.
+vs. log length, with compaction (dump-based cold start) on and off,
+plus the E19 controller-failover bench (docs/ha.md): kill the HA
+primary under a sustained write storm and measure crash-to-first-
+successful-write, gating zero lost / zero duplicated acked writes.
 
 The interesting shape: log-replay recovery time grows linearly with the
 number of missed writes, while a dump-based cold start scales with the
@@ -12,10 +15,37 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 
 from benchmarks.conftest import run_and_report
 from repro.experiments.harness import ExperimentResult
+
+
+def _merge_into_bench_json(update):
+    """Merge ``update`` into BENCH_recovery.json, keeping other keys.
+
+    Both tests in this file write to the same artifact — the recovery
+    experiment owns the top-level keys, the failover experiment its own
+    ``"failover"`` key — so each does read-update-write instead of
+    clobbering whatever the other produced this run (or a prior one).
+    """
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_recovery.json",
+    )
+    data = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (ValueError, OSError):
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data.update(update)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
 
 #: Rows in the table (fixed) — the log is UPDATE-heavy on purpose.
 TABLE_ROWS = 20
@@ -110,13 +140,198 @@ def test_bench_recovery(benchmark):
         # Compaction kept the retained log bounded (the pin was released,
         # so everything up to the head was truncatable).
         assert row["retained_log_entries"] == 0
-    payload = {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "parameters": result.parameters,
-        "rows": result.rows,
-        "notes": result.notes,
-    }
-    out_path = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_recovery.json")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+    _merge_into_bench_json(
+        {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "parameters": result.parameters,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+    )
+
+
+#: E19 storm shape: writers stream until told to stop; the bench stops
+#: them once the post-crash probe write succeeds.
+FAILOVER_WRITERS = 2
+FAILOVER_MIN_ACKED_BEFORE_CRASH = 20
+FAILOVER_WRITES_CAP = 500
+
+
+def run_failover_benchmark() -> ExperimentResult:
+    """E19: crash the HA primary mid-storm, measure failover seconds.
+
+    ``benchmarks/`` is importable without ``tests/`` on ``sys.path``, so
+    the crash is inlined here with the same semantics as
+    ``tests/chaos.crash_controller``: endpoint dies first (nothing
+    escapes, not even a final replication round), then the process
+    state.
+    """
+    from repro.cluster.driver import ClusterDriverRuntime
+    from repro.dbapi import legacy_driver
+    from repro.experiments.environments import build_cluster
+
+    result = ExperimentResult(
+        experiment_id="BENCH-failover",
+        title="E19: primary crash under write storm — failover time, zero-loss convergence",
+        parameters={
+            "controllers": 3,
+            "replicas": 2,
+            "writers": FAILOVER_WRITERS,
+            "min_acked_before_crash": FAILOVER_MIN_ACKED_BEFORE_CRASH,
+        },
+    )
+    env = build_cluster(replicas=2, controllers=3, ha=True)
+    try:
+        setup = ClusterDriverRuntime(name="e19-setup").connect(
+            env.client_url(), network=env.network
+        )
+        setup.cursor().execute("CREATE TABLE e19_t (id INTEGER PRIMARY KEY)")
+        setup.close()
+        primary = next(c for c in env.controllers if c.ha_store.is_primary)
+
+        stop = threading.Event()
+        acked = [[] for _ in range(FAILOVER_WRITERS)]
+        ambiguous = [[] for _ in range(FAILOVER_WRITERS)]
+
+        def writer(slot):
+            conn = ClusterDriverRuntime(name=f"e19-{slot}").connect(
+                env.client_url(), network=env.network
+            )
+            for n in range(FAILOVER_WRITES_CAP):
+                if stop.is_set():
+                    break
+                write_id = slot * 100000 + n
+                try:
+                    conn.cursor().execute(
+                        f"INSERT INTO e19_t (id) VALUES ({write_id})"
+                    )
+                except Exception:
+                    # Durability unknown (crash window / retry hitting
+                    # its own earlier duplicate): not acked.
+                    ambiguous[slot].append(write_id)
+                    if conn.closed:
+                        conn = ClusterDriverRuntime(
+                            name=f"e19-{slot}-re{n}"
+                        ).connect(env.client_url(), network=env.network)
+                else:
+                    acked[slot].append(write_id)
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+        threads = [
+            threading.Thread(target=writer, args=(slot,), name=f"e19-writer-{slot}")
+            for slot in range(FAILOVER_WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 30.0
+        while (
+            sum(len(ids) for ids in acked) < FAILOVER_MIN_ACKED_BEFORE_CRASH
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        assert (
+            sum(len(ids) for ids in acked) >= FAILOVER_MIN_ACKED_BEFORE_CRASH
+        ), "storm never got going"
+
+        # Crash: endpoint first, then state, no final flush.
+        crashed_at = time.perf_counter()
+        env.network.kill_endpoint(primary.address)
+        primary.stop(flush=False)
+
+        # Probe from a fresh client until a write lands on the promoted
+        # sibling: that's the cluster's observed write outage.
+        probe = ClusterDriverRuntime(name="e19-probe").connect(
+            env.client_url(), network=env.network
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                probe.cursor().execute(
+                    f"INSERT INTO e19_t (id) VALUES ({10_000_000 + attempt})"
+                )
+            except Exception:
+                if probe.closed:
+                    probe = ClusterDriverRuntime(name=f"e19-probe-{attempt}").connect(
+                        env.client_url(), network=env.network
+                    )
+                assert attempt < 1000, "no write succeeded after the crash"
+            else:
+                break
+        failover_seconds = time.perf_counter() - crashed_at
+        probe.close()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+        survivors = [c for c in env.controllers if c is not primary]
+        new_primaries = [c for c in survivors if c.ha_store.is_primary]
+        assert len(new_primaries) == 1, "exactly one sibling must be promoted"
+        new_primary = new_primaries[0]
+
+        # Ground truth per physical replica: every acked id present
+        # exactly once on every replica.
+        acked_ids = sorted(wid for ids in acked for wid in ids)
+        lost = 0
+        duplicated = 0
+        for replica_index in range(len(env.replica_engines)):
+            conn = legacy_driver.connect(
+                env.replica_url(replica_index), network=env.network
+            )
+            cursor = conn.cursor()
+            cursor.execute("SELECT id FROM e19_t")
+            present = [row[0] for row in cursor.fetchall()]
+            conn.close()
+            duplicated += len(present) - len(set(present))
+            lost += len(set(acked_ids) - set(present))
+        heads = {c.ha_store.last_index for c in survivors}
+
+        ha = new_primary.stats()["ha"]
+        result.add_row(
+            failover_seconds=round(failover_seconds, 6),
+            probe_attempts=attempt,
+            acked_writes=len(acked_ids),
+            ambiguous_writes=sum(len(ids) for ids in ambiguous),
+            lost_acked_writes=lost,
+            duplicated_rows=duplicated,
+            new_primary=new_primary.config.controller_id,
+            epoch=ha["epoch"],
+            replication_rounds=ha["rounds"],
+            survivor_heads_converged=len(heads) == 1,
+        )
+        result.add_note(
+            "failover_seconds is crash-to-first-successful-write as a client "
+            "sees it: channel drop, driver failover, inline election, retry"
+        )
+    finally:
+        env.close()
+    return result
+
+
+def test_bench_failover(benchmark):
+    result = run_and_report(benchmark, run_failover_benchmark)
+    (row,) = result.rows
+    # The gates docs/ha.md advertises: zero acked writes lost, zero
+    # duplicated rows, exactly one promoted sibling at a fresh epoch,
+    # surviving logs converged.
+    assert row["lost_acked_writes"] == 0
+    assert row["duplicated_rows"] == 0
+    assert row["epoch"] > 1
+    assert row["survivor_heads_converged"]
+    assert row["failover_seconds"] > 0
+    _merge_into_bench_json(
+        {
+            "failover": {
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "parameters": result.parameters,
+                "rows": result.rows,
+                "notes": result.notes,
+            }
+        }
+    )

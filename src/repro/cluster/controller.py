@@ -42,11 +42,13 @@ from repro.cluster.recovery import (
     GroupCommit,
     MemoryLogStore,
     RecoveryLog,
+    ReplicatedLogStore,
 )
 from repro.cluster.scheduler import RequestScheduler, SchedulerError
 from repro.core.clock import Clock, wall_clock
 from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
+    ERROR_NOT_PRIMARY,
     ERROR_SERVER_BUSY,
     MULTIPLEX_MIN_VERSION,
     TRACE_MIN_VERSION,
@@ -57,6 +59,8 @@ from repro.cluster.wire import (
     make_connect_ok,
     make_error,
     make_group,
+    make_ha_status,
+    make_ha_status_ok,
     make_result,
     make_session_open_ok,
 )
@@ -171,6 +175,23 @@ class ControllerConfig:
     #: Compact the log every N appends (0 = only on demand). Compaction
     #: truncates entries older than the oldest live named checkpoint.
     auto_compact_every: int = 0
+    #: Controller HA (docs/ha.md): addresses of the *other* controllers
+    #: replicating this recovery log. Non-empty activates the
+    #: ReplicatedLogStore wrap — the primary's group-commit flush pushes
+    #: each fsync group to these peers and requires a strict cluster
+    #: majority (counting itself) before any write is acknowledged, and
+    #: followers refuse writes with a retryable ``not_primary`` ERROR.
+    #: Use 3 controllers: a 2-node cluster's majority is 2, so either
+    #: node's death halts writes (deliberately — see docs/ha.md).
+    ha_peers: List[Address] = field(default_factory=list)
+    #: Force this node's initial HA role. None (default) derives it
+    #: deterministically: the lexicographically smallest controller
+    #: address starts as primary.
+    ha_primary: Optional[bool] = None
+    #: Seconds a replication round waits for one follower's ack.
+    ha_ack_timeout_s: float = 5.0
+    #: Seconds an election probe waits for a peer's HA_STATUS_OK.
+    ha_probe_timeout_s: float = 2.0
     #: Run the heartbeat failure detector from a background thread while
     #: the controller is started. ``Controller.heartbeat()`` can always be
     #: called manually (experiments drive it from a simulated clock).
@@ -268,9 +289,15 @@ class Controller:
         self.network = network
         self.address = address
         self.clock = clock
+        ha_enabled = bool(config.ha_peers)
+        # HA piggybacks on the group-commit coordinator: wait_durable's
+        # flush is where the majority-ack replication round runs (one
+        # round per fsync group, not per entry), so HA keeps a
+        # coordinator even over a volatile store — the memory store's
+        # flush is a no-op fsync, but the round still happens.
         group_commit_active = (
             config.log_dir is not None and config.log_fsync and config.group_commit
-        )
+        ) or ha_enabled
         if config.log_dir is not None:
             os.makedirs(config.log_dir, exist_ok=True)
             store = FileLogStore(
@@ -286,11 +313,32 @@ class Controller:
         else:
             store = MemoryLogStore()
             checkpoints = CheckpointRegistry()
+        self.ha_store: Optional[ReplicatedLogStore] = None
+        if ha_enabled:
+            self.ha_store = ReplicatedLogStore(
+                store,
+                network,
+                node_id=config.controller_id,
+                self_address=address,
+                peer_addresses=list(config.ha_peers),
+                initial_primary=config.ha_primary,
+                ack_timeout_s=config.ha_ack_timeout_s,
+                meta_path=(
+                    os.path.join(config.log_dir, "ha.json")
+                    if config.log_dir is not None
+                    else None
+                ),
+            )
+            self.ha_store.set_checkpoint_snapshot_provider(checkpoints.snapshot)
+            store = self.ha_store
         self.recovery_log = RecoveryLog(
             store=store,
             checkpoints=checkpoints,
             auto_compact_every=config.auto_compact_every,
         )
+        #: Serialises election attempts (non-blocking: a write that finds
+        #: an election already running just reports not_primary).
+        self._election_lock = threading.Lock()
         self.group_commit = (
             GroupCommit(self.recovery_log, window_s=config.group_commit_window_ms / 1000.0)
             if group_commit_active
@@ -368,6 +416,8 @@ class Controller:
         self.metrics.register_collector("scheduler", self.scheduler.stats)
         self.metrics.register_collector("recovery", self._recovery_stats)
         self.metrics.register_collector("slow_queries", self.slow_queries.stats)
+        if self.ha_store is not None:
+            self.metrics.register_collector("ha", self.ha_store.ha_stats)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -398,7 +448,11 @@ class Controller:
             self._heartbeat_thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, flush: bool = True) -> None:
+        """Stop serving. ``flush=False`` simulates a crash: the final
+        log flush — and with it the final HA replication round — is
+        skipped, exactly the window where a primary dies between
+        appending an entry and shipping it (tests/chaos.py uses this)."""
         if self._heartbeat_thread is not None:
             self._heartbeat_stop.set()
             self._heartbeat_thread.join(timeout=5.0)
@@ -416,7 +470,13 @@ class Controller:
         # (a controller restarted on the same log_dir resumes at this
         # index) and release the segment file handle — a later start()
         # reopens it lazily on the next append.
-        self.recovery_log.flush()
+        if flush:
+            try:
+                self.recovery_log.flush()
+            except DriverError:
+                # A dying HA primary may fail its final replication
+                # round (peers gone, quorum lost); shutdown proceeds.
+                pass
         self.recovery_log.close()
 
     def _heartbeat_loop(self) -> None:
@@ -554,6 +614,8 @@ class Controller:
             "recovery": self._recovery_stats(),
             "obs": self._obs_stats(),
         }
+        if self.ha_store is not None:
+            stats["ha"] = self.ha_store.ha_stats()
         stats.update(self._controller_stats())
         return stats
 
@@ -878,6 +940,184 @@ class Controller:
             return
         channel.send({"type": "seq_group_ack", "controller_id": self.config.controller_id})
 
+    # -- controller HA (docs/ha.md) ---------------------------------------------------------
+
+    def promote(self) -> int:
+        """Promote this controller to HA primary at a fresh epoch;
+        returns the new epoch.
+
+        Besides the role flip, promotion seeds replay dedup: every
+        retained log entry was broadcast to the shared replica databases
+        by the old primary *before* it was replicated here, so this
+        node's Backend views mark those per-table sequences applied —
+        a post-promotion resync replays the tail idempotently instead of
+        double-applying writes the databases already hold."""
+        if self.ha_store is None:
+            raise DriverError(
+                f"controller {self.config.controller_id} has no HA peers configured"
+            )
+        epoch = self.ha_store.promote()
+        entries = self.recovery_log.entries_after(self.recovery_log.first_index - 1)
+        for backend in self.scheduler.backends():
+            if backend.enabled:
+                for entry in entries:
+                    if entry.table_seqs:
+                        backend.advance_checkpoint(entry.index, entry.table_seqs)
+        # Push the new epoch out so surviving peers adopt it (and the
+        # deposed primary, if reachable, demotes itself immediately).
+        self.ha_store.announce()
+        return epoch
+
+    def _serve_replication_channel(self, channel: Channel, first: Dict[str, Any]) -> None:
+        """Serve a primary's persistent replication channel: apply each
+        REPLICATE frame, ack, repeat until the channel dies."""
+        message = first
+        while True:
+            if self.ha_store is None:
+                reply = make_error(
+                    "ha_disabled",
+                    f"controller {self.config.controller_id} has no HA peers configured",
+                )
+            else:
+                reply, applied = self.ha_store.apply_replicate(message)
+                if applied:
+                    # Replicated entries bypass RecoveryLog.append, so the
+                    # facade's per-table sequence counters must be advanced
+                    # here — otherwise a later promotion would hand out
+                    # colliding sequences.
+                    self.recovery_log.observe_replicated(applied)
+                snapshot = message.get("checkpoints")
+                if (
+                    snapshot is not None
+                    and reply.get("type") == ClusterMessageType.REPLICATE_OK
+                ):
+                    self.recovery_log.checkpoints.restore_snapshot(snapshot)
+            try:
+                channel.send(reply)
+                message = channel.recv(timeout=None)
+            except TransportError:
+                return
+            if message is None or message.get("type") != ClusterMessageType.REPLICATE:
+                return
+
+    def _handle_ha_status(self, channel: Channel) -> None:
+        """Answer one election probe."""
+        if self.ha_store is None:
+            reply: Dict[str, Any] = make_error(
+                "ha_disabled",
+                f"controller {self.config.controller_id} has no HA peers configured",
+            )
+        else:
+            status = self.ha_store.status()
+            reply = make_ha_status_ok(
+                status["node_id"],
+                status["address"],
+                status["epoch"],
+                status["role"],
+                status["last_index"],
+            )
+        try:
+            channel.send(reply)
+        except TransportError:
+            pass
+
+    def _probe_ha_peer(self, address: Address) -> Optional[Dict[str, Any]]:
+        """One HA_STATUS round trip; None when the peer is unreachable."""
+        try:
+            channel = self.network.connect(address, timeout=self.config.ha_probe_timeout_s)
+        except TransportError:
+            return None
+        try:
+            channel.send(make_ha_status(self.config.controller_id))
+            reply = channel.recv(timeout=self.config.ha_probe_timeout_s)
+        except TransportError:
+            return None
+        finally:
+            try:
+                channel.close()
+            except TransportError:
+                pass
+        if not isinstance(reply, dict) or reply.get("type") != ClusterMessageType.HA_STATUS_OK:
+            return None
+        return reply
+
+    def _maybe_promote(self) -> bool:
+        """Deterministic self-election, run when a write lands on a
+        follower: probe every peer, and promote only when (a) no
+        reachable peer claims the primaryship at our epoch or newer, and
+        (b) a strict cluster majority is reachable (self included) and
+        this node wins the (last_index, node_id) tie-break among the
+        responders. Every surviving follower computes the same winner
+        from the same probes, so at most one promotes. Returns whether
+        this node is primary afterwards."""
+        store = self.ha_store
+        if store is None:
+            return False
+        if not self._election_lock.acquire(blocking=False):
+            # An election is already running on another worker; this
+            # statement just bounces with not_primary and the driver
+            # retries — by then the election has settled.
+            return store.is_primary
+        try:
+            status = store.status()
+            if status["role"] == "primary":
+                return True
+            responders = [status]
+            live_primary: Optional[Dict[str, Any]] = None
+            for address in store.peer_addresses():
+                peer_status = self._probe_ha_peer(address)
+                if peer_status is None:
+                    continue
+                responders.append(
+                    {
+                        "node_id": str(peer_status["node_id"]),
+                        "address": str(peer_status["address"]),
+                        "epoch": int(peer_status["epoch"]),
+                        "role": str(peer_status["role"]),
+                        "last_index": int(peer_status["last_index"]),
+                    }
+                )
+                candidate = responders[-1]
+                if candidate["role"] == "primary" and candidate["epoch"] >= status["epoch"]:
+                    if live_primary is None or candidate["epoch"] > live_primary["epoch"]:
+                        live_primary = candidate
+            if live_primary is not None:
+                # The primary is alive (we were probed by a stale hint or
+                # a client raced a settled election): just point at it.
+                store.set_primary_hint(live_primary["address"])
+                return False
+            if len(responders) < store.required_acks:
+                # Can't prove a majority side of any partition; promoting
+                # here could split the brain. Stay a follower.
+                return False
+            winner = max(responders, key=lambda s: (s["last_index"], s["node_id"]))
+            if winner["node_id"] != status["node_id"]:
+                store.set_primary_hint(winner["address"])
+                return False
+            self.promote()
+            return True
+        finally:
+            self._election_lock.release()
+
+    def _ha_gate_write(self) -> Optional[Dict[str, Any]]:
+        """Refuse a write on an HA follower with a retryable
+        ``not_primary`` ERROR carrying the primary's address; runs the
+        election first so a cluster whose primary just died heals on the
+        very write that discovered it."""
+        store = self.ha_store
+        assert store is not None
+        if store.is_primary or self._maybe_promote():
+            return None
+        reply = make_error(
+            ERROR_NOT_PRIMARY,
+            f"controller {self.config.controller_id} is an HA follower "
+            f"(epoch {store.epoch}); retry on the primary",
+        )
+        hint = store.primary_hint
+        if hint:
+            reply["primary_host"] = hint
+        return reply
+
     # -- client connections -----------------------------------------------------------------
 
     def _handle_channel(self, channel: Channel) -> None:
@@ -892,6 +1132,12 @@ class Controller:
                 return
         if message_type == ClusterMessageType.GROUP:
             self._handle_group_message(channel, first)
+            return
+        if message_type == ClusterMessageType.REPLICATE:
+            self._serve_replication_channel(channel, first)
+            return
+        if message_type == ClusterMessageType.HA_STATUS:
+            self._handle_ha_status(channel)
             return
         if message_type != ClusterMessageType.CONNECT:
             channel.send(make_error("bad_handshake", f"expected seq_connect, got {message_type!r}"))
@@ -994,6 +1240,14 @@ class Controller:
             with trace.span("classify"):
                 statement = classify(sql)
             trace.annotate(command=statement.command, session=session.session_id)
+        if self.ha_store is not None and not (statement.is_read and not session.in_transaction):
+            # HA: only the primary accepts writes (reads outside a
+            # transaction are served by any node). The retryable
+            # not_primary bounce carries the primary's address, so the
+            # driver's failover lands on the right sibling first try.
+            refusal = self._ha_gate_write()
+            if refusal is not None:
+                return refusal
         if (
             self.scheduler.resync_in_progress
             and self.peers()

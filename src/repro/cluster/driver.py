@@ -29,6 +29,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cluster.wire import (
     CLUSTER_PROTOCOL_VERSION,
+    ERROR_NOT_PRIMARY,
     ERROR_SERVER_BUSY,
     MULTIPLEX_MIN_VERSION,
     TRACE_MIN_VERSION,
@@ -340,6 +341,14 @@ class ClusterConnection(Connection):
         self._lock = threading.Lock()
         self.statements_executed = 0
         self.failovers = 0
+        #: Controller HA: the primary address the last ``not_primary``
+        #: bounce carried (tried first on the next reconnect), and
+        #: whether the last OperationalError was such a bounce — bounces
+        #: get their own bounded retry grace so chasing the primary does
+        #: not eat the dead-host failover budget.
+        self._primary_hint: Optional[str] = None
+        self._not_primary_bounce = False
+        self.not_primary_bounces = 0
         #: server_busy admission rejections retried (and total time slept
         #: backing off) — the saturation-visibility twin of ``failovers``.
         self.server_busy_retries = 0
@@ -418,6 +427,11 @@ class ClusterConnection(Connection):
         ordered = hosts[start:] + hosts[:start]
         if exclude is not None:
             ordered = [host for host in ordered if host != exclude] or ordered
+        hint = self._primary_hint
+        if hint is not None and hint in ordered:
+            # An HA follower told us where the primary is: try it first
+            # instead of probing hosts in round-robin order.
+            ordered = [hint] + [host for host in ordered if host != hint]
         last_error: Optional[Exception] = None
         for host in ordered:
             key = (id(self._network), host, self._url.database, self._user)
@@ -516,6 +530,11 @@ class ClusterConnection(Connection):
             # a reconnect that fails raises without bumping the counter.
             attempts = max(2, len(self._url.hosts))
             busy_left = self._busy_retries
+            # HA ``not_primary`` bounces are healthy redirections, not
+            # failures: they get their own bounded grace so a redirect
+            # (or a just-finished election) never exhausts the budget
+            # meant for actually-dead controllers.
+            bounce_grace = len(self._url.hosts)
             attempt = 0
             while attempt < attempts:
                 try:
@@ -548,9 +567,13 @@ class ClusterConnection(Connection):
                     if self._in_transaction:
                         self._closed = True
                         raise
-                    attempt += 1
-                    if attempt >= attempts:
-                        raise
+                    bounced, self._not_primary_bounce = self._not_primary_bounce, False
+                    if bounced and bounce_grace > 0:
+                        bounce_grace -= 1
+                    else:
+                        attempt += 1
+                        if attempt >= attempts:
+                            raise
                     self._connect_to_any(exclude=getattr(self, "_current_host", None))
                     self.failovers += 1
             raise OperationalError("unreachable")  # pragma: no cover
@@ -604,6 +627,15 @@ class ClusterConnection(Connection):
             message = f"[{code}] {reply.get('message')}"
             if code == ERROR_SERVER_BUSY:
                 raise _ServerBusy(message)
+            if code == ERROR_NOT_PRIMARY:
+                # HA follower bounce: remember where the primary is (the
+                # reply may carry its address) and fail over — the
+                # statement never ran, so the retry is safe.
+                hint = reply.get("primary_host")
+                self._primary_hint = str(hint) if hint else None
+                self._not_primary_bounce = True
+                self.not_primary_bounces += 1
+                raise OperationalError(message)
             if code in ("execution_failed",):
                 raise ProgrammingError(message)
             raise OperationalError(message)
@@ -740,6 +772,7 @@ class ClusterConnection(Connection):
         return {
             "statements_executed": self.statements_executed,
             "failovers": self.failovers,
+            "not_primary_bounces": self.not_primary_bounces,
             "server_busy_retries": self.server_busy_retries,
             "busy_backoff_seconds": self.busy_backoff_seconds,
             "tracing": self._tracing,

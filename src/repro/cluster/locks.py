@@ -104,6 +104,9 @@ class LockManager:
         self._exclusive_depth = 0
         #: Exclusive callers currently waiting (gives them priority).
         self._exclusive_waiters = 0
+        #: Scope callers currently blocked (observable: lets tests and
+        #: operators see queued writers live, not only after the fact).
+        self._scope_waiters = 0
         # -- counters (surfaced through stats()) --
         self.table_acquisitions = 0
         self.key_acquisitions = 0
@@ -160,15 +163,20 @@ class LockManager:
                 return _COVERED
             waited = False
             started = 0.0
-            while (
-                self._exclusive_owner is not None
-                or self._exclusive_waiters
-                or self._scope_conflicts_locked(scope)
-            ):
-                if not waited:
-                    waited = True
-                    started = time.monotonic()
-                self._cond.wait()
+            try:
+                while (
+                    self._exclusive_owner is not None
+                    or self._exclusive_waiters
+                    or self._scope_conflicts_locked(scope)
+                ):
+                    if not waited:
+                        waited = True
+                        started = time.monotonic()
+                        self._scope_waiters += 1
+                    self._cond.wait()
+            finally:
+                if waited:
+                    self._scope_waiters -= 1
             if waited:
                 self.wait_seconds += time.monotonic() - started
                 if scope.tables:
@@ -302,6 +310,7 @@ class LockManager:
                 "active_table_ops": self._active_scope_ops,
                 "exclusive_held": self._exclusive_owner is not None,
                 "exclusive_waiters": self._exclusive_waiters,
+                "scope_waiters": self._scope_waiters,
                 "table_acquisitions": self.table_acquisitions,
                 "key_acquisitions": self.key_acquisitions,
                 "exclusive_acquisitions": self.exclusive_acquisitions,

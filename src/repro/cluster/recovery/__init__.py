@@ -20,9 +20,13 @@ package is the production-shaped version of that mechanism:
   dump + tail replay instead of a full-history replay,
 - :mod:`repro.cluster.recovery.failure_detector` — a heartbeat-driven
   detector that auto-disables dead backends at a checkpoint and
-  auto-resyncs them when they come back.
+  auto-resyncs them when they come back,
+- :mod:`repro.cluster.recovery.replication` — controller HA:
+  :class:`ReplicatedLogStore` wraps any store and replicates the log and
+  checkpoint registry to controller peers with a majority-ack rule and
+  an epoch scheme that fences deposed primaries.
 
-See docs/recovery.md for the full walkthrough.
+See docs/recovery.md and docs/ha.md for the full walkthroughs.
 """
 
 from repro.cluster.recovery.logstore import (
@@ -33,6 +37,7 @@ from repro.cluster.recovery.logstore import (
 )
 from repro.cluster.recovery.checkpoints import Checkpoint, CheckpointRegistry
 from repro.cluster.recovery.log import GroupCommit, LogCompactedError, RecoveryLog
+from repro.cluster.recovery.replication import ReplicatedLogStore, ReplicationError
 from repro.cluster.recovery.dumper import (
     ColumnDump,
     DatabaseDump,
@@ -51,6 +56,8 @@ __all__ = [
     "RecoveryLog",
     "GroupCommit",
     "LogCompactedError",
+    "ReplicatedLogStore",
+    "ReplicationError",
     "ColumnDump",
     "TableDump",
     "DatabaseDump",

@@ -103,6 +103,31 @@ class CheckpointRegistry:
         with self._lock:
             return sorted(self._checkpoints)
 
+    # -- HA replication -----------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Wire form of every live checkpoint — shipped whole in each
+        REPLICATE frame (one row per named checkpoint, so a full snapshot
+        is cheaper than a delta protocol and self-healing)."""
+        with self._lock:
+            return [cp.to_wire() for cp in self._checkpoints.values()]
+
+    def restore_snapshot(self, items: List[Dict[str, Any]]) -> bool:
+        """Replace the registry's contents with a replicated primary's
+        snapshot; returns whether anything changed. A follower's registry
+        is a pure function of the latest frame, so releases propagate as
+        naturally as creates."""
+        incoming = {
+            str(item["name"]): Checkpoint(name=str(item["name"]), index=int(item["index"]))
+            for item in items
+        }
+        with self._lock:
+            if incoming == self._checkpoints:
+                return False
+            self._checkpoints = incoming
+            self._save_locked()
+            return True
+
     def live(self) -> List[Checkpoint]:
         with self._lock:
             return sorted(self._checkpoints.values(), key=lambda cp: (cp.index, cp.name))

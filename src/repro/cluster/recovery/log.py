@@ -139,6 +139,20 @@ class RecoveryLog:
             table_seqs=seqs,
         )
 
+    def observe_replicated(self, entries: Iterable[LogEntry]) -> None:
+        """Advance per-table sequence counters for entries appended to the
+        store *from replication* rather than through :meth:`append`.
+
+        An HA follower's store receives entries directly from REPLICATE
+        frames, bypassing this facade — without this, a promoted follower
+        would assign per-table sequences that collide with ones the old
+        primary already handed out, corrupting replay dedup."""
+        with self._lock:
+            for entry in entries:
+                for table, seq in entry.table_seqs.items():
+                    if seq > self._table_seqs.get(table, 0):
+                        self._table_seqs[table] = seq
+
     def _maybe_compact_locked(self) -> None:
         if self.auto_compact_every and self._appends_since_compact >= self.auto_compact_every:
             self._compact_locked()

@@ -1,0 +1,544 @@
+"""Controller HA: recovery-log replication across controller peers.
+
+The paper's middleware replicates the *backends*, but each controller's
+recovery log is local — if the controller dies, committed writes that
+only its log knew about are stranded even though the physical databases
+applied them. :class:`ReplicatedLogStore` closes that gap: it wraps any
+:class:`~repro.cluster.recovery.logstore.LogStore` and, when the
+group-commit leader flushes, pushes the fsync group's entries to every
+follower peer over the cluster wire protocol (REPLICATE/REPLICATE_OK
+frames) and requires a **majority of the controller cluster** to hold
+them before ``wait_durable`` resolves. One replication round covers the
+whole fsync group — the group-commit batching from PR 7 amortises the
+network round-trip exactly like it amortises the fsync.
+
+Total order is the recovery log's own: entries arrive at the primary
+already indexed (the :class:`RecoveryLog` facade serialises appends), so
+replication is a log-shipping protocol, not a consensus one. What keeps
+it safe across failover is the **epoch rule**:
+
+- every node tracks an integer ``epoch``; frames carry the sender's
+  epoch;
+- a follower refuses any REPLICATE whose epoch is *older* than its own
+  (reply: ``stale_epoch`` carrying the refuser's epoch), and adopts any
+  *newer* epoch (demoting itself if it thought it was primary);
+- promotion bumps the epoch past every value the promoting node has
+  seen, so a deposed primary that comes back cannot reach a majority —
+  every up-to-date peer refuses its stale epoch, its quorum fails, and
+  it demotes itself on the spot.
+
+With ``2f+1`` controllers the cluster tolerates ``f`` failures. The
+degenerate 2-node cluster has majority 2, so *either* node's death
+halts writes — deliberate: a 2-node cluster that kept accepting writes
+on one node could diverge under partition. Use 3 controllers for HA.
+
+See docs/ha.md for the protocol walk-through.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DriverError, TransportError
+
+from repro.cluster.wire import (
+    ClusterMessageType,
+    ERROR_STALE_EPOCH,
+    make_error,
+    make_replicate,
+    make_replicate_ok,
+)
+from repro.cluster.recovery.logstore import LogEntry, LogStore, atomic_write_json
+
+ROLE_PRIMARY = "primary"
+ROLE_FOLLOWER = "follower"
+
+
+class ReplicationError(DriverError):
+    """A replication round could not reach a majority, or this node was
+    deposed mid-round. Raised out of ``flush()`` — and therefore out of
+    ``GroupCommit.wait_durable`` — so a write whose durability could not
+    be confirmed fails at the client instead of lying about it. The
+    statement may still have been applied by the backends (durability
+    *unknown*, exactly like a crashed commit on a single-node database);
+    replay dedup via per-table sequences keeps a retry safe."""
+
+
+class _PeerLink:
+    """One persistent replication channel to a follower peer.
+
+    The channel is lazily (re)connected; any transport failure closes it
+    so the next round starts fresh. ``acked_index`` is the highest log
+    index the peer confirmed holding — the cursor that keeps steady-state
+    rounds incremental. ``blocked`` is a fault-injection seam used by
+    ``tests/chaos.py`` to partition exactly this link (the in-memory
+    network's address-pair partitions cannot target outbound channels,
+    whose source addresses are anonymous)."""
+
+    def __init__(
+        self,
+        address: str,
+        network: Any,
+        connect_timeout_s: float,
+        ack_timeout_s: float,
+    ) -> None:
+        self.address = address
+        self._network = network
+        self._connect_timeout_s = connect_timeout_s
+        self._ack_timeout_s = ack_timeout_s
+        self._channel: Optional[Any] = None
+        self.acked_index = 0
+        self.reachable = False
+        self.blocked = False
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and wait for its reply; raises TransportError."""
+        if self.blocked:
+            raise TransportError(
+                f"replication link to {self.address} partitioned (chaos)"
+            )
+        channel = self._channel
+        if channel is None:
+            channel = self._network.connect(
+                self.address, timeout=self._connect_timeout_s
+            )
+            self._channel = channel
+        try:
+            channel.send(message)
+            reply = channel.recv(timeout=self._ack_timeout_s)
+        except TransportError:
+            self.close()
+            raise
+        if reply is None:
+            self.close()
+            raise TransportError(f"replication peer {self.address} closed the channel")
+        return reply
+
+    def close(self) -> None:
+        channel, self._channel = self._channel, None
+        if channel is not None:
+            try:
+                channel.close()
+            except TransportError:
+                pass
+
+
+class ReplicatedLogStore(LogStore):
+    """Wrap an inner :class:`LogStore` with majority-ack peer replication.
+
+    On the **primary**, ``flush()`` first makes the fsync group durable
+    locally (``inner.flush()``), then runs one replication round: every
+    peer missing entries gets them in a single REPLICATE frame, and the
+    round succeeds only when acks + self reach ``required_acks`` (strict
+    cluster majority, counting this node). Failure raises
+    :class:`ReplicationError` up through ``wait_durable``.
+
+    On a **follower**, :meth:`apply_replicate` appends the shipped
+    entries idempotently (duplicates skipped, gaps reported for
+    backfill), mirrors the primary's compaction floor, and flushes the
+    inner store *before* acking — a majority ack therefore means a
+    majority of controllers hold the entries at their own local
+    durability level.
+    """
+
+    def __init__(
+        self,
+        inner: LogStore,
+        network: Any,
+        node_id: str,
+        self_address: str,
+        peer_addresses: List[str],
+        initial_primary: Optional[bool] = None,
+        ack_timeout_s: float = 5.0,
+        connect_timeout_s: float = 2.0,
+        meta_path: Optional[str] = None,
+    ) -> None:
+        self.inner = inner
+        self.node_id = node_id
+        self.self_address = self_address
+        self._meta_path = meta_path
+        self._peers: Dict[str, _PeerLink] = {
+            address: _PeerLink(address, network, connect_timeout_s, ack_timeout_s)
+            for address in peer_addresses
+        }
+        self.cluster_size = 1 + len(self._peers)
+        #: Strict majority of the controller cluster, counting this node.
+        self.required_acks = self.cluster_size // 2 + 1
+        self.epoch = 1
+        #: Where the cluster thinks the primary is; followers hand this
+        #: to bounced drivers so failover goes straight to the right node.
+        self.primary_hint: Optional[str] = None
+        restored = self._load_meta()
+        if restored is not None:
+            # This node was deposed or promoted in a previous life; its
+            # pre-crash role is unknowable, so restart as a follower at
+            # the persisted epoch and let election sort it out.
+            self.epoch = restored
+            self.role = ROLE_FOLLOWER
+        elif initial_primary is not None:
+            self.role = ROLE_PRIMARY if initial_primary else ROLE_FOLLOWER
+        else:
+            # Deterministic initial primary with zero configuration: the
+            # lexicographically smallest controller address. Every peer
+            # computes the same answer from the same peer list.
+            all_addresses = sorted([self_address, *peer_addresses])
+            self.role = ROLE_PRIMARY if all_addresses[0] == self_address else ROLE_FOLLOWER
+            if self.role == ROLE_FOLLOWER:
+                self.primary_hint = all_addresses[0]
+        #: Serialises replication rounds (one group-commit leader at a
+        #: time calls flush, but promote()/announce() may race it).
+        self._round_lock = threading.Lock()
+        #: Guards epoch/role/hint transitions against concurrent
+        #: REPLICATE application and election probes.
+        self._state_lock = threading.Lock()
+        self._checkpoint_snapshot: Optional[Callable[[], List[Dict[str, Any]]]] = None
+        self._replicated_through = 0
+        self._announced_floor = 0
+        self.rounds = 0
+        self.entries_shipped = 0
+        self.quorum_failures = 0
+        self.promotions = 0
+        self.depositions = 0
+        self.epoch_adoptions = 0
+
+    # -- epoch persistence --------------------------------------------------------
+
+    def _load_meta(self) -> Optional[int]:
+        if self._meta_path is None:
+            return None
+        import json
+        import os
+
+        if not os.path.exists(self._meta_path):
+            return None
+        try:
+            with open(self._meta_path, "r", encoding="utf-8") as handle:
+                return int(json.load(handle).get("epoch", 1))
+        except (ValueError, OSError):
+            return None
+
+    def _persist_meta_locked(self) -> None:
+        if self._meta_path is not None:
+            atomic_write_json(self._meta_path, {"epoch": self.epoch})
+
+    # -- wiring --------------------------------------------------------------------
+
+    def set_checkpoint_snapshot_provider(
+        self, provider: Callable[[], List[Dict[str, Any]]]
+    ) -> None:
+        """Install the callable that captures the live checkpoint registry
+        for shipping alongside log entries (set after the registry exists;
+        the store is constructed first)."""
+        self._checkpoint_snapshot = provider
+
+    @property
+    def is_primary(self) -> bool:
+        return self.role == ROLE_PRIMARY
+
+    def peer_addresses(self) -> List[str]:
+        return list(self._peers)
+
+    def peer_link(self, address: str) -> _PeerLink:
+        return self._peers[address]
+
+    # -- LogStore delegation -------------------------------------------------------
+
+    def append(self, entry: LogEntry) -> None:
+        self.inner.append(entry)
+
+    def append_many(self, entries: List[LogEntry]) -> None:
+        self.inner.append_many(entries)
+
+    def entries_after(self, index: int) -> List[LogEntry]:
+        return self.inner.entries_after(index)
+
+    @property
+    def last_index(self) -> int:
+        return self.inner.last_index
+
+    @property
+    def truncated_through(self) -> int:
+        return self.inner.truncated_through
+
+    @property
+    def entry_count(self) -> int:
+        return self.inner.entry_count
+
+    def truncate_through(self, index: int) -> int:
+        return self.inner.truncate_through(index)
+
+    def close(self) -> None:
+        for peer in self._peers.values():
+            peer.close()
+        self.inner.close()
+
+    def __getattr__(self, name: str) -> Any:
+        # Store-specific observables (FileLogStore.fsyncs, .directory,
+        # .recovered_partial_lines, ...) stay reachable through the wrap.
+        return getattr(self.inner, name)
+
+    # -- primary side --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Local durability first, then one majority-ack round for
+        everything the fsync group made durable. Called once per
+        group-commit flush — N batched writes cost one network round."""
+        self.inner.flush()
+        if self._peers and self.is_primary:
+            self.replicate()
+
+    def replicate(self, force: bool = False, require_quorum: bool = True) -> bool:
+        """Run one replication round; returns True on majority.
+
+        Skips the network entirely when nothing new happened since the
+        last majority-acked round (``force`` overrides, used by
+        :meth:`announce` after promotion). Raises
+        :class:`ReplicationError` when the round cannot reach a majority
+        (``require_quorum=False`` downgrades that to a False return, for
+        best-effort announcements)."""
+        with self._round_lock:
+            with self._state_lock:
+                if self.role != ROLE_PRIMARY:
+                    raise ReplicationError(
+                        f"{self.node_id} is not the primary (epoch {self.epoch})"
+                    )
+                epoch = self.epoch
+            head = self.inner.last_index
+            floor = self.inner.truncated_through
+            if not force and head <= self._replicated_through and floor <= self._announced_floor:
+                return True
+            checkpoints = (
+                self._checkpoint_snapshot() if self._checkpoint_snapshot else None
+            )
+            acks = 1  # this node holds its own log
+            stale_epoch_seen = 0
+            for peer in self._peers.values():
+                outcome = self._replicate_to_peer(peer, epoch, floor, checkpoints)
+                if outcome == "ack":
+                    peer.reachable = True
+                    acks += 1
+                elif outcome == "stale":
+                    peer.reachable = True
+                    stale_epoch_seen = max(stale_epoch_seen, self._last_stale_epoch)
+                else:
+                    peer.reachable = False
+            if stale_epoch_seen:
+                # A peer is ahead of us: we were deposed while we slept.
+                with self._state_lock:
+                    if stale_epoch_seen > self.epoch:
+                        self.epoch = stale_epoch_seen
+                        self.epoch_adoptions += 1
+                    if self.role == ROLE_PRIMARY:
+                        self.role = ROLE_FOLLOWER
+                        self.depositions += 1
+                    self._persist_meta_locked()
+                raise ReplicationError(
+                    f"{self.node_id} was deposed: a peer is at epoch "
+                    f"{stale_epoch_seen}, refusing our stale appends"
+                )
+            if acks >= self.required_acks:
+                self.rounds += 1
+                self._replicated_through = head
+                self._announced_floor = floor
+                return True
+            self.quorum_failures += 1
+            if require_quorum:
+                raise ReplicationError(
+                    f"replication quorum failed: {acks}/{self.required_acks} "
+                    f"acks in a cluster of {self.cluster_size}"
+                )
+            return False
+
+    def _replicate_to_peer(
+        self,
+        peer: _PeerLink,
+        epoch: int,
+        floor: int,
+        checkpoints: Optional[List[Dict[str, Any]]],
+    ) -> str:
+        """Ship the peer everything past its ack cursor; returns "ack",
+        "stale" (peer refused our epoch) or "down"."""
+        self._last_stale_epoch = 0
+        for attempt in range(2):  # one retry to backfill a reported gap
+            base = max(peer.acked_index, floor)
+            entries = [e.to_wire() for e in self.inner.entries_after(base)]
+            frame = make_replicate(
+                origin=self.node_id,
+                origin_address=self.self_address,
+                epoch=epoch,
+                entries=entries,
+                truncated_through=floor,
+                checkpoints=checkpoints,
+            )
+            try:
+                reply = peer.request(frame)
+            except TransportError:
+                return "down"
+            kind = reply.get("type")
+            if kind == ClusterMessageType.REPLICATE_OK:
+                self.entries_shipped += len(entries)
+                peer.acked_index = int(reply.get("last_index", 0))
+                if reply.get("gap") and attempt == 0:
+                    # The peer is further behind than our cursor thought
+                    # (e.g. it restarted empty); resend from its real head.
+                    continue
+                return "ack"
+            if kind == ClusterMessageType.ERROR and reply.get("code") == ERROR_STALE_EPOCH:
+                self._last_stale_epoch = int(reply.get("epoch", epoch + 1))
+                return "stale"
+            return "down"
+        return "ack"
+
+    # -- follower side -------------------------------------------------------------
+
+    def apply_replicate(self, frame: Dict[str, Any]) -> "tuple[Dict[str, Any], List[LogEntry]]":
+        """Apply one REPLICATE frame; returns ``(reply, applied_entries)``.
+
+        ``applied_entries`` is the suffix actually appended here (the
+        controller advances its per-table sequence counters and checkpoint
+        registry from it). The inner store is flushed before the ack so a
+        majority ack implies majority-local durability."""
+        with self._state_lock:
+            frame_epoch = int(frame.get("epoch", 0))
+            if frame_epoch < self.epoch or (
+                frame_epoch == self.epoch and self.role == ROLE_PRIMARY
+            ):
+                # Stale primary (or same-epoch split brain): refuse, and
+                # tell it our epoch so it demotes itself.
+                reply = make_error(
+                    ERROR_STALE_EPOCH,
+                    f"{self.node_id} is at epoch {self.epoch}, "
+                    f"refusing epoch {frame_epoch} appends",
+                )
+                reply["epoch"] = self.epoch
+                return reply, []
+            if frame_epoch > self.epoch:
+                self.epoch = frame_epoch
+                self.epoch_adoptions += 1
+                if self.role == ROLE_PRIMARY:
+                    self.role = ROLE_FOLLOWER
+                    self.depositions += 1
+                self._persist_meta_locked()
+            self.primary_hint = frame.get("origin_address") or self.primary_hint
+            entries = [LogEntry.from_wire(e) for e in frame.get("entries") or []]
+            local_last = self.inner.last_index
+            gap = False
+            applied: List[LogEntry] = []
+            if entries:
+                if entries[0].index > local_last + 1:
+                    gap = True
+                else:
+                    divergence = self._check_overlap_locked(entries, local_last)
+                    if divergence is not None:
+                        return divergence, []
+                    for entry in entries:
+                        if entry.index <= local_last:
+                            continue
+                        self.inner.append(entry)
+                        applied.append(entry)
+            floor = int(frame.get("truncated_through", 0))
+            if floor > self.inner.truncated_through:
+                self.inner.truncate_through(floor)
+            self.inner.flush()
+            reply = make_replicate_ok(
+                self.node_id, self.epoch, self.inner.last_index, gap=gap
+            )
+            return reply, applied
+
+    def _check_overlap_locked(
+        self, entries: List[LogEntry], local_last: int
+    ) -> Optional[Dict[str, Any]]:
+        """Compare the overlapping prefix against our retained log; a
+        mismatch means histories diverged (a deposed primary kept writes
+        no majority saw) and this node must not silently splice them."""
+        overlap = [e for e in entries if e.index <= local_last]
+        if not overlap:
+            return None
+        local = {
+            e.index: e for e in self.inner.entries_after(overlap[0].index - 1)
+        }
+        for incoming in overlap:
+            mine = local.get(incoming.index)
+            if mine is None:
+                continue  # below our compaction floor; nothing to compare
+            if (mine.sql, mine.table_seqs) != (incoming.sql, incoming.table_seqs):
+                return make_error(
+                    "diverged_log",
+                    f"{self.node_id} log diverges at index {incoming.index}; "
+                    "this node needs a reseed before rejoining",
+                )
+        return None
+
+    # -- promotion / election -----------------------------------------------------
+
+    def promote(self) -> int:
+        """Take over as primary at a fresh epoch; returns the new epoch.
+
+        The epoch bump past everything this node has seen is what fences
+        the old primary: its next round meets ``stale_epoch`` refusals at
+        every up-to-date peer and cannot reach a majority."""
+        with self._state_lock:
+            if self.role != ROLE_PRIMARY:
+                self.role = ROLE_PRIMARY
+                self.promotions += 1
+            self.epoch += 1
+            self.primary_hint = None
+            self._persist_meta_locked()
+            return self.epoch
+
+    def announce(self) -> bool:
+        """Best-effort round pushing the new epoch (and any entries the
+        peers miss) out after promotion; never raises on missing quorum."""
+        try:
+            return self.replicate(force=True, require_quorum=False)
+        except ReplicationError:
+            return False
+
+    def set_primary_hint(self, address: Optional[str]) -> None:
+        with self._state_lock:
+            self.primary_hint = address
+
+    def status(self) -> Dict[str, Any]:
+        """Election-probe payload (HA_STATUS_OK body, sans type)."""
+        with self._state_lock:
+            return {
+                "node_id": self.node_id,
+                "address": self.self_address,
+                "epoch": self.epoch,
+                "role": self.role,
+                "last_index": self.inner.last_index,
+            }
+
+    # -- stats ---------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        base = self.inner.stats()
+        base["replication"] = self.ha_stats()
+        return base
+
+    def ha_stats(self) -> Dict[str, Any]:
+        with self._state_lock:
+            return {
+                "node_id": self.node_id,
+                "role": self.role,
+                "epoch": self.epoch,
+                "cluster_size": self.cluster_size,
+                "required_acks": self.required_acks,
+                "primary_hint": self.primary_hint,
+                "replicated_through": self._replicated_through,
+                "rounds": self.rounds,
+                "entries_shipped": self.entries_shipped,
+                "quorum_failures": self.quorum_failures,
+                "promotions": self.promotions,
+                "depositions": self.depositions,
+                "epoch_adoptions": self.epoch_adoptions,
+                "peers": {
+                    address: {
+                        "acked_index": peer.acked_index,
+                        "reachable": peer.reachable,
+                        "blocked": peer.blocked,
+                    }
+                    for address, peer in self._peers.items()
+                },
+            }

@@ -63,6 +63,21 @@ TRACE_MIN_VERSION = 3
 #: OperationalError (still correct: the statement did not execute).
 ERROR_SERVER_BUSY = "server_busy"
 
+#: ERROR code an HA *follower* answers writes with: the statement never
+#: ran here, the client should retry against the primary. The reply may
+#: carry ``primary_host`` so a v3 driver can fail over straight to the
+#: current primary instead of probing hosts in URL order (see
+#: docs/ha.md). Older drivers surface it as a plain OperationalError
+#: and fall back to ordinary host-by-host failover — still correct.
+ERROR_NOT_PRIMARY = "not_primary"
+
+#: ERROR code a peer answers a REPLICATE frame with when the frame's
+#: epoch is older than the peer's: the sender was deposed (a sibling
+#: was promoted with a higher epoch) and must stop acting as primary.
+#: The reply carries ``epoch`` (the refusing peer's epoch) so the
+#: deposed node adopts it instead of re-announcing its stale one.
+ERROR_STALE_EPOCH = "stale_epoch"
+
 #: Correlation field sanity bound: a request_id is a small positive
 #: integer assigned per channel; anything outside this range is a
 #: malformed frame, not a plausible 10k-pipelined client.
@@ -88,6 +103,12 @@ class ClusterMessageType:
     SESSION_OPEN = "seq_session_open"
     SESSION_OPEN_OK = "seq_session_open_ok"
     SESSION_CLOSE = "seq_session_close"
+    # Controller HA: recovery-log replication (primary -> follower) and
+    # peer status probes used during election. See docs/ha.md.
+    REPLICATE = "seq_replicate"
+    REPLICATE_OK = "seq_replicate_ok"
+    HA_STATUS = "seq_ha_status"
+    HA_STATUS_OK = "seq_ha_status_ok"
 
 
 def make_connect(
@@ -249,4 +270,70 @@ def make_group(operation: str, payload: Dict[str, Any], origin: str) -> Dict[str
         "operation": operation,
         "payload": payload,
         "origin": origin,
+    }
+
+
+def make_replicate(
+    origin: str,
+    origin_address: str,
+    epoch: int,
+    entries: List[Dict[str, Any]],
+    truncated_through: int,
+    checkpoints: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Primary -> follower recovery-log replication frame.
+
+    ``entries`` is the wire form of every retained log entry the primary
+    believes the follower is missing (its indices are embedded, so the
+    follower applies idempotently and reports gaps). ``truncated_through``
+    mirrors the primary's compaction floor; ``checkpoints`` is the full
+    live checkpoint-registry snapshot — small by construction (one row
+    per named checkpoint), so shipping it whole every round is cheaper
+    than a delta protocol and makes the follower's registry a pure
+    function of the latest frame."""
+    message = {
+        "type": ClusterMessageType.REPLICATE,
+        "origin": origin,
+        "origin_address": origin_address,
+        "epoch": epoch,
+        "entries": entries,
+        "truncated_through": truncated_through,
+    }
+    if checkpoints is not None:
+        message["checkpoints"] = checkpoints
+    return message
+
+
+def make_replicate_ok(
+    node_id: str, epoch: int, last_index: int, gap: bool = False
+) -> Dict[str, Any]:
+    """Follower ack: ``last_index`` is its log head after applying, which
+    doubles as the backfill cursor when ``gap`` reports that the frame's
+    first entry left a hole (primary resends from ``last_index``)."""
+    message = {
+        "type": ClusterMessageType.REPLICATE_OK,
+        "node_id": node_id,
+        "epoch": epoch,
+        "last_index": last_index,
+    }
+    if gap:
+        message["gap"] = True
+    return message
+
+
+def make_ha_status(origin: str) -> Dict[str, Any]:
+    """Election probe: ask a peer for its role/epoch/log head."""
+    return {"type": ClusterMessageType.HA_STATUS, "origin": origin}
+
+
+def make_ha_status_ok(
+    node_id: str, address: str, epoch: int, role: str, last_index: int
+) -> Dict[str, Any]:
+    return {
+        "type": ClusterMessageType.HA_STATUS_OK,
+        "node_id": node_id,
+        "address": address,
+        "epoch": epoch,
+        "role": role,
+        "last_index": last_index,
     }

@@ -156,6 +156,7 @@ def build_cluster(
     standalone_drivolution: bool = False,
     drivolution_address: str = "drivolution:8000",
     controller_options: Optional[Dict[str, Any]] = None,
+    ha: bool = False,
 ) -> ClusterEnvironment:
     """Build a Sequoia-like cluster.
 
@@ -164,6 +165,10 @@ def build_cluster(
     distribution service on its own address (Figure 5).
     ``controller_options`` are extra :class:`ControllerConfig` fields, e.g.
     ``{"read_policy": "least_pending", "query_cache_enabled": True}``.
+    ``ha=True`` wires every controller's recovery log into a replicated
+    HA group (each controller gets the others as ``ha_peers`` — see
+    docs/ha.md; use ``controllers=3`` so a single death keeps a
+    majority). ``controller1`` starts as the primary.
     """
     index = next(_env_counter)
     clock = SimulatedClock()
@@ -186,16 +191,29 @@ def build_cluster(
             f"pydb://{address}/{database_name}", network=network
         )
 
+    controller_addresses = [
+        f"cluster{index}-controller{n + 1}:25322" for n in range(controllers)
+    ]
     controller_list: List[Controller] = []
     for controller_index in range(controllers):
+        options = dict(controller_options or {})
+        if ha and controllers > 1:
+            options.setdefault(
+                "ha_peers",
+                [
+                    address
+                    for address in controller_addresses
+                    if address != controller_addresses[controller_index]
+                ],
+            )
         controller = Controller(
             ControllerConfig(
                 controller_id=f"controller{controller_index + 1}",
                 virtual_database=virtual_database,
-                **dict(controller_options or {}),
+                **options,
             ),
             network,
-            f"cluster{index}-controller{controller_index + 1}:25322",
+            controller_addresses[controller_index],
             backends=[
                 Backend(f"db{replica_index + 1}", backend_factory(address))
                 for replica_index, address in enumerate(replica_addresses)

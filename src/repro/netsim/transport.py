@@ -137,6 +137,12 @@ class ChannelServer:
         self._threads: List[threading.Thread] = []
         self._accept_thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
+        # Accepted channels still owned by a live handler: stop() closes
+        # them so clients blocked on an in-flight reply observe the
+        # server's death (a real TCP server's sockets die with it) instead
+        # of hanging until their own receive timeout.
+        self._open_channels: Dict[int, Channel] = {}
+        self._open_lock = threading.Lock()
 
     @property
     def address(self) -> Address:
@@ -204,23 +210,38 @@ class ChannelServer:
         return sum(1 for thread in self._threads if thread.is_alive())
 
     def _run_handler(self, channel: Channel) -> None:
+        with self._open_lock:
+            self._open_channels[id(channel)] = channel
         try:
             self._handler(channel)
         except TransportError:
             pass
         finally:
+            with self._open_lock:
+                self._open_channels.pop(id(channel), None)
             try:
                 channel.close()
             except Exception:  # pragma: no cover - defensive
                 pass
 
     def stop(self) -> None:
-        """Stop accepting new connections. Existing handlers keep running."""
+        """Stop accepting new connections and close the accepted channels
+        (waking any client blocked on a reply with end-of-stream, like a
+        dying process's sockets would). Existing handlers keep running
+        until their next channel operation observes the close."""
         self._stopped.set()
         self._listener.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
+        with self._open_lock:
+            channels = list(self._open_channels.values())
+            self._open_channels.clear()
+        for channel in channels:
+            try:
+                channel.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
         if self._executor is not None:
             # Queued-but-unstarted handlers are abandoned; running ones
             # finish on their own (mirrors the per-thread mode, where

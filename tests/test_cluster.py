@@ -1,9 +1,8 @@
 """Tests for the Sequoia-like cluster middleware."""
 
-import time
-
 import pytest
 
+import chaos
 from repro.cluster import Backend, is_write_statement
 from repro.errors import DriverError
 from repro.cluster.recovery import RecoveryLog
@@ -222,10 +221,9 @@ class TestControllerSessions:
         # session thread; wait for that cleanup to land. Afterwards the
         # row is gone, the scheduler's transaction accounting is released,
         # and a new session can open a transaction of its own.
-        deadline = time.time() + 5.0
-        while controller.scheduler._open_transactions != 0 and time.time() < deadline:
-            time.sleep(0.01)
-        assert controller.scheduler._open_transactions == 0
+        assert chaos.wait_until(
+            lambda: controller.scheduler._open_transactions == 0
+        ), "abandoned transaction was never rolled back"
         cursor = setup.cursor()
         cursor.execute("SELECT COUNT(*) FROM dc_t")
         assert cursor.fetchone() == (0,)

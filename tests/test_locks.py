@@ -1,10 +1,10 @@
 """Unit tests for the conflict-aware lock manager."""
 
 import threading
-import time
 
 import pytest
 
+import chaos
 from repro.cluster.locks import LockManager, LockScope
 
 
@@ -12,6 +12,17 @@ def _spawn(target):
     thread = threading.Thread(target=target)
     thread.start()
     return thread
+
+
+def _blocked(manager, scope=0, exclusive=0):
+    """Wait (event-gated, no fixed sleep) until the expected number of
+    workers are parked inside the manager — the live waiter gauges make
+    "the other thread has started blocking" observable instead of
+    guessed at with time.sleep."""
+    assert chaos.wait_until(
+        lambda: manager.stats()["scope_waiters"] >= scope
+        and manager.stats()["exclusive_waiters"] >= exclusive
+    ), f"workers never blocked (wanted scope={scope}, exclusive={exclusive})"
 
 
 class TestTableScope:
@@ -49,7 +60,7 @@ class TestTableScope:
 
         threads = [_spawn(first), _spawn(second)]
         held.wait(timeout=5.0)
-        time.sleep(0.02)  # give the second worker time to block on b
+        _blocked(manager, scope=1)
         assert order == []
         release.set()
         for thread in threads:
@@ -92,7 +103,7 @@ class TestExclusiveScope:
 
         threads = [_spawn(table_worker), _spawn(exclusive_worker)]
         table_held.wait(timeout=5.0)
-        time.sleep(0.02)
+        _blocked(manager, exclusive=1)
         assert order == []  # exclusive is blocked behind the table scope
         release_table.set()
         for thread in threads:
@@ -124,9 +135,9 @@ class TestExclusiveScope:
         t1 = _spawn(first_table)
         first_held.wait(timeout=5.0)
         t2 = _spawn(exclusive_worker)
-        time.sleep(0.02)  # let the exclusive worker start waiting
+        _blocked(manager, exclusive=1)
         t3 = _spawn(late_table)
-        time.sleep(0.02)
+        _blocked(manager, scope=1, exclusive=1)
         assert order == []  # the late table scope queued behind exclusive
         release_first.set()
         for thread in (t1, t2, t3):
@@ -196,7 +207,7 @@ class TestKeyScope:
 
         threads = [_spawn(first), _spawn(second)]
         held.wait(timeout=5.0)
-        time.sleep(0.02)
+        _blocked(manager, scope=1)
         assert order == []
         release.set()
         for thread in threads:
@@ -225,7 +236,7 @@ class TestKeyScope:
 
         threads = [_spawn(key_holder), _spawn(table_taker)]
         held.wait(timeout=5.0)
-        time.sleep(0.02)
+        _blocked(manager, scope=1)
         assert order == []  # the table scope is blocked behind the key
         release.set()
         for thread in threads:
@@ -252,7 +263,7 @@ class TestKeyScope:
 
         threads = [_spawn(table_holder), _spawn(key_taker)]
         held.wait(timeout=5.0)
-        time.sleep(0.02)
+        _blocked(manager, scope=1)
         assert order == []
         release.set()
         for thread in threads:
@@ -298,7 +309,7 @@ class TestKeyScope:
 
         threads = [_spawn(key_worker), _spawn(exclusive_worker)]
         key_held.wait(timeout=5.0)
-        time.sleep(0.02)
+        _blocked(manager, exclusive=1)
         assert order == []
         release_key.set()
         for thread in threads:
@@ -414,7 +425,7 @@ class TestExclusiveSelfDeadlock:
 
         threads = [_spawn(owner), _spawn(outsider)]
         in_exclusive.wait(timeout=5.0)
-        time.sleep(0.02)
+        _blocked(manager, scope=1)
         assert order == []  # outsider waits; owner proceeds
         release.set()
         for thread in threads:

@@ -2,9 +2,10 @@
 
 import json
 import os
-import threading
 
 import pytest
+
+import chaos
 
 from repro.cluster import Backend, BackendState, Controller, ControllerConfig
 from repro.cluster.recovery import (
@@ -442,8 +443,7 @@ class TestFailureDetector:
         assert report["disabled"] == []
         assert all(b.last_heartbeat_at > 0 for b in controller.backends())
 
-        env.network.kill_endpoint(env.replica_addresses[0])
-        controller.backend("db1").close_connection()
+        chaos.fail_backend(env, controller, 0)
         # Default config needs two consecutive misses.
         first = controller.heartbeat()
         assert first["disabled"] == [] and first["pending"] == ["db1"]
@@ -457,7 +457,7 @@ class TestFailureDetector:
         scheduler.execute("INSERT INTO hb_t (id) VALUES (2)")
         scheduler.execute("INSERT INTO hb_t (id) VALUES (3)")
 
-        env.network.revive_endpoint(env.replica_addresses[0])
+        chaos.revive_backend(env, 0)
         recovery = controller.heartbeat()
         assert recovery["resynced"] == ["db1"]
         assert backend.enabled
@@ -483,13 +483,12 @@ class TestFailureDetector:
         env = cluster_env
         controller = env.controllers[0]
         controller.scheduler.execute("CREATE TABLE ovr_t (id INTEGER PRIMARY KEY)")
-        env.network.kill_endpoint(env.replica_addresses[0])
-        controller.backend("db1").close_connection()
+        chaos.fail_backend(env, controller, 0)
         controller.heartbeat()
         controller.heartbeat()
         assert controller.backend("db1").state == BackendState.DISABLED
         controller.disable_backend("db1")  # operator takes it for maintenance
-        env.network.revive_endpoint(env.replica_addresses[0])
+        chaos.revive_backend(env, 0)
         report = controller.heartbeat()
         assert report["resynced"] == []
         assert controller.backend("db1").state == BackendState.DISABLED
@@ -502,8 +501,7 @@ class TestFailureDetector:
         controller = env.controllers[0]
         scheduler = controller.scheduler
         scheduler.execute("CREATE TABLE ckpt_t (id INTEGER PRIMARY KEY)")
-        env.network.kill_endpoint(env.replica_addresses[0])
-        controller.backend("db1").close_connection()
+        chaos.fail_backend(env, controller, 0)
         controller.heartbeat()
         controller.heartbeat()  # auto-disable at checkpoint 1
         original = controller.backend("db1").checkpoint_index
@@ -512,7 +510,7 @@ class TestFailureDetector:
         controller.disable_backend("db1")  # must NOT advance to the head
         assert controller.backend("db1").checkpoint_index == original
         assert controller.recovery_log.checkpoints.get("backend:db1").index == original
-        env.network.revive_endpoint(env.replica_addresses[0])
+        chaos.revive_backend(env, 0)
         replayed = controller.enable_backend("db1")
         assert replayed == 2
         _, rows, _ = controller.backend("db1").execute("SELECT COUNT(*) FROM ckpt_t")
@@ -523,11 +521,10 @@ class TestFailureDetector:
         controller = env.controllers[0]
         scheduler = controller.scheduler
         scheduler.execute("CREATE TABLE wf_t (id INTEGER PRIMARY KEY)")
-        env.network.kill_endpoint(env.replica_addresses[0])
-        controller.backend("db1").close_connection()
+        chaos.fail_backend(env, controller, 0)
         scheduler.execute("INSERT INTO wf_t (id) VALUES (1)")  # marks db1 FAILED
         assert controller.backend("db1").state == BackendState.FAILED
-        env.network.revive_endpoint(env.replica_addresses[0])
+        chaos.revive_backend(env, 0)
         report = controller.heartbeat()
         assert report["resynced"] == ["db1"]
         _, rows, _ = controller.backend("db1").execute("SELECT COUNT(*) FROM wf_t")
@@ -556,12 +553,7 @@ class TestFailureDetector:
         )
         controller.start()
         try:
-            deadline = threading.Event()
-            for _ in range(100):
-                if controller.failure_detector.checks > 0:
-                    break
-                deadline.wait(0.01)
-            assert controller.failure_detector.checks > 0
+            assert chaos.wait_until(lambda: controller.failure_detector.checks > 0)
         finally:
             controller.stop()
         assert controller._heartbeat_thread is None
