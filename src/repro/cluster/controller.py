@@ -942,9 +942,10 @@ class Controller:
 
     # -- controller HA (docs/ha.md) ---------------------------------------------------------
 
-    def promote(self) -> int:
-        """Promote this controller to HA primary at a fresh epoch;
-        returns the new epoch.
+    def promote(self, floor_epoch: int = 0) -> int:
+        """Promote this controller to HA primary at a fresh epoch
+        (bumped past ``floor_epoch``, the highest epoch observed in
+        election probes); returns the new epoch.
 
         Besides the role flip, promotion seeds replay dedup: every
         retained log entry was broadcast to the shared replica databases
@@ -956,7 +957,7 @@ class Controller:
             raise DriverError(
                 f"controller {self.config.controller_id} has no HA peers configured"
             )
-        epoch = self.ha_store.promote()
+        epoch = self.ha_store.promote(floor_epoch)
         entries = self.recovery_log.entries_after(self.recovery_log.first_index - 1)
         for backend in self.scheduler.backends():
             if backend.enabled:
@@ -1094,7 +1095,11 @@ class Controller:
             if winner["node_id"] != status["node_id"]:
                 store.set_primary_hint(winner["address"])
                 return False
-            self.promote()
+            # Fold every epoch the probes reported into the promotion:
+            # the new epoch must land past values persisted anywhere in
+            # the responder set, not just past this node's own (which may
+            # lag if it missed announce frames).
+            self.promote(floor_epoch=max(r["epoch"] for r in responders))
             return True
         finally:
             self._election_lock.release()

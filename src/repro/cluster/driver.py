@@ -630,9 +630,12 @@ class ClusterConnection(Connection):
             if code == ERROR_NOT_PRIMARY:
                 # HA follower bounce: remember where the primary is (the
                 # reply may carry its address) and fail over — the
-                # statement never ran, so the retry is safe.
+                # statement never ran, so the retry is safe. A bounce
+                # without an address (mid-election, no winner yet) keeps
+                # any previously learned hint rather than discarding it.
                 hint = reply.get("primary_host")
-                self._primary_hint = str(hint) if hint else None
+                if hint:
+                    self._primary_hint = str(hint)
                 self._not_primary_bounce = True
                 self.not_primary_bounces += 1
                 raise OperationalError(message)

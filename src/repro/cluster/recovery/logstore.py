@@ -163,6 +163,16 @@ class LogStore:
         caller allows."""
         raise NotImplementedError
 
+    def reset_to_floor(self, index: int) -> None:
+        """Discard every retained entry and restart the store at
+        compaction floor ``index`` — as if entries ``1..index`` existed
+        and were all compacted away. The follower half of an HA snapshot
+        install: its whole retained log sits below the primary's
+        compaction floor and is superseded by the shipped checkpoint
+        snapshot, so it adopts the floor and takes the post-floor suffix
+        fresh. ``index`` must be at or above ``last_index``."""
+        raise NotImplementedError
+
     def flush(self) -> None:
         """Make appended entries durable (no-op for volatile stores)."""
 
@@ -214,6 +224,14 @@ class MemoryLogStore(LogStore):
         self._entries = self._entries[drop:]
         self._truncated_through += drop
         return drop
+
+    def reset_to_floor(self, index: int) -> None:
+        if index < self.last_index:
+            raise LogStoreError(
+                f"cannot reset to floor {index} below log head {self.last_index}"
+            )
+        self._entries = []
+        self._truncated_through = index
 
 
 class FileLogStore(LogStore):
@@ -460,6 +478,27 @@ class FileLogStore(LogStore):
             except OSError:
                 pass
         return dropped
+
+    def reset_to_floor(self, index: int) -> None:
+        if index < self._last_index:
+            raise LogStoreError(
+                f"cannot reset to floor {index} below log head {self._last_index}"
+            )
+        self._close_handle()
+        doomed_paths = list(self._segment_paths)
+        self._segments = []
+        self._segment_paths = []
+        self._truncated_through = index
+        self._last_index = index
+        # Same crash rule as truncate_through: persist the floor before
+        # removing any file — a crash in between leaves segments wholly
+        # below the floor, which _load recognises and deletes.
+        self._write_meta()
+        for path in doomed_paths:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
     def _write_meta(self) -> None:
         atomic_write_json(self._meta_path(), {"truncated_through": self._truncated_through})

@@ -38,7 +38,8 @@ See docs/ha.md for the protocol walk-through.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DriverError, TransportError
 
@@ -53,6 +54,14 @@ from repro.cluster.recovery.logstore import LogEntry, LogStore, atomic_write_jso
 
 ROLE_PRIMARY = "primary"
 ROLE_FOLLOWER = "follower"
+
+#: A transport failure that took at least this long was a *timeout*
+#: (connect or ack), not an instant refusal — only those earn reconnect
+#: backoff, because only those would otherwise add their full timeout to
+#: every replication round for as long as the peer stays dark.
+_SLOW_FAILURE_S = 0.05
+_BACKOFF_BASE_S = 0.25
+_BACKOFF_CAP_S = 5.0
 
 
 class ReplicationError(DriverError):
@@ -91,6 +100,19 @@ class _PeerLink:
         self.acked_index = 0
         self.reachable = False
         self.blocked = False
+        #: The peer answered but cannot hold the shipped entries (its log
+        #: head sits below the primary's compaction floor and it did not
+        #: take the snapshot): it needs a reseed and is never counted as
+        #: an ack until it catches up.
+        self.needs_reseed = False
+        #: Reconnect backoff after slow failures: until ``retry_at`` the
+        #: peer is skipped (when quorum allows), so a dead peer's connect
+        #: timeout is paid once per backoff window, not once per flush.
+        self.fail_streak = 0
+        self.retry_at = 0.0
+
+    def in_backoff(self) -> bool:
+        return time.monotonic() < self.retry_at
 
     def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one frame and wait for its reply; raises TransportError."""
@@ -98,22 +120,34 @@ class _PeerLink:
             raise TransportError(
                 f"replication link to {self.address} partitioned (chaos)"
             )
-        channel = self._channel
-        if channel is None:
-            channel = self._network.connect(
-                self.address, timeout=self._connect_timeout_s
-            )
-            self._channel = channel
+        started = time.monotonic()
         try:
+            channel = self._channel
+            if channel is None:
+                channel = self._network.connect(
+                    self.address, timeout=self._connect_timeout_s
+                )
+                self._channel = channel
             channel.send(message)
             reply = channel.recv(timeout=self._ack_timeout_s)
         except TransportError:
             self.close()
+            self._note_failure(time.monotonic() - started)
             raise
         if reply is None:
             self.close()
+            self._note_failure(time.monotonic() - started)
             raise TransportError(f"replication peer {self.address} closed the channel")
+        self.fail_streak = 0
+        self.retry_at = 0.0
         return reply
+
+    def _note_failure(self, elapsed: float) -> None:
+        if elapsed < _SLOW_FAILURE_S:
+            return  # instant refusals are cheap to retry next round
+        self.fail_streak += 1
+        delay = min(_BACKOFF_BASE_S * (2 ** (self.fail_streak - 1)), _BACKOFF_CAP_S)
+        self.retry_at = time.monotonic() + delay
 
     def close(self) -> None:
         channel, self._channel = self._channel, None
@@ -189,14 +223,21 @@ class ReplicatedLogStore(LogStore):
         #: Serialises replication rounds (one group-commit leader at a
         #: time calls flush, but promote()/announce() may race it).
         self._round_lock = threading.Lock()
+        #: Serialises REPLICATE application (two primaries racing a
+        #: failover may both hold an open replication channel here).
+        self._apply_lock = threading.Lock()
         #: Guards epoch/role/hint transitions against concurrent
-        #: REPLICATE application and election probes.
+        #: REPLICATE application and election probes. Deliberately NOT
+        #: held across log appends or fsyncs: status() answers election
+        #: probes under this lock, and a probe stuck behind a flush would
+        #: blow past ha_probe_timeout_s and skew responder sets.
         self._state_lock = threading.Lock()
         self._checkpoint_snapshot: Optional[Callable[[], List[Dict[str, Any]]]] = None
         self._replicated_through = 0
         self._announced_floor = 0
         self.rounds = 0
         self.entries_shipped = 0
+        self.snapshot_installs = 0
         self.quorum_failures = 0
         self.promotions = 0
         self.depositions = 0
@@ -268,6 +309,9 @@ class ReplicatedLogStore(LogStore):
     def truncate_through(self, index: int) -> int:
         return self.inner.truncate_through(index)
 
+    def reset_to_floor(self, index: int) -> None:
+        self.inner.reset_to_floor(index)
+
     def close(self) -> None:
         for peer in self._peers.values():
             peer.close()
@@ -311,16 +355,27 @@ class ReplicatedLogStore(LogStore):
             checkpoints = (
                 self._checkpoint_snapshot() if self._checkpoint_snapshot else None
             )
+            outcomes = self._ship_round(epoch, floor, checkpoints)
             acks = 1  # this node holds its own log
             stale_epoch_seen = 0
             for peer in self._peers.values():
-                outcome = self._replicate_to_peer(peer, epoch, floor, checkpoints)
+                outcome, stale_epoch, shipped = outcomes[peer.address]
+                self.entries_shipped += shipped
                 if outcome == "ack":
                     peer.reachable = True
+                    peer.needs_reseed = False
                     acks += 1
+                elif outcome == "behind":
+                    # Reachable, but its log head sits below our compaction
+                    # floor and the backfill retry could not fill it: the
+                    # peer does NOT hold the entries, so it must not count
+                    # toward the majority — otherwise an "acked" write
+                    # could be durable on fewer nodes than promised.
+                    peer.reachable = True
+                    peer.needs_reseed = True
                 elif outcome == "stale":
                     peer.reachable = True
-                    stale_epoch_seen = max(stale_epoch_seen, self._last_stale_epoch)
+                    stale_epoch_seen = max(stale_epoch_seen, stale_epoch)
                 else:
                     peer.reachable = False
             if stale_epoch_seen:
@@ -350,16 +405,73 @@ class ReplicatedLogStore(LogStore):
                 )
             return False
 
+    def _ship_round(
+        self,
+        epoch: int,
+        floor: int,
+        checkpoints: Optional[List[Dict[str, Any]]],
+    ) -> Dict[str, Tuple[str, int, int]]:
+        """Contact every peer for one round; returns per-address
+        ``(outcome, stale_epoch, entries_shipped)``.
+
+        Peers in reconnect backoff are skipped for free (counted "down")
+        — unless the round cannot reach quorum without them, in which
+        case they are tried anyway: backoff only ever trades latency,
+        never availability."""
+        results: Dict[str, Tuple[str, int, int]] = {}
+        ready = [p for p in self._peers.values() if not p.in_backoff()]
+        deferred = [p for p in self._peers.values() if p.in_backoff()]
+        for peer in deferred:
+            results[peer.address] = ("down", 0, 0)
+        self._contact_peers(ready, epoch, floor, checkpoints, results)
+        acks = sum(1 for outcome, _, _ in results.values() if outcome == "ack")
+        if deferred and 1 + acks < self.required_acks:
+            self._contact_peers(deferred, epoch, floor, checkpoints, results)
+        return results
+
+    def _contact_peers(
+        self,
+        peers: List[_PeerLink],
+        epoch: int,
+        floor: int,
+        checkpoints: Optional[List[Dict[str, Any]]],
+        results: Dict[str, Tuple[str, int, int]],
+    ) -> None:
+        """One REPLICATE exchange per peer, concurrently: the round costs
+        the *slowest* peer's latency, not the sum — one dead peer's
+        connect timeout no longer serialises in front of every live
+        peer's ack on every group-commit flush."""
+        if not peers:
+            return
+
+        def ship(target: _PeerLink) -> None:
+            results[target.address] = self._replicate_to_peer(
+                target, epoch, floor, checkpoints
+            )
+
+        threads = [
+            threading.Thread(target=ship, args=(peer,), daemon=True)
+            for peer in peers[1:]
+        ]
+        for thread in threads:
+            thread.start()
+        ship(peers[0])
+        for thread in threads:
+            thread.join()
+
     def _replicate_to_peer(
         self,
         peer: _PeerLink,
         epoch: int,
         floor: int,
         checkpoints: Optional[List[Dict[str, Any]]],
-    ) -> str:
-        """Ship the peer everything past its ack cursor; returns "ack",
-        "stale" (peer refused our epoch) or "down"."""
-        self._last_stale_epoch = 0
+    ) -> Tuple[str, int, int]:
+        """Ship the peer everything past its ack cursor; returns
+        ``(outcome, stale_epoch, entries_shipped)`` where outcome is
+        "ack", "behind" (reachable but unable to hold the entries — needs
+        a reseed, never counted toward quorum), "stale" (peer refused our
+        epoch) or "down"."""
+        shipped = 0
         for attempt in range(2):  # one retry to backfill a reported gap
             base = max(peer.acked_index, floor)
             entries = [e.to_wire() for e in self.inner.entries_after(base)]
@@ -374,21 +486,25 @@ class ReplicatedLogStore(LogStore):
             try:
                 reply = peer.request(frame)
             except TransportError:
-                return "down"
+                return "down", 0, shipped
             kind = reply.get("type")
             if kind == ClusterMessageType.REPLICATE_OK:
-                self.entries_shipped += len(entries)
+                shipped += len(entries)
                 peer.acked_index = int(reply.get("last_index", 0))
-                if reply.get("gap") and attempt == 0:
+                if not reply.get("gap"):
+                    return "ack", 0, shipped
+                if attempt == 0:
                     # The peer is further behind than our cursor thought
                     # (e.g. it restarted empty); resend from its real head.
                     continue
-                return "ack"
+                # Still gapped after the backfill retry: the peer's head
+                # is below our compaction floor and the retained log
+                # cannot fill it (it refused or never got the snapshot).
+                return "behind", 0, shipped
             if kind == ClusterMessageType.ERROR and reply.get("code") == ERROR_STALE_EPOCH:
-                self._last_stale_epoch = int(reply.get("epoch", epoch + 1))
-                return "stale"
-            return "down"
-        return "ack"
+                return "stale", int(reply.get("epoch", epoch + 1)), shipped
+            return "down", 0, shipped
+        return "down", 0, shipped  # pragma: no cover
 
     # -- follower side -------------------------------------------------------------
 
@@ -398,38 +514,63 @@ class ReplicatedLogStore(LogStore):
         ``applied_entries`` is the suffix actually appended here (the
         controller advances its per-table sequence counters and checkpoint
         registry from it). The inner store is flushed before the ack so a
-        majority ack implies majority-local durability."""
-        with self._state_lock:
-            frame_epoch = int(frame.get("epoch", 0))
-            if frame_epoch < self.epoch or (
-                frame_epoch == self.epoch and self.role == ROLE_PRIMARY
-            ):
-                # Stale primary (or same-epoch split brain): refuse, and
-                # tell it our epoch so it demotes itself.
-                reply = make_error(
-                    ERROR_STALE_EPOCH,
-                    f"{self.node_id} is at epoch {self.epoch}, "
-                    f"refusing epoch {frame_epoch} appends",
-                )
-                reply["epoch"] = self.epoch
-                return reply, []
-            if frame_epoch > self.epoch:
-                self.epoch = frame_epoch
-                self.epoch_adoptions += 1
-                if self.role == ROLE_PRIMARY:
-                    self.role = ROLE_FOLLOWER
-                    self.depositions += 1
-                self._persist_meta_locked()
-            self.primary_hint = frame.get("origin_address") or self.primary_hint
+        majority ack implies majority-local durability. Epoch/role
+        transitions happen under ``_state_lock``; the append+fsync work
+        runs outside it (serialised by ``_apply_lock``) so election
+        probes answered by :meth:`status` never queue behind a flush."""
+        with self._apply_lock:
+            with self._state_lock:
+                frame_epoch = int(frame.get("epoch", 0))
+                if frame_epoch < self.epoch or (
+                    frame_epoch == self.epoch and self.role == ROLE_PRIMARY
+                ):
+                    # Stale primary (or same-epoch split brain): refuse, and
+                    # tell it our epoch so it demotes itself.
+                    reply = make_error(
+                        ERROR_STALE_EPOCH,
+                        f"{self.node_id} is at epoch {self.epoch}, "
+                        f"refusing epoch {frame_epoch} appends",
+                    )
+                    reply["epoch"] = self.epoch
+                    return reply, []
+                if frame_epoch > self.epoch:
+                    self.epoch = frame_epoch
+                    self.epoch_adoptions += 1
+                    if self.role == ROLE_PRIMARY:
+                        self.role = ROLE_FOLLOWER
+                        self.depositions += 1
+                    self._persist_meta_locked()
+                self.primary_hint = frame.get("origin_address") or self.primary_hint
             entries = [LogEntry.from_wire(e) for e in frame.get("entries") or []]
+            floor = int(frame.get("truncated_through", 0))
             local_last = self.inner.last_index
             gap = False
             applied: List[LogEntry] = []
             if entries:
                 if entries[0].index > local_last + 1:
-                    gap = True
+                    if (
+                        frame.get("checkpoints") is not None
+                        and local_last <= floor
+                        and entries[0].index == floor + 1
+                    ):
+                        # Snapshot install: our whole log sits below the
+                        # primary's compaction floor, and this frame carries
+                        # everything the primary itself retains — the
+                        # checkpoint-registry snapshot plus every entry past
+                        # the floor. Adopt the floor (our stale prefix is
+                        # superseded by the snapshot, the same blind spot
+                        # compaction already accepts) and splice the fresh
+                        # suffix, so a restarted-empty follower catches up
+                        # instead of gapping forever.
+                        self.inner.reset_to_floor(floor)
+                        for entry in entries:
+                            self.inner.append(entry)
+                            applied.append(entry)
+                        self.snapshot_installs += 1
+                    else:
+                        gap = True
                 else:
-                    divergence = self._check_overlap_locked(entries, local_last)
+                    divergence = self._check_overlap(entries, local_last)
                     if divergence is not None:
                         return divergence, []
                     for entry in entries:
@@ -437,16 +578,16 @@ class ReplicatedLogStore(LogStore):
                             continue
                         self.inner.append(entry)
                         applied.append(entry)
-            floor = int(frame.get("truncated_through", 0))
             if floor > self.inner.truncated_through:
                 self.inner.truncate_through(floor)
             self.inner.flush()
-            reply = make_replicate_ok(
-                self.node_id, self.epoch, self.inner.last_index, gap=gap
-            )
+            with self._state_lock:
+                reply = make_replicate_ok(
+                    self.node_id, self.epoch, self.inner.last_index, gap=gap
+                )
             return reply, applied
 
-    def _check_overlap_locked(
+    def _check_overlap(
         self, entries: List[LogEntry], local_last: int
     ) -> Optional[Dict[str, Any]]:
         """Compare the overlapping prefix against our retained log; a
@@ -472,17 +613,22 @@ class ReplicatedLogStore(LogStore):
 
     # -- promotion / election -----------------------------------------------------
 
-    def promote(self) -> int:
+    def promote(self, floor_epoch: int = 0) -> int:
         """Take over as primary at a fresh epoch; returns the new epoch.
 
         The epoch bump past everything this node has seen is what fences
         the old primary: its next round meets ``stale_epoch`` refusals at
-        every up-to-date peer and cannot reach a majority."""
+        every up-to-date peer and cannot reach a majority.
+        ``floor_epoch`` is the highest epoch observed elsewhere (election
+        probe responses) — the bump goes past it as well as our own, so a
+        candidate whose local epoch lagged (missed announce frames)
+        cannot promote *behind* an epoch already persisted in the
+        cluster."""
         with self._state_lock:
             if self.role != ROLE_PRIMARY:
                 self.role = ROLE_PRIMARY
                 self.promotions += 1
-            self.epoch += 1
+            self.epoch = max(self.epoch, floor_epoch) + 1
             self.primary_hint = None
             self._persist_meta_locked()
             return self.epoch
@@ -529,6 +675,7 @@ class ReplicatedLogStore(LogStore):
                 "replicated_through": self._replicated_through,
                 "rounds": self.rounds,
                 "entries_shipped": self.entries_shipped,
+                "snapshot_installs": self.snapshot_installs,
                 "quorum_failures": self.quorum_failures,
                 "promotions": self.promotions,
                 "depositions": self.depositions,
@@ -538,6 +685,7 @@ class ReplicatedLogStore(LogStore):
                         "acked_index": peer.acked_index,
                         "reachable": peer.reachable,
                         "blocked": peer.blocked,
+                        "needs_reseed": peer.needs_reseed,
                     }
                     for address, peer in self._peers.items()
                 },

@@ -25,7 +25,13 @@ from repro.cluster.recovery.replication import (
     ReplicatedLogStore,
     ReplicationError,
 )
-from repro.cluster.wire import ClusterMessageType, make_replicate
+from repro.cluster.wire import (
+    ClusterMessageType,
+    ERROR_NOT_PRIMARY,
+    make_error,
+    make_replicate,
+    make_replicate_ok,
+)
 from repro.dbapi import OperationalError, ProgrammingError
 from repro.experiments.environments import build_cluster
 
@@ -121,6 +127,52 @@ class TestReplicatedLogStoreUnit:
         assert reply["gap"] is True and applied == []
         assert reply["last_index"] == 0  # tells the primary where to resend from
 
+    def test_snapshot_install_catches_up_a_behind_follower(self):
+        # The whole local log (here: empty) sits below the primary's
+        # compaction floor; the frame carries the checkpoint snapshot and
+        # the full post-floor suffix, so the follower adopts the floor
+        # instead of gapping forever.
+        b = _store()
+        frame = make_replicate(
+            "a", "a:1", 1, [_entry(6).to_wire(), _entry(7).to_wire()], 5,
+            checkpoints=[],
+        )
+        reply, applied = b.apply_replicate(frame)
+        assert reply["type"] == ClusterMessageType.REPLICATE_OK
+        assert not reply.get("gap")
+        assert reply["last_index"] == 7
+        assert [e.index for e in applied] == [6, 7]
+        assert b.truncated_through == 5
+        assert b.snapshot_installs == 1
+
+    def test_hole_past_floor_still_gaps_despite_checkpoints(self):
+        # entries start past floor+1: a true hole the snapshot does not
+        # cover — must stay a gap, never a silent splice.
+        b = _store()
+        frame = make_replicate(
+            "a", "a:1", 1, [_entry(7).to_wire()], 5, checkpoints=[]
+        )
+        reply, applied = b.apply_replicate(frame)
+        assert reply["gap"] is True and applied == []
+
+    def test_behind_peer_is_never_counted_toward_quorum(self):
+        # A peer that still reports gap=True after the backfill retry
+        # does not hold the entries; acking it would let a "majority"
+        # hold fewer copies than promised.
+        a = _store(node="a", peers=("b:1",))
+        a.append(_entry(1))
+        link = a.peer_link("b:1")
+        link.request = lambda frame: make_replicate_ok("b", 1, 0, gap=True)
+        with pytest.raises(ReplicationError):
+            a.replicate(force=True)
+        assert a.quorum_failures == 1
+        assert link.needs_reseed
+        assert a.ha_stats()["peers"]["b:1"]["needs_reseed"] is True
+        # Once the peer takes the entries, the reseed flag clears.
+        link.request = lambda frame: make_replicate_ok("b", 1, 1)
+        assert a.replicate(force=True) is True
+        assert not link.needs_reseed
+
     def test_stale_epoch_refused_newer_epoch_adopted(self):
         b = _store()
         assert b.epoch == 1
@@ -153,6 +205,14 @@ class TestReplicatedLogStoreUnit:
         # Promoting while already primary still bumps the epoch.
         assert b.promote() == 3
         assert b.promotions == 1
+
+    def test_promotion_folds_observed_epochs(self):
+        # A candidate whose own epoch lagged (missed announce frames)
+        # must bump past the highest epoch its election probes reported,
+        # never promote behind one already persisted in the cluster.
+        b = _store()
+        assert b.promote(floor_epoch=7) == 8
+        assert b.promote(floor_epoch=3) == 9  # own epoch already higher
 
     def test_divergent_overlap_is_refused_not_spliced(self):
         b = _store()
@@ -243,6 +303,17 @@ class TestControllerHAReplication:
         # steered the writes to the real primary.
         assert conn.controller_id == c1.config.controller_id
         assert c1.ha_store.last_index >= 2
+        conn.close()
+
+    def test_bounce_without_address_keeps_learned_hint(self, ha_env):
+        # Mid-election a follower may bounce without knowing the primary;
+        # that must not erase routing state the driver already learned.
+        conn = _connect(ha_env)
+        primary_address = ha_env.controllers[0].address
+        conn._primary_hint = primary_address
+        with pytest.raises(OperationalError):
+            conn._interpret_reply(make_error(ERROR_NOT_PRIMARY, "mid-election"))
+        assert conn._primary_hint == primary_address
         conn.close()
 
     def test_group_commit_amortizes_replication_rounds(self, ha_env):
